@@ -1,0 +1,43 @@
+// Characterization of the re-created paper Fig. 6 DUT: the 900 MHz LNA's
+// frequency response (gain, NF, S11) and nominal specs, i.e. the datasheet
+// the signature test must predict. Establishes that the substitute DUT is
+// a credible stand-in for the paper's SpectreRF LNA.
+#include <cstdio>
+
+#include "circuit/ac.hpp"
+#include "circuit/dc.hpp"
+#include "circuit/lna900.hpp"
+#include "circuit/sparams.hpp"
+
+int main() {
+  using namespace stf::circuit;
+  std::printf("=== Fig. 6 DUT: 900 MHz LNA characterization ===\n");
+
+  const auto nl = Lna900::build(Lna900::nominal());
+  const auto dc = solve_dc(nl);
+  std::printf("# bias: Ic = %.3f mA, gm = %.1f mS, Vbe = %.3f V\n",
+              dc.bjt_op[0].ic * 1e3, dc.bjt_op[0].gm * 1e3,
+              dc.voltage(nl.find_node("Q1:b")));
+
+  const AcAnalysis ac(nl, dc);
+  const RfPort port = Lna900::port();
+  TwoPortSetup tp;
+  tp.input_node = "nin";
+  tp.output_node = "out";
+
+  std::printf("\n# f (MHz)    gain (dB)    NF (dB)    S11 (dB)\n");
+  for (double f = 500e6; f <= 1400e6 + 1.0; f += 50e6) {
+    const auto s = s_parameters(ac, f, tp);
+    std::printf("%9.0f %12.2f %10.2f %11.2f\n", f / 1e6,
+                transducer_gain_db(ac, f, port), noise_figure_db(ac, f, port),
+                s.s11_db());
+  }
+
+  const auto specs = Lna900::measure(Lna900::nominal());
+  std::printf("\n# nominal specs at 900 MHz (paper's LNA in parentheses)\n");
+  std::printf("  gain  %7.2f dB   (~16.5 dB)\n", specs.gain_db);
+  std::printf("  NF    %7.2f dB   (~2.9 dB)\n", specs.nf_db);
+  std::printf("  IIP3  %7.2f dBm  (~2.9 dBm; different device technology)\n",
+              specs.iip3_dbm);
+  return 0;
+}

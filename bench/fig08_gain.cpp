@@ -1,0 +1,17 @@
+// Reproduces paper Fig. 8: LNA gain predicted from the signature test vs.
+// direct simulation, for the 25 validation devices of the Section 4.1
+// simulation study. Paper reports std(err) = 0.06 dB.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  std::printf("=== Fig. 8: gain, signature prediction vs direct simulation"
+              " ===\n");
+  const auto result = stf::bench::run_simulation_study();
+  const auto& gain = result.report.specs[0];
+  stf::bench::print_scatter(gain, "dB");
+  stf::bench::print_error_summary(gain, "dB");
+  std::printf("# paper: std(err) = 0.06 dB over gain range ~15..17.5 dB\n");
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Reproduces paper Fig. 9: IIP3 predicted from the signature test vs.
+// direct simulation (Section 4.1). Paper reports std(err) = 0.034 dBm on a
+// very tight (~0.2 dB) population spread; our LNA's IIP3 spread is wider,
+// so compare the correlation quality (R^2) rather than absolute dB.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  std::printf("=== Fig. 9: IIP3, signature prediction vs direct simulation"
+              " ===\n");
+  const auto result = stf::bench::run_simulation_study();
+  const auto& iip3 = result.report.specs[2];
+  stf::bench::print_scatter(iip3, "dBm");
+  stf::bench::print_error_summary(iip3, "dBm");
+  std::printf("# paper: std(err) = 0.034 dBm (IIP3 was its best-predicted"
+              " spec)\n");
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Reproduces paper Fig. 12: measured vs signature-predicted gain for the
+// RF401 hardware study (55 devices: 28 calibration + 27 validation,
+// 900/900.1 MHz LOs, 1 MHz digitizing, 5 ms capture). Paper reports
+// RMS error = 0.16 dB. The physical devices are replaced by the synthetic
+// correlated population documented in DESIGN.md.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  std::printf("=== Fig. 12: RF401 gain, measured vs signature-predicted"
+              " ===\n");
+  const auto result = stf::bench::run_hardware_study();
+  const auto& gain = result.report.specs[0];
+  stf::bench::print_scatter(gain, "dB");
+  stf::bench::print_error_summary(gain, "dB");
+  std::printf("# paper: RMS error = 0.16 dB on 27 validation devices\n");
+  return 0;
+}

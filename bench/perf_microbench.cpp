@@ -1,0 +1,86 @@
+// Google-benchmark microbenchmarks for the framework's hot kernels: they
+// substantiate the runtime claims (a signature evaluation must fit in the
+// paper's "negligible time for ... computation of the FFT" budget) and
+// guard against performance regressions.
+#include <benchmark/benchmark.h>
+
+#include "circuit/dc.hpp"
+#include "circuit/lna900.hpp"
+#include "dsp/fft.hpp"
+#include "rf/dut.hpp"
+#include "sigtest/acquisition.hpp"
+#include "sigtest/calibration.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace stf;
+
+void BM_Fft1024(benchmark::State& state) {
+  stats::Rng rng(1);
+  std::vector<dsp::cplx> x(1024);
+  for (auto& v : x) v = dsp::cplx(rng.normal(), rng.normal());
+  for (auto _ : state) benchmark::DoNotOptimize(dsp::fft(x));
+}
+BENCHMARK(BM_Fft1024);
+
+void BM_FftBluestein1000(benchmark::State& state) {
+  stats::Rng rng(1);
+  std::vector<dsp::cplx> x(1000);
+  for (auto& v : x) v = dsp::cplx(rng.normal(), rng.normal());
+  for (auto _ : state) benchmark::DoNotOptimize(dsp::fft(x));
+}
+BENCHMARK(BM_FftBluestein1000);
+
+void BM_LnaDcSolve(benchmark::State& state) {
+  const auto nl = circuit::Lna900::build(circuit::Lna900::nominal());
+  for (auto _ : state) benchmark::DoNotOptimize(circuit::solve_dc(nl));
+}
+BENCHMARK(BM_LnaDcSolve);
+
+void BM_LnaFullCharacterization(benchmark::State& state) {
+  const auto process = circuit::Lna900::nominal();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(circuit::Lna900::measure(process));
+}
+BENCHMARK(BM_LnaFullCharacterization);
+
+void BM_BehavioralExtraction(benchmark::State& state) {
+  const auto process = circuit::Lna900::nominal();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(rf::extract_lna_dut(process));
+}
+BENCHMARK(BM_BehavioralExtraction);
+
+void BM_SignatureAcquisition(benchmark::State& state) {
+  const auto cfg = sigtest::SignatureTestConfig::simulation_study();
+  sigtest::SignatureAcquirer acq(cfg, 16);
+  const auto ch = rf::extract_lna_dut(circuit::Lna900::nominal());
+  const auto stim = dsp::PwlWaveform::uniform(
+      cfg.capture_s, {0.0, 0.2, -0.2, 0.1, -0.1, 0.25, -0.25, 0.0});
+  stats::Rng rng(3);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(acq.acquire(*ch.dut, stim, &rng));
+}
+BENCHMARK(BM_SignatureAcquisition);
+
+void BM_CalibrationPredict(benchmark::State& state) {
+  // Regression evaluation is the per-part production cost.
+  stats::Rng rng(5);
+  const std::size_t n = 100, m = 16;
+  la::Matrix sig(n, m), specs(n, 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) sig(i, j) = rng.uniform(0.0, 1.0);
+    for (std::size_t s = 0; s < 3; ++s) specs(i, s) = rng.normal();
+  }
+  sigtest::CalibrationModel model;
+  model.fit(sig, specs);
+  std::vector<double> one(m);
+  for (auto& v : one) v = rng.uniform(0.0, 1.0);
+  for (auto _ : state) benchmark::DoNotOptimize(model.predict(one));
+}
+BENCHMARK(BM_CalibrationPredict);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Extension experiment: predicting a *modulated-signal* spec (QPSK EVM)
+// from the same 5 us signature. The paper's reference list already points
+// toward modulated-signal test (MVNA, ref [6]); modern front-end
+// datasheets specify EVM directly. Here each validation device's true EVM
+// is measured with the full QPSK chain, while the production path predicts
+// it from the signature alone -- EVM becomes a fourth predicted spec at
+// zero additional test time.
+#include <cstdio>
+#include <vector>
+
+#include "circuit/lna900.hpp"
+#include "common.hpp"
+#include "rf/evm.hpp"
+#include "rf/population.hpp"
+#include "sigtest/acquisition.hpp"
+#include "sigtest/calibration.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/metrics.hpp"
+#include "stats/rng.hpp"
+
+int main() {
+  using namespace stf;
+  std::printf("=== EVM extension: modulation quality predicted from the"
+              " signature ===\n");
+
+  const auto study = bench::run_simulation_study();
+  const auto cfg = sigtest::SignatureTestConfig::simulation_study();
+  sigtest::SignatureAcquirer acq(cfg, 16);
+  const auto devices = rf::make_lna_population(125, 0.2, 42);
+  const auto split = rf::split_population(devices, 100);
+
+  rf::EvmConfig evm_cfg;
+  evm_cfg.level_dbm = -18.0;  // drive where compression shapes EVM
+
+  // Training: signatures (averaged) + 4-spec target incl. measured EVM.
+  stats::Rng rng(7);
+  const std::size_t m = acq.signature_length();
+  la::Matrix cal_sig(split.calibration.size(), m);
+  la::Matrix cal_specs(split.calibration.size(), 4);
+  std::vector<double> noise_var(m, 0.0);
+  const int n_avg = 8;
+  for (std::size_t i = 0; i < split.calibration.size(); ++i) {
+    const auto& dev = split.calibration[i];
+    sigtest::Signature mean(m, 0.0);
+    std::vector<sigtest::Signature> caps;
+    for (int a = 0; a < n_avg; ++a) {
+      caps.push_back(acq.acquire(*dev.dut, study.stimulus, &rng));
+      for (std::size_t j = 0; j < m; ++j) mean[j] += caps.back()[j];
+    }
+    for (double& v : mean) v /= n_avg;
+    for (const auto& c : caps)
+      for (std::size_t j = 0; j < m; ++j) {
+        const double d = c[j] - mean[j];
+        noise_var[j] += d * d;
+      }
+    cal_sig.set_row(i, mean);
+    const auto base = dev.specs.to_vector();
+    cal_specs(i, 0) = base[0];
+    cal_specs(i, 1) = base[1];
+    cal_specs(i, 2) = base[2];
+    cal_specs(i, 3) = rf::measure_evm_percent(*dev.dut, evm_cfg, nullptr);
+  }
+  for (double& v : noise_var)
+    v /= static_cast<double>(split.calibration.size() * (n_avg - 1));
+
+  sigtest::CalibrationModel model;
+  model.fit(cal_sig, cal_specs, noise_var);
+
+  std::vector<double> truth, pred;
+  for (const auto& dev : split.validation) {
+    truth.push_back(rf::measure_evm_percent(*dev.dut, evm_cfg, nullptr));
+    pred.push_back(
+        model.predict(acq.acquire(*dev.dut, study.stimulus, &rng))[3]);
+  }
+
+  std::printf("# %-14s %16s\n", "true EVM (%)", "predicted (%)");
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    std::printf("%12.4f %16.4f\n", truth[i], pred[i]);
+  std::printf("# EVM: std(err) = %.4f %%, R^2 = %.4f (spread %.2f..%.2f %%)"
+              "\n",
+              stats::std_error(truth, pred), stats::r_squared(truth, pred),
+              stats::min(truth), stats::max(truth));
+  std::printf("# expected shape: EVM tracks compression, which the signature"
+              " resolves well -- a\n"
+              "# modulation-quality spec predicted with no modulated test"
+              " signal ever applied.\n");
+  return 0;
+}

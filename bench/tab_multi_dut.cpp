@@ -1,0 +1,119 @@
+// Extension experiment: framework generality across the paper's target
+// list ("LNAs, power amplifiers, attenuators and mixers", Section 1). The
+// identical signature flow -- same load board, same stimulus class, same
+// calibration machinery -- is applied to the PA driver (specs: gain, IIP3,
+// DC supply current) and the passive pi-pad attenuator (specs: insertion
+// loss, return loss).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "circuit/ac.hpp"
+#include "circuit/attenuator.hpp"
+#include "circuit/dc.hpp"
+#include "circuit/pa900.hpp"
+#include "circuit/sparams.hpp"
+#include "rf/dut.hpp"
+#include "sigtest/acquisition.hpp"
+#include "sigtest/calibration.hpp"
+#include "stats/metrics.hpp"
+#include "stats/rng.hpp"
+#include "stats/sampling.hpp"
+
+namespace {
+
+using namespace stf;
+
+struct Device {
+  std::shared_ptr<rf::RfDut> dut;
+  std::vector<double> specs;
+};
+
+// Characterize one PA instance: circuit specs + behavioral envelope model.
+Device make_pa(const std::vector<double>& process) {
+  const auto nl = circuit::Pa900::build(process);
+  const auto dc = circuit::solve_dc(nl);
+  const circuit::AcAnalysis ac(nl, dc);
+  const auto port = circuit::Pa900::port();
+  const auto specs = circuit::Pa900::measure(process);
+  const auto h = circuit::voltage_transfer(ac, circuit::Pa900::kF0, port);
+  Device d;
+  d.dut = std::make_shared<rf::BehavioralLna>(
+      h, rf::iip3_dbm_to_source_amplitude(specs.iip3_dbm), 0.0);
+  d.specs = specs.to_vector();
+  return d;
+}
+
+Device make_pad(const std::vector<double>& process) {
+  const auto nl = circuit::AttenuatorPad::build(process);
+  const auto dc = circuit::solve_dc(nl);
+  const circuit::AcAnalysis ac(nl, dc);
+  const auto port = circuit::AttenuatorPad::port();
+  const auto h =
+      circuit::voltage_transfer(ac, circuit::AttenuatorPad::kF0, port);
+  Device d;
+  d.dut = std::make_shared<rf::IdealGainDut>(h);
+  d.specs = circuit::AttenuatorPad::measure(process).to_vector();
+  return d;
+}
+
+template <class MakeFn>
+void run_study(const char* title, const MakeFn& make,
+               const std::vector<double>& nominal,
+               const std::vector<std::string>& spec_names,
+               const std::vector<const char*>& units, std::uint64_t seed) {
+  const auto cfg = sigtest::SignatureTestConfig::simulation_study();
+  sigtest::SignatureAcquirer acq(cfg, 16);
+  const auto stim = dsp::PwlWaveform::uniform(
+      cfg.capture_s, {0.0, 0.4, -0.35, 0.2, -0.45, 0.3, -0.15, 0.45, -0.25,
+                      0.1, -0.4, 0.35, 0.05, -0.3, 0.25, 0.0});
+
+  stats::UniformBox box{nominal, 0.2};
+  stats::Rng draw(seed);
+  std::vector<Device> train, val;
+  for (int i = 0; i < 80; ++i) train.push_back(make(box.sample(draw)));
+  for (int i = 0; i < 20; ++i) val.push_back(make(box.sample(draw)));
+
+  stats::Rng rng(7);
+  sigtest::CalibrationModel model;
+  sigtest::fit_from_captures(
+      model, train.size(),
+      [&](std::size_t i) { return acq.acquire(*train[i].dut, stim, &rng); },
+      [&](std::size_t i) { return train[i].specs; }, 8);
+
+  const std::size_t n_specs = spec_names.size();
+  std::vector<std::vector<double>> truth(n_specs), pred(n_specs);
+  for (const auto& dev : val) {
+    const auto p = model.predict(acq.acquire(*dev.dut, stim, &rng));
+    for (std::size_t s = 0; s < n_specs; ++s) {
+      truth[s].push_back(dev.specs[s]);
+      pred[s].push_back(p[s]);
+    }
+  }
+
+  std::printf("\n# %s (80 train / 20 validate)\n", title);
+  std::printf("# %-16s %14s %10s\n", "spec", "std(err)", "R^2");
+  for (std::size_t s = 0; s < n_specs; ++s)
+    std::printf("  %-16s %11.4f %-3s %8.4f\n", spec_names[s].c_str(),
+                stats::std_error(truth[s], pred[s]), units[s],
+                stats::r_squared(truth[s], pred[s]));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Framework generality: the paper's other DUT classes"
+              " ===\n");
+  run_study("900 MHz PA driver", make_pa, circuit::Pa900::nominal(),
+            circuit::PaSpecs::names(), {"dB", "dBm", "mA"}, 31);
+  run_study("6 dB pi-pad attenuator", make_pad,
+            circuit::AttenuatorPad::nominal(),
+            circuit::AttenuatorSpecs::names(), {"dB", "dB"}, 37);
+  std::printf(
+      "\n# expected shape: signal-path specs (gain/IIP3/loss) predict"
+      " strongly; specs the\n"
+      "# signature reaches only via process correlation (Idd, return loss)"
+      " are weaker --\n"
+      "# the same observable/unobservable split as NF in the LNA study.\n");
+  return 0;
+}

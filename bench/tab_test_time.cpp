@@ -1,0 +1,50 @@
+// Reproduces the paper's test-economics argument (Sections 1, 2 and 4.2):
+// per-part test time, throughput and cost for a conventional per-spec RF
+// ATE flow vs. the single-acquisition signature flow on a low-cost tester
+// ("the signature test required only 5 ms of data capture").
+#include <cstdio>
+
+#include "ate/cost.hpp"
+#include "ate/timing.hpp"
+
+int main() {
+  using namespace stf::ate;
+  std::printf("=== Test time / throughput / cost: conventional vs signature"
+              " ===\n");
+
+  const auto conv = ConventionalTestPlan::typical_rf_frontend();
+  const auto sig = SignatureTestPlan::paper_hardware_study();
+
+  std::printf("# Conventional per-spec plan (high-end RF ATE)\n");
+  std::printf("# %-14s %10s %10s %10s\n", "test", "setup(s)", "meas(s)",
+              "total(s)");
+  for (const auto& t : conv.tests)
+    std::printf("  %-14s %10.3f %10.3f %10.3f\n", t.name.c_str(), t.setup_s,
+                t.measure_s, t.total_s());
+  std::printf("  %-14s %31.3f\n", "test total", conv.test_time_s());
+
+  std::printf("\n# Signature plan (low-cost tester + load board)\n");
+  std::printf("  %-14s %10.3f s\n", "setup", sig.setup_s);
+  std::printf("  %-14s %10.3f s  (paper: 5 ms capture)\n", "capture",
+              sig.capture_s);
+  std::printf("  %-14s %10.3f s\n", "transfer", sig.transfer_s);
+  std::printf("  %-14s %10.3f s\n", "compute", sig.compute_s);
+  std::printf("  %-14s %10.3f s\n", "test total", sig.test_time_s());
+
+  const auto ate = TesterCostModel::high_end_rf_ate();
+  const auto low = TesterCostModel::low_cost_tester();
+  std::printf("\n# %-26s %14s %14s %14s\n", "flow", "time/part(s)",
+              "parts/hour", "cost/part($)");
+  std::printf("  %-26s %14.3f %14.0f %14.4f\n", "conventional on RF ATE",
+              conv.total_time_s(), parts_per_hour(conv.total_time_s()),
+              ate.cost_per_part(conv.total_time_s()));
+  std::printf("  %-26s %14.3f %14.0f %14.4f\n", "signature on low-cost",
+              sig.total_time_s(), parts_per_hour(sig.total_time_s()),
+              low.cost_per_part(sig.total_time_s()));
+  std::printf(
+      "# test-time speedup (excluding handler): %.1fx, cost ratio: %.1fx\n",
+      conv.test_time_s() / sig.test_time_s(),
+      ate.cost_per_part(conv.total_time_s()) /
+          low.cost_per_part(sig.total_time_s()));
+  return 0;
+}

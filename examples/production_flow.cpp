@@ -1,0 +1,85 @@
+// Production-flow scenario: the economics and risk trade the paper's
+// Section 1 motivates. A lot of 200 LNAs is screened against datasheet
+// limits two ways:
+//   (a) conventional per-spec testing on a high-end RF ATE (exact specs,
+//       slow and expensive),
+//   (b) signature testing on a low-cost tester (predicted specs, 5 us
+//       acquisition) with a guard band against prediction error.
+// Prints the confusion matrix (test escapes / yield loss), throughput and
+// cost per part for each flow.
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+#include "ate/cost.hpp"
+#include "ate/flow.hpp"
+#include "ate/timing.hpp"
+#include "circuit/lna900.hpp"
+#include "rf/population.hpp"
+#include "sigtest/optimizer.hpp"
+#include "sigtest/runtime.hpp"
+#include "stats/rng.hpp"
+
+int main() {
+  using namespace stf;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Datasheet limits sized so the +/-20% process lot has imperfect yield.
+  const std::vector<ate::SpecLimit> limits = {
+      {"gain_db", 14.2, kInf},    // minimum gain
+      {"nf_db", -kInf, 2.6},      // maximum noise figure
+      {"iip3_dbm", -12.0, kInf},  // minimum linearity
+  };
+
+  // --- build the signature tester (stimulus + calibration). ---
+  const auto config = sigtest::SignatureTestConfig::simulation_study();
+  sigtest::PerturbationSet perturb(sigtest::lna900_factory(),
+                                   circuit::Lna900::nominal(), 0.05);
+  sigtest::SignatureAcquirer acquirer(config, 16);
+  sigtest::StimulusOptimizerConfig oc;
+  oc.encoding.n_breakpoints = 16;
+  oc.encoding.duration_s = config.capture_s;
+  oc.encoding.v_min = -0.45;
+  oc.encoding.v_max = 0.45;
+  oc.ga.population = 20;
+  oc.ga.generations = 10;
+  const auto optimized = sigtest::optimize_stimulus(perturb, acquirer, oc);
+
+  const auto cal_devices = rf::make_lna_population(100, 0.2, 11);
+  sigtest::FastestRuntime runtime(config, optimized.waveform,
+                                  circuit::LnaSpecs::names());
+  stats::Rng noise(5);
+  runtime.calibrate(cal_devices, noise);
+
+  // --- the production lot. ---
+  const auto lot = rf::make_lna_population(200, 0.2, 77);
+  std::vector<std::vector<double>> truth, predicted;
+  for (const auto& dev : lot) {
+    truth.push_back(dev.specs.to_vector());
+    predicted.push_back(runtime.test_device(*dev.dut, noise));
+  }
+
+  std::printf("=== Lot of %zu devices, 3 datasheet limits ===\n", lot.size());
+  std::printf("%-12s %10s %10s %10s %10s %12s %12s\n", "guard band", "pass",
+              "fail", "escapes", "yld loss", "escape rate", "yldloss rate");
+  for (double guard : {0.0, 0.1, 0.2, 0.4}) {
+    const auto r = ate::run_production_flow(truth, predicted, limits, guard);
+    std::printf("%-12.2f %10d %10d %10d %10d %12.4f %12.4f\n", guard,
+                r.true_pass, r.true_fail, r.test_escape, r.yield_loss,
+                r.escape_rate(), r.yield_loss_rate());
+  }
+
+  // --- economics. ---
+  const auto conv = ate::ConventionalTestPlan::typical_rf_frontend();
+  const auto sig = ate::SignatureTestPlan::paper_hardware_study();
+  const auto rf_ate = ate::TesterCostModel::high_end_rf_ate();
+  const auto low_cost = ate::TesterCostModel::low_cost_tester();
+  std::printf("\n=== Economics per part ===\n");
+  std::printf("conventional: %6.3f s, %8.0f parts/hour, $%.4f\n",
+              conv.total_time_s(), ate::parts_per_hour(conv.total_time_s()),
+              rf_ate.cost_per_part(conv.total_time_s()));
+  std::printf("signature:    %6.3f s, %8.0f parts/hour, $%.4f\n",
+              sig.total_time_s(), ate::parts_per_hour(sig.total_time_s()),
+              low_cost.cost_per_part(sig.total_time_s()));
+  return 0;
+}

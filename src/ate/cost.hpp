@@ -1,0 +1,27 @@
+// Cost-per-part model: the "million-dollar ATE vs. low-cost tester"
+// economics that motivate the paper (Section 1).
+#pragma once
+
+namespace stf::ate {
+
+/// Tester cost structure.
+struct TesterCostModel {
+  double capital_usd = 1e6;        ///< ATE purchase price.
+  double depreciation_years = 5.0;
+  double annual_opex_usd = 1e5;    ///< Maintenance, floor space, operators.
+  double utilization = 0.85;       ///< Fraction of wall-clock producing.
+
+  /// Cost per tester-second.
+  double cost_per_second() const;
+
+  /// Cost to test one part given its total per-part time and site count.
+  double cost_per_part(double total_time_s, int sites = 1) const;
+
+  /// High-end RF ATE (paper: "million-dollar ATEs").
+  static TesterCostModel high_end_rf_ate();
+
+  /// Low-cost tester + load board (RF source, AWG, digitizer).
+  static TesterCostModel low_cost_tester();
+};
+
+}  // namespace stf::ate

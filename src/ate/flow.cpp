@@ -1,0 +1,107 @@
+#include "ate/flow.hpp"
+
+#include <stdexcept>
+
+namespace stf::ate {
+
+double FlowResult::escape_rate() const {
+  const int bad = true_fail + test_escape;
+  return bad == 0 ? 0.0 : static_cast<double>(test_escape) / bad;
+}
+
+double FlowResult::yield_loss_rate() const {
+  const int good = true_pass + yield_loss;
+  return good == 0 ? 0.0 : static_cast<double>(yield_loss) / good;
+}
+
+FlowResult run_production_flow(
+    const std::vector<std::vector<double>>& truth,
+    const std::vector<std::vector<double>>& predicted,
+    const std::vector<SpecLimit>& limits, double guard_band) {
+  if (truth.size() != predicted.size())
+    throw std::invalid_argument("run_production_flow: device count mismatch");
+  if (limits.empty())
+    throw std::invalid_argument("run_production_flow: no limits");
+  if (guard_band < 0.0)
+    throw std::invalid_argument("run_production_flow: negative guard band");
+
+  auto passes_all = [&](const std::vector<double>& specs, double guard) {
+    if (specs.size() != limits.size())
+      throw std::invalid_argument("run_production_flow: spec size mismatch");
+    for (std::size_t s = 0; s < limits.size(); ++s) {
+      SpecLimit l = limits[s];
+      l.lower += guard;
+      l.upper -= guard;
+      if (!l.passes(specs[s])) return false;
+    }
+    return true;
+  };
+
+  FlowResult r;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const bool truly_good = passes_all(truth[i], 0.0);
+    const bool predicted_good = passes_all(predicted[i], guard_band);
+    if (truly_good && predicted_good)
+      ++r.true_pass;
+    else if (!truly_good && !predicted_good)
+      ++r.true_fail;
+    else if (!truly_good && predicted_good)
+      ++r.test_escape;
+    else
+      ++r.yield_loss;
+  }
+  return r;
+}
+
+TwoStageResult run_two_stage_flow(
+    const std::vector<std::vector<double>>& truth,
+    const std::vector<std::vector<double>>& wafer_predicted,
+    const std::vector<std::vector<double>>& final_predicted,
+    const std::vector<SpecLimit>& limits, const TwoStageCosts& costs,
+    double wafer_guard, double final_guard) {
+  if (truth.size() != wafer_predicted.size() ||
+      truth.size() != final_predicted.size())
+    throw std::invalid_argument("run_two_stage_flow: device count mismatch");
+  if (limits.empty())
+    throw std::invalid_argument("run_two_stage_flow: no limits");
+  if (wafer_guard < 0.0 || final_guard < 0.0)
+    throw std::invalid_argument("run_two_stage_flow: negative guard band");
+
+  auto passes_all = [&](const std::vector<double>& specs, double guard) {
+    if (specs.size() != limits.size())
+      throw std::invalid_argument("run_two_stage_flow: spec size mismatch");
+    for (std::size_t s = 0; s < limits.size(); ++s) {
+      SpecLimit l = limits[s];
+      l.lower += guard;
+      l.upper -= guard;
+      if (!l.passes(specs[s])) return false;
+    }
+    return true;
+  };
+
+  TwoStageResult r;
+  r.dies = static_cast<int>(truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const bool truly_good = passes_all(truth[i], 0.0);
+    const bool wafer_pass = passes_all(wafer_predicted[i], wafer_guard);
+
+    // Two-stage: screen, package survivors, final-test them.
+    r.cost_two_stage += costs.wafer_test_usd;
+    if (wafer_pass) {
+      ++r.packaged;
+      r.cost_two_stage += costs.package_usd + costs.final_test_usd;
+      if (passes_all(final_predicted[i], final_guard)) {
+        ++r.shipped;
+        if (!truly_good) ++r.shipped_bad;
+      }
+    } else if (truly_good) {
+      ++r.good_scrapped_at_wafer;
+    }
+
+    // Reference: package everything, final test decides.
+    r.cost_final_only += costs.package_usd + costs.final_test_usd;
+  }
+  return r;
+}
+
+}  // namespace stf::ate

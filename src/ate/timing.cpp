@@ -1,0 +1,42 @@
+#include "ate/timing.hpp"
+
+#include <stdexcept>
+
+namespace stf::ate {
+
+double ConventionalTestPlan::test_time_s() const {
+  double t = 0.0;
+  for (const SpecTest& test : tests) t += test.total_s();
+  return t;
+}
+
+ConventionalTestPlan ConventionalTestPlan::typical_rf_frontend() {
+  ConventionalTestPlan plan;
+  // Times are representative of early-2000s rack RF ATEs: every test
+  // reconfigures source/analyzer paths and waits for settling.
+  plan.tests = {
+      {"gain", 0.10, 0.05},
+      {"noise_figure", 0.25, 0.30},  // noise source on/off, averaging
+      {"iip3", 0.15, 0.10},          // two-tone setup + spectrum read
+      {"p1db", 0.15, 0.25},          // power sweep
+  };
+  return plan;
+}
+
+SignatureTestPlan SignatureTestPlan::paper_hardware_study() {
+  SignatureTestPlan plan;
+  plan.capture_s = 5e-3;
+  plan.transfer_s = 1e-3;
+  plan.compute_s = 1e-3;
+  plan.setup_s = 0.05;
+  return plan;
+}
+
+double parts_per_hour(double total_time_s, int sites) {
+  if (total_time_s <= 0.0)
+    throw std::invalid_argument("parts_per_hour: time must be > 0");
+  if (sites < 1) throw std::invalid_argument("parts_per_hour: sites < 1");
+  return 3600.0 / total_time_s * sites;
+}
+
+}  // namespace stf::ate

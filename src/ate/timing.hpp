@@ -1,0 +1,55 @@
+// Test-time models: conventional per-spec testing vs. single-acquisition
+// signature testing (the paper's Section 1/4.2 cost argument).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace stf::ate {
+
+/// One conventional parametric test: instrument setup/settling plus the
+/// measurement itself (paper Section 2, advantage 2: "each specification
+/// test involves an overhead for setting up the instruments").
+struct SpecTest {
+  std::string name;
+  double setup_s = 0.0;
+  double measure_s = 0.0;
+
+  double total_s() const { return setup_s + measure_s; }
+};
+
+/// A conventional test plan is a sequence of parametric tests.
+struct ConventionalTestPlan {
+  std::vector<SpecTest> tests;
+  double handler_index_s = 0.3;  ///< Part load/unload time.
+
+  double test_time_s() const;
+  double total_time_s() const { return test_time_s() + handler_index_s; }
+
+  /// Representative RF front-end plan: gain, NF, IIP3, P1dB -- the tests of
+  /// paper Fig. 1.
+  static ConventionalTestPlan typical_rf_frontend();
+};
+
+/// The signature plan: one configuration, one capture, FFT + regression.
+struct SignatureTestPlan {
+  double setup_s = 0.05;      ///< Single configuration, set once.
+  double capture_s = 5e-3;    ///< Paper Section 4.2: 5 ms of data capture.
+  double transfer_s = 1e-3;   ///< "negligible time for data transfer".
+  double compute_s = 1e-3;    ///< FFT + regression evaluation.
+  double handler_index_s = 0.3;
+
+  double test_time_s() const {
+    return setup_s + capture_s + transfer_s + compute_s;
+  }
+  double total_time_s() const { return test_time_s() + handler_index_s; }
+
+  /// Paper hardware-study parameters.
+  static SignatureTestPlan paper_hardware_study();
+};
+
+/// Throughput in parts per hour for a given per-part total time and number
+/// of parallel test sites.
+double parts_per_hour(double total_time_s, int sites = 1);
+
+}  // namespace stf::ate

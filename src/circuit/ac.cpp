@@ -1,0 +1,162 @@
+#include "circuit/ac.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+
+namespace stf::circuit {
+
+namespace {
+
+std::size_t node_unknown(NodeId n) { return static_cast<std::size_t>(n) - 1; }
+
+void stamp_admittance(stf::la::CMatrix& y, NodeId a, NodeId b, Phasor g) {
+  if (a > 0) y(node_unknown(a), node_unknown(a)) += g;
+  if (b > 0) y(node_unknown(b), node_unknown(b)) += g;
+  if (a > 0 && b > 0) {
+    y(node_unknown(a), node_unknown(b)) -= g;
+    y(node_unknown(b), node_unknown(a)) -= g;
+  }
+}
+
+void stamp_transconductance(stf::la::CMatrix& y, NodeId op, NodeId on,
+                            NodeId cp, NodeId cn, Phasor gm) {
+  const NodeId outs[2] = {op, on};
+  const double osign[2] = {+1.0, -1.0};
+  const NodeId ctrls[2] = {cp, cn};
+  const double csign[2] = {+1.0, -1.0};
+  for (int i = 0; i < 2; ++i) {
+    if (outs[i] <= 0) continue;
+    for (int k = 0; k < 2; ++k) {
+      if (ctrls[k] <= 0) continue;
+      y(node_unknown(outs[i]), node_unknown(ctrls[k])) +=
+          osign[i] * csign[k] * gm;
+    }
+  }
+}
+
+}  // namespace
+
+AcAnalysis::AcAnalysis(const Netlist& nl, const DcSolution& dc)
+    : nl_(&nl), dc_(&dc) {
+  if (dc.bjt_op.size() != nl.bjts().size())
+    throw std::invalid_argument(
+        "AcAnalysis: DC solution does not match netlist");
+}
+
+std::vector<Phasor> AcAnalysis::solve(double freq_hz) const {
+  return solve_impl(freq_hz, /*use_sources=*/true, {});
+}
+
+std::vector<Phasor> AcAnalysis::solve_injections(
+    double freq_hz, const std::vector<CurrentInjection>& injections) const {
+  return solve_impl(freq_hz, /*use_sources=*/false, injections);
+}
+
+void AcAnalysis::assemble(double freq_hz, stf::la::CMatrix* y_out,
+                          std::vector<Phasor>* b_out,
+                          bool use_sources) const {
+  const Netlist& nl = *nl_;
+  const std::size_t n = nl.unknown_count();
+  const double omega = 2.0 * std::numbers::pi * freq_hz;
+  const Phasor jw(0.0, omega);
+
+  stf::la::CMatrix& y = *y_out;
+  std::vector<Phasor>& b = *b_out;
+  y = stf::la::CMatrix(n, n);
+  b.assign(n, Phasor{});
+
+  // Small conductance to ground mirrors the DC gmin and keeps floating
+  // capacitive nodes solvable.
+  for (std::size_t i = 0; i < nl.node_count(); ++i) y(i, i) += 1e-12;
+
+  for (const Resistor& r : nl.resistors())
+    stamp_admittance(y, r.n1, r.n2, Phasor(1.0 / r.r, 0.0));
+
+  for (const Capacitor& c : nl.capacitors())
+    stamp_admittance(y, c.n1, c.n2, jw * c.c);
+
+  for (std::size_t k = 0; k < nl.inductors().size(); ++k) {
+    const Inductor& l = nl.inductors()[k];
+    const std::size_t br = nl.inductor_branch(k);
+    // Branch: v(n1) - v(n2) - jwL * i = 0; KCL: +i leaves n1, enters n2.
+    if (l.n1 > 0) {
+      y(br, node_unknown(l.n1)) += 1.0;
+      y(node_unknown(l.n1), br) += 1.0;
+    }
+    if (l.n2 > 0) {
+      y(br, node_unknown(l.n2)) -= 1.0;
+      y(node_unknown(l.n2), br) -= 1.0;
+    }
+    y(br, br) -= jw * l.l;
+  }
+
+  for (std::size_t k = 0; k < nl.vsources().size(); ++k) {
+    const VSource& vs = nl.vsources()[k];
+    const std::size_t br = nl.vsource_branch(k);
+    if (vs.np > 0) {
+      y(br, node_unknown(vs.np)) += 1.0;
+      y(node_unknown(vs.np), br) += 1.0;
+    }
+    if (vs.nn > 0) {
+      y(br, node_unknown(vs.nn)) -= 1.0;
+      y(node_unknown(vs.nn), br) -= 1.0;
+    }
+    b[br] = use_sources ? vs.vac : Phasor{};
+  }
+
+  // AC-zeroed independent current sources contribute nothing; VCCS stamps.
+  for (const Vccs& g : nl.vccs())
+    stamp_transconductance(y, g.op, g.on, g.cp, g.cn, Phasor(g.gm, 0.0));
+
+  // Hybrid-pi BJT stamps from the DC operating point.
+  for (std::size_t k = 0; k < nl.bjts().size(); ++k) {
+    const Bjt& q = nl.bjts()[k];
+    const BjtOperatingPoint& op = dc_->bjt_op[k];
+    stamp_transconductance(y, q.c, q.e, q.b, q.e, Phasor(op.gm, 0.0));
+    stamp_admittance(y, q.c, q.e, Phasor(op.go, 0.0));
+    stamp_admittance(y, q.b, q.e, Phasor(op.gpi, 0.0) + jw * op.cpi);
+    stamp_admittance(y, q.b, q.c, Phasor(op.gmu, 0.0) + jw * op.cmu);
+  }
+}
+
+std::vector<Phasor> AcAnalysis::solve_impl(
+    double freq_hz, bool use_sources,
+    const std::vector<CurrentInjection>& injections) const {
+  const Netlist& nl = *nl_;
+  stf::la::CMatrix y;
+  std::vector<Phasor> b;
+  assemble(freq_hz, &y, &b, use_sources);
+
+  for (const CurrentInjection& inj : injections) {
+    // Current leaves `from`, enters `to`: b[from] -= i, b[to] += i.
+    if (inj.from > 0) b[node_unknown(inj.from)] -= inj.i;
+    if (inj.to > 0) b[node_unknown(inj.to)] += inj.i;
+  }
+
+  const std::vector<Phasor> x = stf::la::lu_solve(y, b);
+  std::vector<Phasor> v(nl.node_count() + 1, Phasor{});
+  for (std::size_t i = 1; i <= nl.node_count(); ++i) v[i] = x[i - 1];
+  return v;
+}
+
+std::vector<Phasor> AcAnalysis::solve_adjoint(double freq_hz,
+                                              NodeId out_node) const {
+  const Netlist& nl = *nl_;
+  if (out_node <= 0 || out_node > static_cast<NodeId>(nl.node_count()))
+    throw std::invalid_argument("solve_adjoint: bad output node");
+  stf::la::CMatrix y;
+  std::vector<Phasor> b;
+  assemble(freq_hz, &y, &b, /*use_sources=*/false);
+  // Y^T w = e_out (plain transpose, not conjugate: interreciprocity).
+  b[node_unknown(out_node)] = Phasor(1.0, 0.0);
+  const std::vector<Phasor> w = stf::la::lu_solve(y.transposed(), b);
+  std::vector<Phasor> v(nl.node_count() + 1, Phasor{});
+  for (std::size_t i = 1; i <= nl.node_count(); ++i) v[i] = w[i - 1];
+  return v;
+}
+
+}  // namespace stf::circuit

@@ -1,0 +1,64 @@
+// Small-signal AC analysis on the DC-linearized circuit.
+//
+// Gain comes straight from the AC solve; noise and Volterra distortion
+// analyses reuse the same complex MNA system with per-source current
+// injections, so this class exposes both entry points.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "circuit/dc.hpp"
+#include "circuit/netlist.hpp"
+#include "linalg/matrix.hpp"
+
+namespace stf::circuit {
+
+using Phasor = std::complex<double>;
+
+/// A current phasor injected from one node to another (used by noise and
+/// distortion analyses to model internal sources).
+struct CurrentInjection {
+  NodeId from = 0;  ///< Current leaves this node...
+  NodeId to = 0;    ///< ...and enters this one.
+  Phasor i{0.0, 0.0};
+};
+
+/// Linearized AC solver bound to one netlist + DC operating point.
+class AcAnalysis {
+ public:
+  AcAnalysis(const Netlist& nl, const DcSolution& dc);
+
+  /// Solve with the netlist's AC source phasors active at freq_hz.
+  /// Returns node voltage phasors (index 0 = ground = 0).
+  std::vector<Phasor> solve(double freq_hz) const;
+
+  /// Solve with all independent AC sources zeroed and the given current
+  /// injections applied instead.
+  std::vector<Phasor> solve_injections(
+      double freq_hz, const std::vector<CurrentInjection>& injections) const;
+
+  /// Adjoint solve: returns w with Y^T w = e_out. The transfer of a unit
+  /// current injected from node a to node b to the voltage at out_node is
+  /// then w[b] - w[a] -- one factorization covers every noise source at
+  /// this frequency (Tellegen/interreciprocity), which is why noise
+  /// analysis scales with the node count, not the source count.
+  std::vector<Phasor> solve_adjoint(double freq_hz, NodeId out_node) const;
+
+  const Netlist& netlist() const { return *nl_; }
+  const DcSolution& dc() const { return *dc_; }
+
+ private:
+  /// Assemble the complex MNA system at freq_hz; fills the source vector
+  /// only when use_sources is set.
+  void assemble(double freq_hz, stf::la::CMatrix* y,
+                std::vector<Phasor>* b, bool use_sources) const;
+
+  std::vector<Phasor> solve_impl(double freq_hz, bool use_sources,
+                                 const std::vector<CurrentInjection>&) const;
+
+  const Netlist* nl_;
+  const DcSolution* dc_;
+};
+
+}  // namespace stf::circuit

@@ -1,0 +1,72 @@
+#include "circuit/attenuator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "circuit/ac.hpp"
+#include "circuit/dc.hpp"
+#include "circuit/sparams.hpp"
+
+namespace stf::circuit {
+
+namespace {
+constexpr double kZ0 = 50.0;
+// 6 dB pi pad in a 50-ohm system: shunt arms 150.5 ohm, series 37.35 ohm.
+constexpr double kShuntNominal = 150.5;
+constexpr double kSeriesNominal = 37.35;
+}  // namespace
+
+const std::array<const char*, AttenuatorPad::kNumParams>&
+AttenuatorPad::param_names() {
+  static const std::array<const char*, kNumParams> names = {"RSH1", "RSER",
+                                                            "RSH2"};
+  return names;
+}
+
+std::vector<double> AttenuatorPad::nominal() {
+  return {kShuntNominal, kSeriesNominal, kShuntNominal};
+}
+
+Netlist AttenuatorPad::build(const std::vector<double>& process) {
+  if (process.size() != kNumParams)
+    throw std::invalid_argument(
+        "AttenuatorPad::build: wrong process vector size");
+  for (double v : process)
+    if (v <= 0.0)
+      throw std::invalid_argument(
+          "AttenuatorPad::build: parameters must be > 0");
+  Netlist nl;
+  nl.add_vsource("VS", "src", "0", 0.0, {1.0, 0.0});
+  nl.add_resistor("RS", "src", "nin", kZ0);
+  nl.add_resistor("RSH1", "nin", "0", process[0]);
+  nl.add_resistor("RSER", "nin", "out", process[1]);
+  nl.add_resistor("RSH2", "out", "0", process[2]);
+  nl.add_resistor("RL", "out", "0", kZ0, /*noisy=*/false);
+  return nl;
+}
+
+RfPort AttenuatorPad::port() {
+  RfPort p;
+  p.source_name = "VS";
+  p.source_resistor = "RS";
+  p.rs_ohms = kZ0;
+  p.out_node = "out";
+  p.rl_ohms = kZ0;
+  return p;
+}
+
+AttenuatorSpecs AttenuatorPad::measure(const std::vector<double>& process) {
+  const Netlist nl = build(process);
+  const DcSolution dc = solve_dc(nl);
+  const AcAnalysis ac(nl, dc);
+  TwoPortSetup tp;
+  tp.input_node = "nin";
+  tp.output_node = "out";
+  const auto s = s_parameters(ac, kF0, tp);
+  AttenuatorSpecs specs;
+  specs.loss_db = -s.s21_db();
+  specs.return_loss_db = -s.s11_db();
+  return specs;
+}
+
+}  // namespace stf::circuit

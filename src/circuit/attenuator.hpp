@@ -1,0 +1,42 @@
+// Third RF DUT: a resistive pi-pad attenuator.
+//
+// The simplest member of the paper's target list ("LNAs, power amplifiers,
+// attenuators and mixers"): purely passive, specs are insertion loss and
+// input return loss (S11). Exercises the framework on a DUT with loss
+// instead of gain and with no active process parameters at all.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "circuit/rfmeasure.hpp"
+
+namespace stf::circuit {
+
+struct AttenuatorSpecs {
+  double loss_db = 0.0;        ///< Insertion loss (positive dB).
+  double return_loss_db = 0.0; ///< -S11 in dB (positive = better match).
+
+  std::vector<double> to_vector() const { return {loss_db, return_loss_db}; }
+  static std::vector<std::string> names() {
+    return {"loss_db", "return_loss_db"};
+  }
+};
+
+/// Nominal 6 dB, 50-ohm pi pad. Process parameters: the three resistors.
+class AttenuatorPad {
+ public:
+  static constexpr std::size_t kNumParams = 3;
+  static const std::array<const char*, kNumParams>& param_names();
+  static std::vector<double> nominal();
+
+  static Netlist build(const std::vector<double>& process);
+  static RfPort port();
+  static constexpr double kF0 = 900e6;
+
+  static AttenuatorSpecs measure(const std::vector<double>& process);
+};
+
+}  // namespace stf::circuit

@@ -1,0 +1,90 @@
+#include "circuit/bjt.hpp"
+
+#include <cmath>
+
+#include "circuit/constants.hpp"
+
+namespace stf::circuit {
+
+namespace {
+
+// exp(v/Vt) with linear continuation above the knee to keep Newton bounded.
+double safe_exp(double v, double vt) {
+  const double vmax = 0.9 * (vt / kThermalVoltage);
+  if (v <= vmax) return std::exp(v / vt);
+  const double e = std::exp(vmax / vt);
+  return e * (1.0 + (v - vmax) / vt);
+}
+
+// Saturation current temperature law: Is(T) = Is(T0) (T/T0)^3
+// exp(Eg/k (1/T0 - 1/T)) with XTI = 3 (SPICE default).
+double is_at_temperature(double is_t0, double temp_k) {
+  if (temp_k == kNominalTemperature) return is_t0;
+  const double ratio = temp_k / kNominalTemperature;
+  const double eg_over_k = kSiliconBandgapEv * kElectronCharge / kBoltzmann;
+  return is_t0 * ratio * ratio * ratio *
+         std::exp(eg_over_k * (1.0 / kNominalTemperature - 1.0 / temp_k));
+}
+
+}  // namespace
+
+void bjt_currents(const BjtParams& p, double vbe, double vbc, double* ic,
+                  double* ib, double temp_k) {
+  const double vt = thermal_voltage(temp_k);
+  const double is = is_at_temperature(p.is, temp_k);
+  const double ef = safe_exp(vbe, vt);
+  const double er = safe_exp(vbc, vt);
+  const double i_f = is * (ef - 1.0);  // forward diffusion current
+  const double i_r = is * (er - 1.0);  // reverse diffusion current
+
+  // Base charge: q1 models the Early effect, q2 high injection.
+  // Guard the q1 denominator away from zero for extreme (non-physical)
+  // Newton trial points.
+  double denom = 1.0 - vbc / p.vaf;
+  if (denom < 0.1) denom = 0.1;
+  const double q1 = 1.0 / denom;
+  const double q2 = i_f / p.ikf;
+  const double qb = q1 * 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * q2));
+
+  *ic = (i_f - i_r) / qb - i_r / p.br;
+  *ib = i_f / p.bf + i_r / p.br;
+}
+
+BjtOperatingPoint bjt_evaluate(const BjtParams& p, double vbe, double vbc,
+                               double temp_k) {
+  BjtOperatingPoint op;
+  bjt_currents(p, vbe, vbc, &op.ic, &op.ib, temp_k);
+
+  // Numerical derivatives. h is large enough that the exponential's change
+  // dominates floating-point noise yet small against Vt curvature scales.
+  const double h = 1e-4;
+
+  double icp, icm, ibp, ibm;
+  bjt_currents(p, vbe + h, vbc, &icp, &ibp, temp_k);
+  bjt_currents(p, vbe - h, vbc, &icm, &ibm, temp_k);
+  op.gm = (icp - icm) / (2.0 * h);
+  op.gpi = (ibp - ibm) / (2.0 * h);
+
+  double icp2, icm2, ibp2, ibm2;
+  bjt_currents(p, vbe + 2.0 * h, vbc, &icp2, &ibp2, temp_k);
+  bjt_currents(p, vbe - 2.0 * h, vbc, &icm2, &ibm2, temp_k);
+  // Power series ic = ic0 + gm v + gm2 v^2 + gm3 v^3:
+  // gm2 = f''/2, gm3 = f'''/6 (central difference stencils).
+  op.gm2 = (icp - 2.0 * op.ic + icm) / (2.0 * h * h);
+  op.gm3 = (icp2 - 2.0 * icp + 2.0 * icm - icm2) / (12.0 * h * h * h);
+  op.gpi2 = (ibp - 2.0 * op.ib + ibm) / (2.0 * h * h);
+  op.gpi3 = (ibp2 - 2.0 * ibp + 2.0 * ibm - ibm2) / (12.0 * h * h * h);
+
+  double icbp, icbm, ibbp, ibbm;
+  bjt_currents(p, vbe, vbc + h, &icbp, &ibbp, temp_k);
+  bjt_currents(p, vbe, vbc - h, &icbm, &ibbm, temp_k);
+  // go = dIc/dVce at fixed vbe; vce = vbe - vbc so dIc/dVce = -dIc/dVbc.
+  op.go = -(icbp - icbm) / (2.0 * h);
+  op.gmu = (ibbp - ibbm) / (2.0 * h);
+
+  op.cpi = p.cje + p.tf * (op.gm > 0.0 ? op.gm : 0.0);
+  op.cmu = p.cjc;
+  return op;
+}
+
+}  // namespace stf::circuit

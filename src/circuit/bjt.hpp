@@ -1,0 +1,72 @@
+// Simplified Gummel-Poon BJT model.
+//
+// The paper's process space varies exactly five BJT parameters: saturation
+// current (Is), forward current gain (beta_f), forward Early voltage (Vaf),
+// base resistance (rb), and the high-injection knee current (Ikf)
+// (Section 4.1). This model implements the forward Gummel-Poon equations in
+// terms of those parameters plus fixed small-signal capacitances, which is
+// the minimal physics that makes all three target specifications (gain, NF,
+// IIP3) respond to the varied parameters.
+#pragma once
+
+#include <string>
+
+#include "circuit/constants.hpp"
+
+namespace stf::circuit {
+
+/// Gummel-Poon parameters. The five process-variable parameters come first;
+/// the remainder are held at nominal across the population.
+struct BjtParams {
+  // --- varied in the paper's process space ---
+  double is = 1e-16;   ///< Saturation current (A).
+  double bf = 100.0;   ///< Forward current gain.
+  double vaf = 60.0;   ///< Forward Early voltage (V).
+  double rb = 25.0;    ///< Base spreading resistance (ohm).
+  double ikf = 0.05;   ///< Forward knee (high-injection) current (A).
+  // --- held fixed ---
+  double br = 1.0;     ///< Reverse current gain.
+  double tf = 10e-12;  ///< Forward transit time (s); sets Cpi = Cje + tf*gm.
+  double cje = 1e-12;  ///< Zero-bias B-E junction capacitance (F).
+  double cjc = 0.3e-12;  ///< Zero-bias B-C junction capacitance (F).
+};
+
+/// Large-signal evaluation at one operating point.
+struct BjtOperatingPoint {
+  double ic = 0.0;  ///< Collector current (A), positive into the collector.
+  double ib = 0.0;  ///< Base current (A), positive into the base.
+  // Small-signal conductances (numerical derivatives at the point).
+  double gm = 0.0;      ///< dIc/dVbe.
+  double go = 0.0;      ///< dIc/dVce = -dIc/dVbc... stored as dIc/dVce.
+  double gpi = 0.0;     ///< dIb/dVbe.
+  double gmu = 0.0;     ///< dIb/dVbc (usually tiny in forward active).
+  // Distortion power-series of the collector current vs vbe at fixed vbc:
+  // ic(vbe0 + v) = ic0 + gm v + gm2 v^2 + gm3 v^3 + ...
+  double gm2 = 0.0;
+  double gm3 = 0.0;
+  // Same expansion for the base current.
+  double gpi2 = 0.0;
+  double gpi3 = 0.0;
+  // Small-signal capacitances at the bias point.
+  double cpi = 0.0;  ///< B-E capacitance Cje + tf*gm.
+  double cmu = 0.0;  ///< B-C capacitance.
+};
+
+/// Forward Gummel-Poon current equations at junction temperature temp_k.
+///
+/// ic = is*(exp(vbe/Vt) - 1)/qb - is*(exp(vbc/Vt) - 1)*(1/qb + 1/br)
+/// ib = is*(exp(vbe/Vt) - 1)/bf + is*(exp(vbc/Vt) - 1)/br
+/// with qb capturing Early effect (vaf) and high injection (ikf).
+/// Temperature enters through Vt = kT/q and the standard saturation
+/// current law Is(T) = Is(T0) * (T/T0)^3 * exp(Eg/k * (1/T0 - 1/T)).
+/// Exponentials are linearized above a Vt-scaled knee so Newton iterations
+/// cannot overflow.
+void bjt_currents(const BjtParams& p, double vbe, double vbc, double* ic,
+                  double* ib, double temp_k = kNominalTemperature);
+
+/// Full operating-point evaluation: currents plus numerical first, second
+/// and third derivatives (central differences) and bias-dependent caps.
+BjtOperatingPoint bjt_evaluate(const BjtParams& p, double vbe, double vbc,
+                               double temp_k = kNominalTemperature);
+
+}  // namespace stf::circuit

@@ -1,0 +1,23 @@
+// Physical constants shared by the circuit engine.
+#pragma once
+
+namespace stf::circuit {
+
+inline constexpr double kBoltzmann = 1.380649e-23;  ///< J/K
+inline constexpr double kElectronCharge = 1.602176634e-19;  ///< C
+inline constexpr double kNoiseTemperature = 290.0;  ///< K (IEEE standard T0)
+/// Default device operating temperature (same as the noise reference).
+inline constexpr double kNominalTemperature = kNoiseTemperature;
+/// Silicon bandgap energy used by the Is(T) law (eV).
+inline constexpr double kSiliconBandgapEv = 1.11;
+
+/// Thermal voltage kT/q at the standard noise temperature (~25.85 mV).
+inline constexpr double kThermalVoltage =
+    kBoltzmann * kNoiseTemperature / kElectronCharge;
+
+/// Thermal voltage at an arbitrary temperature.
+inline constexpr double thermal_voltage(double temp_k) {
+  return kBoltzmann * temp_k / kElectronCharge;
+}
+
+}  // namespace stf::circuit

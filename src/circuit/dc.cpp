@@ -1,0 +1,163 @@
+#include "circuit/dc.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "circuit/stamps.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+
+namespace stf::circuit {
+
+DcSolution solve_dc(const Netlist& nl, const DcOptions& opts) {
+  using detail::inject;
+  using detail::node_unknown;
+  using detail::stamp_conductance;
+  using detail::stamp_vccs;
+
+  const std::size_t n_unknowns = nl.unknown_count();
+  if (n_unknowns == 0)
+    throw std::invalid_argument("solve_dc: empty circuit");
+
+  // Unknown vector x: node voltages (1..N), then V-source branch currents,
+  // then inductor branch currents. We solve f(x) = 0 where f holds KCL
+  // residuals (sum of currents *leaving* each node) and branch equations.
+  std::vector<double> x(n_unknowns, 0.0);
+
+  // Seed BJT junctions near forward-active so the exponential does not start
+  // at zero slope: set internal base nodes to 0.7 V.
+  for (const Bjt& q : nl.bjts()) {
+    if (q.b > 0) x[node_unknown(q.b)] = 0.7;
+    if (q.b_ext > 0) x[node_unknown(q.b_ext)] = 0.7;
+  }
+  // Seed nodes driven by DC sources at the source voltage.
+  for (const VSource& vs : nl.vsources()) {
+    if (vs.np > 0 && vs.nn == 0) x[node_unknown(vs.np)] = vs.vdc;
+  }
+
+  auto vnode = [&x](NodeId n) {
+    return n == 0 ? 0.0 : x[node_unknown(n)];
+  };
+
+  DcSolution sol;
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    stf::la::Matrix jac(n_unknowns, n_unknowns);
+    std::vector<double> f(n_unknowns, 0.0);
+
+    // gmin to ground keeps the Jacobian nonsingular for floating regions.
+    for (std::size_t n = 1; n <= nl.node_count(); ++n) {
+      jac(n - 1, n - 1) += opts.gmin;
+      f[n - 1] += opts.gmin * x[n - 1];
+    }
+
+    for (const Resistor& r : nl.resistors()) {
+      const double g = 1.0 / r.r;
+      stamp_conductance(jac, r.n1, r.n2, g);
+      const double i = g * (vnode(r.n1) - vnode(r.n2));
+      inject(f, r.n1, r.n2, i);  // current leaving n1 through R
+    }
+
+    // Capacitors are open at DC: no stamp.
+
+    for (std::size_t k = 0; k < nl.inductors().size(); ++k) {
+      const Inductor& l = nl.inductors()[k];
+      const std::size_t br = nl.inductor_branch(k);
+      // Branch equation: v(n1) - v(n2) = 0 (DC short).
+      f[br] = vnode(l.n1) - vnode(l.n2);
+      if (l.n1 > 0) jac(br, node_unknown(l.n1)) += 1.0;
+      if (l.n2 > 0) jac(br, node_unknown(l.n2)) -= 1.0;
+      // KCL: branch current x[br] leaves n1, enters n2.
+      inject(f, l.n1, l.n2, x[br]);
+      if (l.n1 > 0) jac(node_unknown(l.n1), br) += 1.0;
+      if (l.n2 > 0) jac(node_unknown(l.n2), br) -= 1.0;
+    }
+
+    for (std::size_t k = 0; k < nl.vsources().size(); ++k) {
+      const VSource& vs = nl.vsources()[k];
+      const std::size_t br = nl.vsource_branch(k);
+      f[br] = vnode(vs.np) - vnode(vs.nn) - vs.vdc;
+      if (vs.np > 0) jac(br, node_unknown(vs.np)) += 1.0;
+      if (vs.nn > 0) jac(br, node_unknown(vs.nn)) -= 1.0;
+      inject(f, vs.np, vs.nn, x[br]);
+      if (vs.np > 0) jac(node_unknown(vs.np), br) += 1.0;
+      if (vs.nn > 0) jac(node_unknown(vs.nn), br) -= 1.0;
+    }
+
+    for (const ISource& is : nl.isources()) {
+      // Current idc flows np -> nn through the source: leaves node np.
+      inject(f, is.np, is.nn, is.idc);
+    }
+
+    for (const Vccs& g : nl.vccs()) {
+      const double i = g.gm * (vnode(g.cp) - vnode(g.cn));
+      inject(f, g.op, g.on, i);
+      stamp_vccs(jac, g.op, g.on, g.cp, g.cn, g.gm);
+    }
+
+    for (const Bjt& q : nl.bjts()) {
+      const double vbe = vnode(q.b) - vnode(q.e);
+      const double vbc = vnode(q.b) - vnode(q.c);
+      const BjtOperatingPoint op =
+          bjt_evaluate(q.params, vbe, vbc, nl.temperature());
+      // Terminal currents: ic into collector, ib into base, ie=-(ic+ib)
+      // into emitter. "Into terminal" = leaving the node into the device.
+      inject(f, q.c, 0, op.ic);
+      inject(f, q.b, 0, op.ib);
+      inject(f, q.e, 0, -(op.ic + op.ib));
+      // Jacobian: dIc/dVbe = gm (w.r.t. vb and -ve), dIc/dVbc contributes
+      // via go = dIc/dVce = -dIc/dVbc: dIc/dVb = gm + dIc/dVbc = gm - go,
+      // dIc/dVc = go, dIc/dVe = -gm.
+      const double dic_dvbc = -op.go;
+      const double dib_dvbc = op.gmu;
+      auto add = [&](NodeId row, NodeId col, double val) {
+        if (row > 0 && col > 0)
+          jac(node_unknown(row), node_unknown(col)) += val;
+      };
+      // ic depends on (vb, ve) through vbe and (vb, vc) through vbc.
+      add(q.c, q.b, op.gm + dic_dvbc);
+      add(q.c, q.e, -op.gm);
+      add(q.c, q.c, -dic_dvbc);
+      // ib rows.
+      add(q.b, q.b, op.gpi + dib_dvbc);
+      add(q.b, q.e, -op.gpi);
+      add(q.b, q.c, -dib_dvbc);
+      // ie = -(ic + ib).
+      add(q.e, q.b, -(op.gm + dic_dvbc + op.gpi + dib_dvbc));
+      add(q.e, q.e, op.gm + op.gpi);
+      add(q.e, q.c, dic_dvbc + dib_dvbc);
+    }
+
+    // Newton step: J * dx = -f.
+    std::vector<double> rhs(n_unknowns);
+    for (std::size_t i = 0; i < n_unknowns; ++i) rhs[i] = -f[i];
+    std::vector<double> dx = stf::la::lu_solve(jac, rhs);
+
+    // Damp: clamp node-voltage updates to keep the exponentials in range.
+    double max_dv = 0.0;
+    for (std::size_t i = 0; i < nl.node_count(); ++i)
+      max_dv = std::max(max_dv, std::abs(dx[i]));
+    double damping = 1.0;
+    if (max_dv > opts.max_step) damping = opts.max_step / max_dv;
+    for (std::size_t i = 0; i < n_unknowns; ++i) x[i] += damping * dx[i];
+
+    if (max_dv * damping < opts.v_tol) {
+      sol.iterations = iter + 1;
+      sol.v.assign(nl.node_count() + 1, 0.0);
+      for (std::size_t n = 1; n <= nl.node_count(); ++n)
+        sol.v[n] = x[n - 1];
+      sol.branch_i.assign(x.begin() + static_cast<std::ptrdiff_t>(
+                                          nl.node_count()),
+                          x.end());
+      for (const Bjt& q : nl.bjts()) {
+        const double vbe = vnode(q.b) - vnode(q.e);
+        const double vbc = vnode(q.b) - vnode(q.c);
+        sol.bjt_op.push_back(
+            bjt_evaluate(q.params, vbe, vbc, nl.temperature()));
+      }
+      return sol;
+    }
+  }
+  throw std::runtime_error("solve_dc: Newton failed to converge");
+}
+
+}  // namespace stf::circuit

@@ -1,0 +1,37 @@
+// DC operating-point analysis (nonlinear Newton-Raphson on the MNA system).
+#pragma once
+
+#include <vector>
+
+#include "circuit/bjt.hpp"
+#include "circuit/netlist.hpp"
+
+namespace stf::circuit {
+
+/// Converged DC solution.
+struct DcSolution {
+  /// Node voltages; index 0 is ground (always 0 V), 1..N the named nodes.
+  std::vector<double> v;
+  /// Branch currents for voltage sources then inductors, in netlist order.
+  std::vector<double> branch_i;
+  /// Per-BJT operating point (bias currents, small-signal and distortion
+  /// coefficients), in netlist order.
+  std::vector<BjtOperatingPoint> bjt_op;
+  int iterations = 0;
+
+  double voltage(NodeId n) const { return v.at(static_cast<std::size_t>(n)); }
+};
+
+/// Newton-Raphson options.
+struct DcOptions {
+  int max_iterations = 200;
+  double v_tol = 1e-9;     ///< Convergence: max |delta V| (volts).
+  double max_step = 0.25;  ///< Per-iteration clamp on node-voltage updates.
+  double gmin = 1e-12;     ///< Conductance to ground on every node.
+};
+
+/// Solve the DC operating point. Throws std::runtime_error if Newton fails
+/// to converge within the iteration budget.
+DcSolution solve_dc(const Netlist& nl, const DcOptions& opts = {});
+
+}  // namespace stf::circuit

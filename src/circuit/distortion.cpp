@@ -1,0 +1,117 @@
+#include "circuit/distortion.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace stf::circuit {
+
+namespace {
+
+// One polynomial nonlinearity: a current branch i = g1*v + g2*v^2 + g3*v^3
+// controlled by the voltage across (cp, cn), flowing from -> to. g1 is
+// already part of the linear network; only g2/g3 act as distortion sources.
+struct NonlinearBranch {
+  NodeId cp, cn;    // controlling node pair (v = v(cp) - v(cn))
+  NodeId from, to;  // output branch direction
+  double g2, g3;
+};
+
+Phasor control_voltage(const std::vector<Phasor>& v, const NonlinearBranch& b) {
+  return v[static_cast<std::size_t>(b.cp)] - v[static_cast<std::size_t>(b.cn)];
+}
+
+}  // namespace
+
+TwoToneResult two_tone_ip3(const AcAnalysis& ac, const TwoToneSetup& setup) {
+  if (setup.f1 >= setup.f2)
+    throw std::invalid_argument("two_tone_ip3: requires f1 < f2");
+  if (setup.out_node <= 0)
+    throw std::invalid_argument("two_tone_ip3: output node must be set");
+  const Netlist& nl = ac.netlist();
+  // The excitation source must have unit AC amplitude: solutions scale
+  // linearly with the tone amplitude A applied below.
+  {
+    const VSource& vs = nl.vsources()[nl.vsource_index(setup.source_name)];
+    if (std::abs(vs.vac - Phasor(1.0, 0.0)) > 1e-12)
+      throw std::invalid_argument(
+          "two_tone_ip3: excitation source must have vac == 1");
+  }
+
+  // Collect the BJT nonlinear branches: collector current (controlled by
+  // vbe, flowing c->e) and base current (controlled by vbe, flowing b->e).
+  std::vector<NonlinearBranch> branches;
+  for (std::size_t k = 0; k < nl.bjts().size(); ++k) {
+    const Bjt& q = nl.bjts()[k];
+    const BjtOperatingPoint& op = ac.dc().bjt_op[k];
+    branches.push_back({q.b, q.e, q.c, q.e, op.gm2, op.gm3});
+    branches.push_back({q.b, q.e, q.b, q.e, op.gpi2, op.gpi3});
+  }
+
+  // Source EMF amplitude for the requested available power per tone:
+  // P_av = A^2 / (8 Rs).
+  const double p_watts = 1e-3 * std::pow(10.0, setup.input_dbm / 10.0);
+  const double amp = std::sqrt(8.0 * setup.rs_ohms * p_watts);
+
+  // --- First order: full solves at f1 and f2, scaled to amplitude A. ---
+  auto scale = [&](std::vector<Phasor> v) {
+    for (auto& p : v) p *= amp;
+    return v;
+  };
+  const std::vector<Phasor> v1 = scale(ac.solve(setup.f1));
+  const std::vector<Phasor> v2 = scale(ac.solve(setup.f2));
+
+  // --- Second order: mixing products at f2-f1 and 2*f1. ---
+  // Phasor algebra (x = Re{X e^{jwt}} convention):
+  //   difference (f2 - f1): X2 * conj(X1)
+  //   second harmonic 2*f1: X1^2 / 2
+  std::vector<CurrentInjection> inj_diff, inj_harm;
+  for (const NonlinearBranch& b : branches) {
+    const Phasor x1 = control_voltage(v1, b);
+    const Phasor x2 = control_voltage(v2, b);
+    inj_diff.push_back({b.from, b.to, b.g2 * x2 * std::conj(x1)});
+    inj_harm.push_back({b.from, b.to, b.g2 * x1 * x1 * 0.5});
+  }
+  const std::vector<Phasor> vd =
+      ac.solve_injections(setup.f2 - setup.f1, inj_diff);
+  const std::vector<Phasor> vh =
+      ac.solve_injections(2.0 * setup.f1, inj_harm);
+
+  // --- Third order at 2*f1 - f2: direct cubic plus cascaded second-order
+  // terms re-mixed through g2. ---
+  std::vector<CurrentInjection> inj_im3;
+  for (const NonlinearBranch& b : branches) {
+    const Phasor x1 = control_voltage(v1, b);
+    const Phasor x2 = control_voltage(v2, b);
+    const Phasor d = control_voltage(vd, b);   // response at f2-f1
+    const Phasor h = control_voltage(vh, b);   // response at 2*f1
+    const Phasor direct = b.g3 * 0.75 * x1 * x1 * std::conj(x2);
+    const Phasor cascade = b.g2 * (x1 * std::conj(d) + std::conj(x2) * h);
+    inj_im3.push_back({b.from, b.to, direct + cascade});
+  }
+  const double f_im3 = 2.0 * setup.f1 - setup.f2;
+  const std::vector<Phasor> v3 =
+      ac.solve_injections(std::abs(f_im3), inj_im3);
+
+  // --- Powers and intercept. ---
+  const auto out = static_cast<std::size_t>(setup.out_node);
+  const double vfund = std::abs(v1[out]);
+  const double vim3 = std::abs(v3[out]);
+  if (vfund <= 0.0)
+    throw std::runtime_error("two_tone_ip3: zero fundamental at the output");
+
+  auto dbm = [&](double v_amp) {
+    return 10.0 * std::log10(v_amp * v_amp / (2.0 * setup.rl_ohms) / 1e-3);
+  };
+
+  TwoToneResult r;
+  r.pout_fund_dbm = dbm(vfund);
+  r.pout_im3_dbm = vim3 > 0.0 ? dbm(vim3) : -300.0;
+  r.gain_db = r.pout_fund_dbm - setup.input_dbm;
+  const double delta = r.pout_fund_dbm - r.pout_im3_dbm;
+  r.oip3_dbm = r.pout_fund_dbm + delta / 2.0;
+  r.iip3_dbm = r.oip3_dbm - r.gain_db;
+  return r;
+}
+
+}  // namespace stf::circuit

@@ -1,0 +1,121 @@
+#include "circuit/lna900.hpp"
+
+#include <stdexcept>
+
+#include "circuit/ac.hpp"
+#include "circuit/dc.hpp"
+
+namespace stf::circuit {
+
+namespace {
+
+// Fixed (non-statistical) design values.
+constexpr double kVcc = 3.0;
+constexpr double kRsOhms = 50.0;
+constexpr double kRlOhms = 50.0;
+constexpr double kLb = 8e-9;    // series base inductor (input match)
+constexpr double kLe = 0.5e-9;  // emitter degeneration
+constexpr double kLc = 4e-9;    // collector tank inductor / DC feed
+
+enum ParamIndex : std::size_t {
+  kRb1 = 0,  // bias resistor VCC -> base
+  kRc,       // tank parallel resistance (gain/Q set)
+  kCc1,      // input coupling capacitor
+  kCt,       // tank capacitor
+  kCc2,      // output coupling capacitor
+  kIs,
+  kBf,
+  kVaf,
+  kRb,
+  kIkf,
+};
+
+}  // namespace
+
+const std::array<const char*, Lna900::kNumParams>& Lna900::param_names() {
+  static const std::array<const char*, kNumParams> names = {
+      "RB1", "RC", "CC1", "CT", "CC2", "IS", "BF", "VAF", "RB", "IKF"};
+  return names;
+}
+
+std::vector<double> Lna900::nominal() {
+  std::vector<double> p(kNumParams);
+  p[kRb1] = 73e3;
+  p[kRc] = 800.0;
+  p[kCc1] = 10e-12;
+  p[kCt] = 4e-12;
+  p[kCc2] = 3e-12;
+  p[kIs] = 1e-16;
+  p[kBf] = 100.0;
+  p[kVaf] = 60.0;
+  p[kRb] = 25.0;
+  p[kIkf] = 0.05;
+  return p;
+}
+
+Netlist Lna900::build(const std::vector<double>& process) {
+  if (process.size() != kNumParams)
+    throw std::invalid_argument("Lna900::build: wrong process vector size");
+  for (double v : process)
+    if (v <= 0.0)
+      throw std::invalid_argument("Lna900::build: parameters must be > 0");
+
+  Netlist nl;
+  // Supplies and source. The excitation source has unit AC amplitude, which
+  // transducer_gain_db/two_tone_ip3 require.
+  nl.add_vsource("VCC", "vcc", "0", kVcc);
+  nl.add_vsource("VS", "src", "0", 0.0, {1.0, 0.0});
+  nl.add_resistor("RS", "src", "nin", kRsOhms, /*noisy=*/true);
+
+  // Input match: coupling cap + series base inductor.
+  nl.add_capacitor("CC1", "nin", "nb", process[kCc1]);
+  nl.add_inductor("LB", "nb", "b", kLb);
+
+  // Base-current bias from the supply.
+  nl.add_resistor("RB1", "vcc", "b", process[kRb1], /*noisy=*/true);
+
+  // The transistor with its emitter degeneration.
+  BjtParams q;
+  q.is = process[kIs];
+  q.bf = process[kBf];
+  q.vaf = process[kVaf];
+  q.rb = process[kRb];
+  q.ikf = process[kIkf];
+  nl.add_bjt("Q1", "nc", "b", "ne", q);
+  nl.add_inductor("LE", "ne", "0", kLe);
+
+  // Collector tank: L to the supply (DC feed), C and R to AC ground.
+  nl.add_inductor("LC", "nc", "vcc", kLc);
+  nl.add_capacitor("CT", "nc", "0", process[kCt]);
+  nl.add_resistor("RC", "nc", "vcc", process[kRc], /*noisy=*/true);
+
+  // Output coupling into the 50-ohm measurement load. The load models the
+  // measurement instrument and is noiseless by convention.
+  nl.add_capacitor("CC2", "nc", "out", process[kCc2]);
+  nl.add_resistor("RL", "out", "0", kRlOhms, /*noisy=*/false);
+  return nl;
+}
+
+RfPort Lna900::port() {
+  RfPort p;
+  p.source_name = "VS";
+  p.source_resistor = "RS";
+  p.rs_ohms = kRsOhms;
+  p.out_node = "out";
+  p.rl_ohms = kRlOhms;
+  return p;
+}
+
+LnaSpecs Lna900::measure(const std::vector<double>& process) {
+  const Netlist nl = build(process);
+  const DcSolution dc = solve_dc(nl);
+  const AcAnalysis ac(nl, dc);
+  const RfPort p = port();
+  LnaSpecs specs;
+  specs.gain_db = transducer_gain_db(ac, kF0, p);
+  specs.nf_db = noise_figure_db(ac, kF0, p);
+  specs.iip3_dbm = iip3_dbm(ac, kF0, kF2, p);
+  return specs;
+}
+
+}  // namespace stf::circuit

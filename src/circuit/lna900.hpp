@@ -1,0 +1,64 @@
+// The paper's device under test: a 900 MHz bipolar low-noise amplifier.
+//
+// The original (paper Fig. 6, from the SpectreRF user guide) is an
+// inductively-degenerated common-emitter BJT LNA. This implementation keeps
+// that topology: series base inductor + emitter degeneration for the 50-ohm
+// input match, collector LC tank for the 900 MHz load, resistive base-current
+// bias. The process space matches Section 4.1: every resistor and capacitor
+// value plus the five BJT parameters (Is, beta_f, Vaf, rb, Ikf), each
+// uniformly distributed within +/-20% of nominal.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "circuit/rfmeasure.hpp"
+
+namespace stf::circuit {
+
+/// The three datasheet specifications the paper predicts.
+struct LnaSpecs {
+  double gain_db = 0.0;   ///< Transducer gain at 900 MHz.
+  double nf_db = 0.0;     ///< Noise figure at 900 MHz.
+  double iip3_dbm = 0.0;  ///< Input IP3, tones at 900/920 MHz.
+
+  std::vector<double> to_vector() const {
+    return {gain_db, nf_db, iip3_dbm};
+  }
+  static std::vector<std::string> names() {
+    return {"gain_db", "nf_db", "iip3_dbm"};
+  }
+};
+
+/// 900 MHz LNA factory and measurement routines.
+class Lna900 {
+ public:
+  /// Number of statistical process parameters.
+  static constexpr std::size_t kNumParams = 10;
+
+  /// Parameter names, in vector order: RB1, RC, CC1, CT, CC2 (component
+  /// values), then IS, BF, VAF, RB, IKF (BJT parameters).
+  static const std::array<const char*, kNumParams>& param_names();
+
+  /// Nominal process vector.
+  static std::vector<double> nominal();
+
+  /// Build the netlist for one device instance. The process vector must
+  /// have kNumParams entries, all positive.
+  static Netlist build(const std::vector<double>& process);
+
+  /// Measurement port shared by all analyses (50-ohm source/load).
+  static RfPort port();
+
+  /// Operating frequency and IIP3 tone spacing used throughout.
+  static constexpr double kF0 = 900e6;
+  static constexpr double kF2 = 920e6;
+
+  /// Run the full "direct simulation" characterization: DC + AC gain +
+  /// noise + Volterra IIP3.
+  static LnaSpecs measure(const std::vector<double>& process);
+};
+
+}  // namespace stf::circuit

@@ -1,0 +1,109 @@
+#include "circuit/netlist.hpp"
+
+#include <stdexcept>
+
+namespace stf::circuit {
+
+Netlist::Netlist() {
+  names_.push_back("0");
+  index_["0"] = 0;
+  index_["gnd"] = 0;
+}
+
+NodeId Netlist::node(const std::string& name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const NodeId id = static_cast<NodeId>(names_.size());
+  names_.push_back(name);
+  index_[name] = id;
+  return id;
+}
+
+void Netlist::add_resistor(const std::string& name, const std::string& n1,
+                           const std::string& n2, double r, bool noisy) {
+  if (r <= 0.0) throw std::invalid_argument("add_resistor: r must be > 0");
+  resistors_.push_back({name, node(n1), node(n2), r, noisy});
+}
+
+void Netlist::add_capacitor(const std::string& name, const std::string& n1,
+                            const std::string& n2, double c) {
+  if (c <= 0.0) throw std::invalid_argument("add_capacitor: c must be > 0");
+  capacitors_.push_back({name, node(n1), node(n2), c});
+}
+
+void Netlist::add_inductor(const std::string& name, const std::string& n1,
+                           const std::string& n2, double l) {
+  if (l <= 0.0) throw std::invalid_argument("add_inductor: l must be > 0");
+  inductors_.push_back({name, node(n1), node(n2), l});
+}
+
+void Netlist::add_vsource(const std::string& name, const std::string& np,
+                          const std::string& nn, double vdc,
+                          std::complex<double> vac) {
+  vsources_.push_back({name, node(np), node(nn), vdc, vac});
+}
+
+void Netlist::add_isource(const std::string& name, const std::string& np,
+                          const std::string& nn, double idc) {
+  isources_.push_back({name, node(np), node(nn), idc});
+}
+
+void Netlist::add_vccs(const std::string& name, const std::string& op,
+                       const std::string& on, const std::string& cp,
+                       const std::string& cn, double gm) {
+  vccs_.push_back({name, node(op), node(on), node(cp), node(cn), gm});
+}
+
+void Netlist::add_bjt(const std::string& name, const std::string& c,
+                      const std::string& b, const std::string& e,
+                      const BjtParams& params) {
+  if (params.rb <= 0.0) throw std::invalid_argument("add_bjt: rb must be > 0");
+  const std::string b_int = name + ":b";
+  // rb is the physical base resistance; it is noisy (thermal).
+  add_resistor(name + ":rb", b, b_int, params.rb, /*noisy=*/true);
+  Bjt q;
+  q.name = name;
+  q.c = node(c);
+  q.b = node(b_int);
+  q.e = node(e);
+  q.b_ext = node(b);
+  q.params = params;
+  bjts_.push_back(q);
+}
+
+std::size_t Netlist::vsource_index(const std::string& name) const {
+  for (std::size_t i = 0; i < vsources_.size(); ++i)
+    if (vsources_[i].name == name) return i;
+  throw std::invalid_argument("vsource_index: no such source: " + name);
+}
+
+void Netlist::set_temperature(double kelvin) {
+  if (kelvin <= 0.0)
+    throw std::invalid_argument("set_temperature: kelvin must be > 0");
+  temperature_k_ = kelvin;
+}
+
+NodeId Netlist::find_node(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end())
+    throw std::invalid_argument("find_node: no such node: " + name);
+  return it->second;
+}
+
+void Netlist::set_vsource_dc(const std::string& name, double vdc) {
+  vsources_[vsource_index(name)].vdc = vdc;
+}
+
+std::size_t Netlist::unknown_count() const {
+  return node_count() + vsources_.size() + inductors_.size();
+}
+
+std::size_t Netlist::vsource_branch(std::size_t vsrc_index) const {
+  return node_count() + vsrc_index;
+}
+
+std::size_t Netlist::inductor_branch(std::size_t ind_index) const {
+  return node_count() + vsources_.size() + ind_index;
+}
+
+}  // namespace stf::circuit

@@ -1,0 +1,155 @@
+// Programmatic netlist: nodes by name, elements by type.
+//
+// The engine needs exactly the element set the paper's 900 MHz LNA uses:
+// R, L, C, independent V/I sources, a VCCS (for behavioral test circuits),
+// and the Gummel-Poon BJT. Node 0 is ground ("0" or "gnd").
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/bjt.hpp"
+
+namespace stf::circuit {
+
+/// Node index; 0 is always ground.
+using NodeId = int;
+
+struct Resistor {
+  std::string name;
+  NodeId n1 = 0, n2 = 0;
+  double r = 0.0;
+  bool noisy = true;  ///< Contributes 4kT/R thermal noise when true.
+};
+
+struct Capacitor {
+  std::string name;
+  NodeId n1 = 0, n2 = 0;
+  double c = 0.0;
+};
+
+struct Inductor {
+  std::string name;
+  NodeId n1 = 0, n2 = 0;
+  double l = 0.0;
+};
+
+/// Independent voltage source; vac is the AC phasor amplitude used by
+/// AC/noise/distortion analyses (usually 1 for the excitation source).
+struct VSource {
+  std::string name;
+  NodeId np = 0, nn = 0;
+  double vdc = 0.0;
+  std::complex<double> vac{0.0, 0.0};
+};
+
+/// Independent current source; positive current flows np -> nn through the
+/// source (SPICE convention).
+struct ISource {
+  std::string name;
+  NodeId np = 0, nn = 0;
+  double idc = 0.0;
+};
+
+/// Voltage-controlled current source: i(op->on) = gm * (v(cp) - v(cn)).
+struct Vccs {
+  std::string name;
+  NodeId op = 0, on = 0, cp = 0, cn = 0;
+  double gm = 0.0;
+};
+
+/// Intrinsic BJT (base node is the *internal* node behind rb; add_bjt
+/// inserts the rb resistor automatically).
+struct Bjt {
+  std::string name;
+  NodeId c = 0, b = 0, e = 0;  ///< b is the internal base node.
+  NodeId b_ext = 0;            ///< External base node (before rb).
+  BjtParams params;
+};
+
+/// Circuit description. Build with the add_* methods; analyses consume it
+/// read-only.
+class Netlist {
+ public:
+  Netlist();
+
+  /// Index for a named node, creating it on first use. "0" and "gnd" map to
+  /// ground (index 0).
+  NodeId node(const std::string& name);
+
+  /// Number of non-ground nodes (indices 1..count).
+  std::size_t node_count() const { return names_.size() - 1; }
+
+  /// Name of a node index (for diagnostics).
+  const std::string& node_name(NodeId n) const { return names_.at(n); }
+
+  /// Look up an existing node without creating it; throws
+  /// std::invalid_argument if the name is unknown.
+  NodeId find_node(const std::string& name) const;
+
+  void add_resistor(const std::string& name, const std::string& n1,
+                    const std::string& n2, double r, bool noisy = true);
+  void add_capacitor(const std::string& name, const std::string& n1,
+                     const std::string& n2, double c);
+  void add_inductor(const std::string& name, const std::string& n1,
+                    const std::string& n2, double l);
+  void add_vsource(const std::string& name, const std::string& np,
+                   const std::string& nn, double vdc,
+                   std::complex<double> vac = {0.0, 0.0});
+  void add_isource(const std::string& name, const std::string& np,
+                   const std::string& nn, double idc);
+  void add_vccs(const std::string& name, const std::string& op,
+                const std::string& on, const std::string& cp,
+                const std::string& cn, double gm);
+
+  /// Adds the intrinsic device plus its base resistance rb between the
+  /// external base node and an auto-created internal node "<name>:b".
+  void add_bjt(const std::string& name, const std::string& c,
+               const std::string& b, const std::string& e,
+               const BjtParams& params);
+
+  const std::vector<Resistor>& resistors() const { return resistors_; }
+  const std::vector<Capacitor>& capacitors() const { return capacitors_; }
+  const std::vector<Inductor>& inductors() const { return inductors_; }
+  const std::vector<VSource>& vsources() const { return vsources_; }
+  const std::vector<ISource>& isources() const { return isources_; }
+  const std::vector<Vccs>& vccs() const { return vccs_; }
+  const std::vector<Bjt>& bjts() const { return bjts_; }
+
+  /// Index of the named voltage source in vsources(); throws if absent.
+  std::size_t vsource_index(const std::string& name) const;
+
+  /// Override a voltage source's DC value (used by the transient engine to
+  /// set waveform sources to their t = 0 value before the initial DC solve).
+  void set_vsource_dc(const std::string& name, double vdc);
+
+  /// Operating temperature (kelvin): drives the BJT equations (Vt, Is(T))
+  /// and resistor thermal noise. Default 290 K.
+  double temperature() const { return temperature_k_; }
+  void set_temperature(double kelvin);
+
+  /// Total number of MNA unknowns: node voltages plus one branch current
+  /// per voltage source and per inductor.
+  std::size_t unknown_count() const;
+
+  /// Offset of branch-current unknowns for voltage sources / inductors.
+  std::size_t vsource_branch(std::size_t vsrc_index) const;
+  std::size_t inductor_branch(std::size_t ind_index) const;
+
+ private:
+  std::unordered_map<std::string, NodeId> index_;
+  std::vector<std::string> names_;  // names_[0] == "0"
+  double temperature_k_ = 290.0;
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<Inductor> inductors_;
+  std::vector<VSource> vsources_;
+  std::vector<ISource> isources_;
+  std::vector<Vccs> vccs_;
+  std::vector<Bjt> bjts_;
+};
+
+}  // namespace stf::circuit

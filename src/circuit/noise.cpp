@@ -1,0 +1,64 @@
+#include "circuit/noise.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "circuit/constants.hpp"
+
+namespace stf::circuit {
+
+NoiseResult noise_analysis(const AcAnalysis& ac, double freq_hz,
+                           const std::string& source_resistor_name,
+                           NodeId out_node) {
+  const Netlist& nl = ac.netlist();
+  NoiseResult result;
+  bool found_source = false;
+
+  // One adjoint solve covers every source at this frequency: the transfer
+  // of a unit current injected between (from, to) to the output voltage is
+  // w[to] - w[from] with Y^T w = e_out.
+  const auto w = ac.solve_adjoint(freq_hz, out_node);
+  auto transfer = [&](NodeId from, NodeId to) {
+    return w.at(static_cast<std::size_t>(to)) -
+           w.at(static_cast<std::size_t>(from));
+  };
+
+  for (const Resistor& r : nl.resistors()) {
+    if (!r.noisy) continue;
+    const double psd_i = 4.0 * kBoltzmann * nl.temperature() / r.r;
+    const Phasor h = transfer(r.n1, r.n2);
+    const double out = std::norm(h) * psd_i;
+    result.contributions.push_back({r.name, out});
+    result.total_psd_out += out;
+    if (r.name == source_resistor_name) {
+      result.source_psd_out = out;
+      found_source = true;
+    }
+  }
+
+  for (std::size_t k = 0; k < nl.bjts().size(); ++k) {
+    const Bjt& q = nl.bjts()[k];
+    const BjtOperatingPoint& op = ac.dc().bjt_op[k];
+    // Collector shot noise flows c -> e, base shot noise b -> e.
+    const double psd_ic = 2.0 * kElectronCharge * std::abs(op.ic);
+    const double psd_ib = 2.0 * kElectronCharge * std::abs(op.ib);
+    const double out_c = std::norm(transfer(q.c, q.e)) * psd_ic;
+    const double out_b = std::norm(transfer(q.b, q.e)) * psd_ib;
+    result.contributions.push_back({q.name + ":shot_ic", out_c});
+    result.contributions.push_back({q.name + ":shot_ib", out_b});
+    result.total_psd_out += out_c + out_b;
+  }
+
+  if (!found_source)
+    throw std::invalid_argument("noise_analysis: source resistor not found: " +
+                                source_resistor_name);
+  if (result.source_psd_out <= 0.0)
+    throw std::runtime_error(
+        "noise_analysis: source resistor has no transfer to the output");
+
+  result.noise_figure_db =
+      10.0 * std::log10(result.total_psd_out / result.source_psd_out);
+  return result;
+}
+
+}  // namespace stf::circuit

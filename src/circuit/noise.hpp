@@ -1,0 +1,40 @@
+// Small-signal noise analysis and noise figure.
+//
+// Noise sources: thermal (4kT/R) current noise for every noisy resistor and
+// shot noise (2qIc, 2qIb) for every BJT. Each source's transfer to the
+// output is computed by injecting a unit current at its node pair into the
+// linearized network; the noise figure follows the standard definition
+// F = (total output noise PSD) / (output noise PSD due to the source
+// resistor alone).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/ac.hpp"
+
+namespace stf::circuit {
+
+/// One noise source's contribution at the analysis frequency.
+struct NoiseContribution {
+  std::string source;   ///< e.g. "RC" or "Q1:shot_ic".
+  double psd_out = 0.0; ///< Output noise PSD (V^2/Hz) at the output node.
+};
+
+/// Result of a single-frequency noise analysis.
+struct NoiseResult {
+  double total_psd_out = 0.0;   ///< Sum over all sources (V^2/Hz).
+  double source_psd_out = 0.0;  ///< Contribution of the source resistor.
+  double noise_figure_db = 0.0; ///< 10*log10(total / source).
+  std::vector<NoiseContribution> contributions;
+};
+
+/// Run the noise analysis at freq_hz.
+///
+/// source_resistor_name identifies the generator's output resistance (the
+/// reference for noise factor); out_node is where output noise is summed.
+NoiseResult noise_analysis(const AcAnalysis& ac, double freq_hz,
+                           const std::string& source_resistor_name,
+                           NodeId out_node);
+
+}  // namespace stf::circuit

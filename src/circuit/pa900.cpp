@@ -1,0 +1,106 @@
+#include "circuit/pa900.hpp"
+
+#include <stdexcept>
+
+#include "circuit/ac.hpp"
+#include "circuit/dc.hpp"
+
+namespace stf::circuit {
+
+namespace {
+
+constexpr double kVcc = 3.0;
+constexpr double kRsOhms = 50.0;
+constexpr double kRlOhms = 50.0;
+constexpr double kLb = 6e-9;   // input series inductor
+constexpr double kLc = 3e-9;   // collector feed / tank
+constexpr double kCt = 6e-12;  // fixed tank capacitor
+
+enum ParamIndex : std::size_t {
+  kRb1 = 0,  // bias resistor
+  kRc,       // tank parallel resistance
+  kCc1,      // input coupling
+  kCc2,      // output coupling
+  kIs,
+  kBf,
+  kVaf,
+  kRb,
+  kIkf,
+};
+
+}  // namespace
+
+const std::array<const char*, Pa900::kNumParams>& Pa900::param_names() {
+  static const std::array<const char*, kNumParams> names = {
+      "RB1", "RC", "CC1", "CC2", "IS", "BF", "VAF", "RB", "IKF"};
+  return names;
+}
+
+std::vector<double> Pa900::nominal() {
+  std::vector<double> p(kNumParams);
+  p[kRb1] = 10e3;   // Ib ~ 220 uA -> Ic ~ 20 mA (hot class-A bias)
+  p[kRc] = 200.0;
+  p[kCc1] = 10e-12;
+  p[kCc2] = 5e-12;
+  p[kIs] = 1e-16;
+  p[kBf] = 100.0;
+  p[kVaf] = 60.0;
+  p[kRb] = 10.0;
+  p[kIkf] = 0.15;
+  return p;
+}
+
+Netlist Pa900::build(const std::vector<double>& process) {
+  if (process.size() != kNumParams)
+    throw std::invalid_argument("Pa900::build: wrong process vector size");
+  for (double v : process)
+    if (v <= 0.0)
+      throw std::invalid_argument("Pa900::build: parameters must be > 0");
+
+  Netlist nl;
+  nl.add_vsource("VCC", "vcc", "0", kVcc);
+  nl.add_vsource("VS", "src", "0", 0.0, {1.0, 0.0});
+  nl.add_resistor("RS", "src", "nin", kRsOhms);
+  nl.add_capacitor("CC1", "nin", "nb", process[kCc1]);
+  nl.add_inductor("LB", "nb", "b", kLb);
+  nl.add_resistor("RB1", "vcc", "b", process[kRb1]);
+
+  BjtParams q;
+  q.is = process[kIs];
+  q.bf = process[kBf];
+  q.vaf = process[kVaf];
+  q.rb = process[kRb];
+  q.ikf = process[kIkf];
+  nl.add_bjt("Q1", "nc", "b", "0", q);  // grounded emitter: max drive
+
+  nl.add_inductor("LC", "nc", "vcc", kLc);
+  nl.add_capacitor("CT", "nc", "0", kCt);
+  nl.add_resistor("RC", "nc", "vcc", process[kRc]);
+  nl.add_capacitor("CC2", "nc", "out", process[kCc2]);
+  nl.add_resistor("RL", "out", "0", kRlOhms, /*noisy=*/false);
+  return nl;
+}
+
+RfPort Pa900::port() {
+  RfPort p;
+  p.source_name = "VS";
+  p.source_resistor = "RS";
+  p.rs_ohms = kRsOhms;
+  p.out_node = "out";
+  p.rl_ohms = kRlOhms;
+  return p;
+}
+
+PaSpecs Pa900::measure(const std::vector<double>& process) {
+  const Netlist nl = build(process);
+  const DcSolution dc = solve_dc(nl);
+  const AcAnalysis ac(nl, dc);
+  const RfPort p = port();
+  PaSpecs specs;
+  specs.gain_db = transducer_gain_db(ac, kF0, p);
+  specs.iip3_dbm = iip3_dbm(ac, kF0, kF2, p);
+  specs.idd_ma = dc.bjt_op[0].ic * 1e3;
+  return specs;
+}
+
+}  // namespace stf::circuit

@@ -1,0 +1,51 @@
+// Second RF DUT: a 900 MHz power-amplifier driver stage.
+//
+// The paper targets "RF front-ends and front-end chips, such as LNAs,
+// power amplifiers, attenuators and mixers" (Section 1); this DUT extends
+// the framework beyond the LNA. It is a hot-biased common-emitter stage
+// (Ic ~ 20 mA) whose production specs are gain, IIP3 and -- a spec class
+// the LNA study does not exercise -- the DC supply current, which the
+// AC-coupled signature can only reach through process correlation.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "circuit/rfmeasure.hpp"
+
+namespace stf::circuit {
+
+/// PA datasheet specs.
+struct PaSpecs {
+  double gain_db = 0.0;
+  double iip3_dbm = 0.0;
+  double idd_ma = 0.0;  ///< DC supply current (production "Idd" test).
+
+  std::vector<double> to_vector() const {
+    return {gain_db, iip3_dbm, idd_ma};
+  }
+  static std::vector<std::string> names() {
+    return {"gain_db", "iip3_dbm", "idd_ma"};
+  }
+};
+
+/// 900 MHz PA driver factory and measurement.
+class Pa900 {
+ public:
+  /// Process parameters: RB1, RC, CC1, CC2 (component values) then
+  /// IS, BF, VAF, RB, IKF (BJT).
+  static constexpr std::size_t kNumParams = 9;
+  static const std::array<const char*, kNumParams>& param_names();
+  static std::vector<double> nominal();
+
+  static Netlist build(const std::vector<double>& process);
+  static RfPort port();
+  static constexpr double kF0 = 900e6;
+  static constexpr double kF2 = 920e6;
+
+  static PaSpecs measure(const std::vector<double>& process);
+};
+
+}  // namespace stf::circuit

@@ -1,0 +1,165 @@
+#include "circuit/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace stf::circuit {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::invalid_argument("netlist line " + std::to_string(line_no) +
+                              ": " + what);
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) {
+    // Inline comment starts a ';'.
+    if (tok.front() == ';') break;
+    tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+}  // namespace
+
+double parse_spice_number(const std::string& token) {
+  if (token.empty())
+    throw std::invalid_argument("parse_spice_number: empty token");
+  const std::string t = lower(token);
+  const char* begin = t.c_str();
+  char* end = nullptr;
+  const double base = std::strtod(begin, &end);
+  if (end == begin)
+    throw std::invalid_argument("parse_spice_number: not a number: " + token);
+
+  // Suffix rules (SPICE convention): "meg" = 1e6 checked before the
+  // single-letter scales; anything after a recognized suffix is a unit
+  // annotation and is ignored ("10pF", "4.7kOhm").
+  const std::string sfx(end);
+  if (sfx.empty()) return base;
+  if (sfx.rfind("meg", 0) == 0) return base * 1e6;
+  switch (sfx.front()) {
+    case 'f': return base * 1e-15;
+    case 'p': return base * 1e-12;
+    case 'n': return base * 1e-9;
+    case 'u': return base * 1e-6;
+    case 'm': return base * 1e-3;
+    case 'k': return base * 1e3;
+    case 'g': return base * 1e9;
+    case 't': return base * 1e12;
+    default:
+      throw std::invalid_argument("parse_spice_number: bad suffix: " + token);
+  }
+}
+
+Netlist parse_netlist(const std::string& text) {
+  Netlist nl;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments and whitespace-only lines.
+    if (!line.empty() && (line.front() == '*' || line.front() == ';'))
+      continue;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+
+    const std::string name = tokens[0];
+    const std::string kind = lower(name.substr(0, 1));
+
+    if (kind == ".") {
+      if (lower(name) == ".end") break;
+      fail(line_no, "unsupported directive: " + name);
+    }
+
+    auto need = [&](std::size_t n) {
+      if (tokens.size() < n)
+        fail(line_no, "too few fields for element " + name);
+    };
+    auto num = [&](const std::string& tok) {
+      try {
+        return parse_spice_number(tok);
+      } catch (const std::invalid_argument& e) {
+        fail(line_no, e.what());
+      }
+    };
+
+    if (kind == "r") {
+      need(4);
+      bool noisy = true;
+      if (tokens.size() >= 5 && lower(tokens[4]) == "noiseless")
+        noisy = false;
+      nl.add_resistor(name, tokens[1], tokens[2], num(tokens[3]), noisy);
+    } else if (kind == "c") {
+      need(4);
+      nl.add_capacitor(name, tokens[1], tokens[2], num(tokens[3]));
+    } else if (kind == "l") {
+      need(4);
+      nl.add_inductor(name, tokens[1], tokens[2], num(tokens[3]));
+    } else if (kind == "v") {
+      need(4);
+      std::size_t i = 3;
+      if (lower(tokens[i]) == "dc") {
+        ++i;
+        need(i + 1);
+      }
+      const double vdc = num(tokens[i]);
+      std::complex<double> vac{0.0, 0.0};
+      if (tokens.size() > i + 1) {
+        if (lower(tokens[i + 1]) != "ac")
+          fail(line_no, "expected AC keyword, got " + tokens[i + 1]);
+        if (tokens.size() <= i + 2) fail(line_no, "AC needs a magnitude");
+        vac = {num(tokens[i + 2]), 0.0};
+      }
+      nl.add_vsource(name, tokens[1], tokens[2], vdc, vac);
+    } else if (kind == "i") {
+      need(4);
+      nl.add_isource(name, tokens[1], tokens[2], num(tokens[3]));
+    } else if (kind == "g") {
+      need(6);
+      nl.add_vccs(name, tokens[1], tokens[2], tokens[3], tokens[4],
+                  num(tokens[5]));
+    } else if (kind == "q") {
+      need(4);
+      BjtParams p;
+      for (std::size_t i = 4; i < tokens.size(); ++i) {
+        const auto eq = tokens[i].find('=');
+        if (eq == std::string::npos)
+          fail(line_no, "expected KEY=VALUE, got " + tokens[i]);
+        const std::string key = lower(tokens[i].substr(0, eq));
+        const double value = num(tokens[i].substr(eq + 1));
+        if (key == "is") p.is = value;
+        else if (key == "bf") p.bf = value;
+        else if (key == "vaf") p.vaf = value;
+        else if (key == "rb") p.rb = value;
+        else if (key == "ikf") p.ikf = value;
+        else if (key == "br") p.br = value;
+        else if (key == "tf") p.tf = value;
+        else if (key == "cje") p.cje = value;
+        else if (key == "cjc") p.cjc = value;
+        else fail(line_no, "unknown BJT parameter: " + key);
+      }
+      nl.add_bjt(name, tokens[1], tokens[2], tokens[3], p);
+    } else {
+      fail(line_no, "unknown element type: " + name);
+    }
+  }
+  return nl;
+}
+
+}  // namespace stf::circuit

@@ -1,0 +1,36 @@
+// SPICE-style netlist text parser.
+//
+// Lets device descriptions live as data (files, strings, test vectors)
+// rather than C++ builder code. The grammar is the familiar subset needed
+// by this framework:
+//
+//   * comment                       ; also "; comment"
+//   R<name> n1 n2 value [NOISELESS]
+//   C<name> n1 n2 value
+//   L<name> n1 n2 value
+//   V<name> n+ n- [DC] value [AC magnitude]
+//   I<name> n+ n- value
+//   G<name> out+ out- ctrl+ ctrl- gm          ; VCCS
+//   Q<name> c b e [IS=..] [BF=..] [VAF=..] [RB=..] [IKF=..]
+//           [BR=..] [TF=..] [CJE=..] [CJC=..]
+//   .end                            ; optional
+//
+// Values accept engineering suffixes: f p n u m k meg g t (case-insensitive;
+// "M" means milli as in SPICE, "MEG" is 1e6).
+#pragma once
+
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace stf::circuit {
+
+/// Parse a netlist from text. Throws std::invalid_argument with a
+/// line-numbered message on any syntax error.
+Netlist parse_netlist(const std::string& text);
+
+/// Parse one SPICE number with engineering suffix ("4.7k", "10p", "1meg").
+/// Throws std::invalid_argument on malformed input.
+double parse_spice_number(const std::string& token);
+
+}  // namespace stf::circuit

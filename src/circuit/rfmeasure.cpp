@@ -1,0 +1,52 @@
+#include "circuit/rfmeasure.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stf::circuit {
+
+namespace {
+
+NodeId out_node_id(const AcAnalysis& ac, const RfPort& port) {
+  return ac.netlist().find_node(port.out_node);
+}
+
+}  // namespace
+
+Phasor voltage_transfer(const AcAnalysis& ac, double freq_hz,
+                        const RfPort& port) {
+  const auto v = ac.solve(freq_hz);
+  return v.at(static_cast<std::size_t>(out_node_id(ac, port)));
+}
+
+double transducer_gain_db(const AcAnalysis& ac, double freq_hz,
+                          const RfPort& port) {
+  const Phasor h = voltage_transfer(ac, freq_hz, port);
+  // With |Vs| = 1: P_load = |Vout|^2 / (2 RL), P_avail = 1 / (8 Rs).
+  const double gt =
+      std::norm(h) * 4.0 * port.rs_ohms / port.rl_ohms;
+  if (gt <= 0.0)
+    throw std::runtime_error("transducer_gain_db: zero output");
+  return 10.0 * std::log10(gt);
+}
+
+double noise_figure_db(const AcAnalysis& ac, double freq_hz,
+                       const RfPort& port) {
+  return noise_analysis(ac, freq_hz, port.source_resistor,
+                        out_node_id(ac, port))
+      .noise_figure_db;
+}
+
+double iip3_dbm(const AcAnalysis& ac, double f1, double f2,
+                const RfPort& port) {
+  TwoToneSetup setup;
+  setup.f1 = f1;
+  setup.f2 = f2;
+  setup.source_name = port.source_name;
+  setup.rs_ohms = port.rs_ohms;
+  setup.out_node = out_node_id(ac, port);
+  setup.rl_ohms = port.rl_ohms;
+  return two_tone_ip3(ac, setup).iip3_dbm;
+}
+
+}  // namespace stf::circuit

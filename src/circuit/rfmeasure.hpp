@@ -1,0 +1,43 @@
+// Port-level RF measurements on a netlist: the "conventional test" path.
+//
+// These functions play the role of the RF ATE's parametric tests (and of
+// direct SpectreRF simulation in the paper's Section 4.1): they measure
+// gain, noise figure and IIP3 of a device instance from first principles.
+#pragma once
+
+#include <string>
+
+#include "circuit/ac.hpp"
+#include "circuit/distortion.hpp"
+#include "circuit/noise.hpp"
+
+namespace stf::circuit {
+
+/// Measurement port description shared by gain/NF/IIP3.
+struct RfPort {
+  std::string source_name = "VS";      ///< Excitation V-source (vac == 1).
+  std::string source_resistor = "RS";  ///< Generator resistance element.
+  double rs_ohms = 50.0;
+  std::string out_node = "out";        ///< Output node name.
+  double rl_ohms = 50.0;               ///< Load resistance at the output.
+};
+
+/// Transducer power gain in dB at freq_hz:
+/// G_T = P_delivered_to_load / P_available_from_source.
+double transducer_gain_db(const AcAnalysis& ac, double freq_hz,
+                          const RfPort& port);
+
+/// Complex voltage transfer from the source EMF to the output node.
+Phasor voltage_transfer(const AcAnalysis& ac, double freq_hz,
+                        const RfPort& port);
+
+/// Noise figure in dB at freq_hz (wraps noise_analysis).
+double noise_figure_db(const AcAnalysis& ac, double freq_hz,
+                       const RfPort& port);
+
+/// Input-referred IP3 in dBm from a Volterra two-tone analysis with tones
+/// at f1 and f2.
+double iip3_dbm(const AcAnalysis& ac, double f1, double f2,
+                const RfPort& port);
+
+}  // namespace stf::circuit

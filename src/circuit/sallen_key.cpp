@@ -1,0 +1,99 @@
+#include "circuit/sallen_key.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "circuit/ac.hpp"
+#include "circuit/dc.hpp"
+
+namespace stf::circuit {
+
+namespace {
+
+enum ParamIndex : std::size_t { kR1 = 0, kR2, kC1, kC2, kGm };
+
+constexpr double kOpampRout = 100.0;  // finite opamp output resistance
+
+double gain_at(const AcAnalysis& ac, NodeId out, double freq) {
+  return std::abs(ac.solve(freq)[static_cast<std::size_t>(out)]);
+}
+
+}  // namespace
+
+const std::array<const char*, SallenKeyFilter::kNumParams>&
+SallenKeyFilter::param_names() {
+  static const std::array<const char*, kNumParams> names = {"R1", "R2", "C1",
+                                                            "C2", "GM"};
+  return names;
+}
+
+std::vector<double> SallenKeyFilter::nominal() {
+  std::vector<double> p(kNumParams);
+  p[kR1] = 10e3;
+  p[kR2] = 10e3;
+  p[kC1] = 4.7e-9;
+  p[kC2] = 1e-9;
+  p[kGm] = 1.0;  // open-loop gain gm * Rout = 100 with Rout = 100 ohm
+  return p;
+}
+
+Netlist SallenKeyFilter::build(const std::vector<double>& process) {
+  if (process.size() != kNumParams)
+    throw std::invalid_argument(
+        "SallenKeyFilter::build: wrong process vector size");
+  for (double v : process)
+    if (v <= 0.0)
+      throw std::invalid_argument(
+          "SallenKeyFilter::build: parameters must be > 0");
+
+  Netlist nl;
+  nl.add_vsource("VS", "in", "0", 0.0, {1.0, 0.0});
+  // Classic unity-gain Sallen-Key: R1 -> node a, R2 -> node p (opamp +),
+  // C1 from a to the output (positive feedback sets Q), C2 from p to
+  // ground, follower drives out from p.
+  nl.add_resistor("R1", "in", "a", process[kR1]);
+  nl.add_resistor("R2", "a", "p", process[kR2]);
+  nl.add_capacitor("C1", "a", "out", process[kC1]);
+  nl.add_capacitor("C2", "p", "0", process[kC2]);
+  // Follower: i(out) = gm * (v(p) - v(out)) into Rout; v_out tracks v_p
+  // with finite open-loop gain gm * Rout.
+  nl.add_vccs("OPAMP", "0", "out", "p", "out", process[kGm]);
+  nl.add_resistor("ROUT", "out", "0", kOpampRout, /*noisy=*/false);
+  return nl;
+}
+
+FilterSpecs SallenKeyFilter::measure(const std::vector<double>& process) {
+  const Netlist nl = build(process);
+  const DcSolution dc = solve_dc(nl);
+  const AcAnalysis ac(nl, dc);
+  const NodeId out = nl.find_node("out");
+
+  FilterSpecs specs;
+  const double g_dc = gain_at(ac, out, 10.0);
+  if (g_dc <= 0.0)
+    throw std::runtime_error("SallenKeyFilter::measure: dead output");
+  specs.gain_db = 20.0 * std::log10(g_dc);
+
+  // Peak search over a log grid (captures the Q peaking near f0).
+  double g_peak = g_dc;
+  for (double f = 100.0; f <= 100e3; f *= 1.05)
+    g_peak = std::max(g_peak, gain_at(ac, out, f));
+  specs.peaking_db = 20.0 * std::log10(g_peak / g_dc);
+
+  // -3 dB crossing by bisection between the peak region and 1 MHz.
+  const double target = g_dc / std::sqrt(2.0);
+  double lo = 100.0, hi = 1e6;
+  if (gain_at(ac, out, hi) > target)
+    throw std::runtime_error("SallenKeyFilter::measure: no -3 dB crossing");
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = std::sqrt(lo * hi);
+    if (gain_at(ac, out, mid) > target)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  specs.f3db_hz = std::sqrt(lo * hi);
+  return specs;
+}
+
+}  // namespace stf::circuit

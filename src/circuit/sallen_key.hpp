@@ -1,0 +1,50 @@
+// Baseband analog DUT: unity-gain Sallen-Key low-pass filter.
+//
+// Signature testing began at baseband: the works the paper builds on
+// (Variyam/Chatterjee VTS'98; Voorakaranam/Chatterjee VTS'00) predict
+// low-frequency analog specifications from the transient response to an
+// optimized stimulus. This filter is the canonical DUT for that lineage:
+// second-order low-pass with process-variable Rs/Cs and a finite-gain
+// opamp (VCCS + output resistance), specs = DC gain, -3 dB cutoff and
+// peaking.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace stf::circuit {
+
+/// The filter's datasheet specifications.
+struct FilterSpecs {
+  double gain_db = 0.0;     ///< Passband (low-frequency) gain.
+  double f3db_hz = 0.0;     ///< -3 dB cutoff frequency.
+  double peaking_db = 0.0;  ///< max |H| relative to the passband (Q proxy).
+
+  std::vector<double> to_vector() const {
+    return {gain_db, f3db_hz, peaking_db};
+  }
+  static std::vector<std::string> names() {
+    return {"gain_db", "f3db_hz", "peaking_db"};
+  }
+};
+
+/// Unity-gain Sallen-Key low-pass (nominal f0 ~ 7.3 kHz, Q ~ 1.1).
+class SallenKeyFilter {
+ public:
+  /// Process parameters: R1, R2, C1, C2, opamp gm.
+  static constexpr std::size_t kNumParams = 5;
+  static const std::array<const char*, kNumParams>& param_names();
+  static std::vector<double> nominal();
+
+  /// Build one instance. The source "VS" (with vac = 1) drives node "in";
+  /// the output node is "out".
+  static Netlist build(const std::vector<double>& process);
+
+  /// AC characterization: DC gain, bisected -3 dB point, peak search.
+  static FilterSpecs measure(const std::vector<double>& process);
+};
+
+}  // namespace stf::circuit

@@ -1,0 +1,35 @@
+#include "circuit/sparams.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stf::circuit {
+
+double SParameters::s11_db() const {
+  const double mag = std::abs(s11);
+  if (mag <= 0.0) return -300.0;
+  return 20.0 * std::log10(mag);
+}
+
+double SParameters::s21_db() const {
+  const double mag = std::abs(s21);
+  if (mag <= 0.0) return -300.0;
+  return 20.0 * std::log10(mag);
+}
+
+SParameters s_parameters(const AcAnalysis& ac, double freq_hz,
+                         const TwoPortSetup& setup) {
+  if (setup.z0 <= 0.0)
+    throw std::invalid_argument("s_parameters: z0 must be > 0");
+  const Netlist& nl = ac.netlist();
+  const NodeId p1 = nl.find_node(setup.input_node);
+  const NodeId p2 = nl.find_node(setup.output_node);
+
+  const auto v = ac.solve(freq_hz);
+  SParameters s;
+  s.s11 = 2.0 * v[static_cast<std::size_t>(p1)] - 1.0;
+  s.s21 = 2.0 * v[static_cast<std::size_t>(p2)];
+  return s;
+}
+
+}  // namespace stf::circuit

@@ -1,0 +1,40 @@
+// Forward S-parameters (S11, S21) from the AC engine.
+//
+// RF datasheets specify input match alongside gain/NF/IIP3; the framework
+// computes S11/S21 so match can join the predicted-spec set. With the
+// standard source convention (EMF with |Vs| = 1 behind a Z0 resistor,
+// matched Z0 load):
+//   S11 = 2*V(port1)/Vs - 1,   S21 = 2*V(port2)/Vs.
+#pragma once
+
+#include <complex>
+#include <string>
+
+#include "circuit/ac.hpp"
+
+namespace stf::circuit {
+
+struct TwoPortSetup {
+  /// Node where the source resistor meets the DUT (port 1 plane).
+  std::string input_node = "nin";
+  /// Matched-load output node (port 2 plane).
+  std::string output_node = "out";
+  /// Reference impedance; the source resistor and load must equal it.
+  double z0 = 50.0;
+};
+
+struct SParameters {
+  Phasor s11{0.0, 0.0};
+  Phasor s21{0.0, 0.0};
+
+  double s11_db() const;
+  double s21_db() const;
+};
+
+/// Compute forward S-parameters at freq_hz. The netlist's excitation
+/// source must have vac == 1 and sit behind a z0 source resistor; the
+/// output must be terminated in z0.
+SParameters s_parameters(const AcAnalysis& ac, double freq_hz,
+                         const TwoPortSetup& setup);
+
+}  // namespace stf::circuit

@@ -1,0 +1,53 @@
+// Internal MNA stamping helpers shared by the DC and transient engines.
+// Not part of the public API.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "linalg/matrix.hpp"
+
+namespace stf::circuit::detail {
+
+/// Unknown-vector index of node n (n >= 1; ground is eliminated).
+inline std::size_t node_unknown(NodeId n) {
+  return static_cast<std::size_t>(n) - 1;
+}
+
+/// Conductance g between nodes a and b.
+inline void stamp_conductance(stf::la::Matrix& j, NodeId a, NodeId b,
+                              double g) {
+  if (a > 0) j(node_unknown(a), node_unknown(a)) += g;
+  if (b > 0) j(node_unknown(b), node_unknown(b)) += g;
+  if (a > 0 && b > 0) {
+    j(node_unknown(a), node_unknown(b)) -= g;
+    j(node_unknown(b), node_unknown(a)) -= g;
+  }
+}
+
+/// Transconductance: current gm * (v(cp) - v(cn)) flowing op -> on.
+inline void stamp_vccs(stf::la::Matrix& j, NodeId op, NodeId on, NodeId cp,
+                       NodeId cn, double gm) {
+  const NodeId outs[2] = {op, on};
+  const double osign[2] = {+1.0, -1.0};
+  const NodeId ctrls[2] = {cp, cn};
+  const double csign[2] = {+1.0, -1.0};
+  for (int i = 0; i < 2; ++i) {
+    if (outs[i] <= 0) continue;
+    for (int k = 0; k < 2; ++k) {
+      if (ctrls[k] <= 0) continue;
+      j(node_unknown(outs[i]), node_unknown(ctrls[k])) +=
+          osign[i] * csign[k] * gm;
+    }
+  }
+}
+
+/// Add `current` to the KCL residual: leaving node a, entering node b.
+inline void inject(std::vector<double>& f, NodeId a, NodeId b,
+                   double current) {
+  if (a > 0) f[node_unknown(a)] += current;
+  if (b > 0) f[node_unknown(b)] -= current;
+}
+
+}  // namespace stf::circuit::detail

@@ -1,0 +1,245 @@
+#include "circuit/transient.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "circuit/stamps.hpp"
+#include "linalg/lu.hpp"
+
+namespace stf::circuit {
+
+TransientResult::TransientResult(std::vector<double> time,
+                                 stf::la::Matrix v_nodes)
+    : time_(std::move(time)), v_(std::move(v_nodes)) {}
+
+std::vector<double> TransientResult::voltage(NodeId node) const {
+  return v_.col(static_cast<std::size_t>(node));
+}
+
+double TransientResult::at(std::size_t i, NodeId node) const {
+  return v_(i, static_cast<std::size_t>(node));
+}
+
+namespace {
+
+// Trapezoidal companion state of one capacitive branch.
+struct CapState {
+  NodeId n1, n2;
+  double c;
+  double v_prev = 0.0;
+  double i_prev = 0.0;
+};
+
+// Trapezoidal companion state of one inductive branch (branch current is
+// an MNA unknown).
+struct IndState {
+  double v_prev = 0.0;
+  double i_prev = 0.0;
+};
+
+}  // namespace
+
+TransientResult simulate_transient(const Netlist& nl,
+                                   const TransientOptions& options,
+                                   const SourceWaveforms& waveforms) {
+  using detail::inject;
+  using detail::node_unknown;
+  using detail::stamp_conductance;
+  using detail::stamp_vccs;
+
+  if (options.dt <= 0.0 || options.t_stop <= options.dt)
+    throw std::invalid_argument("simulate_transient: bad time grid");
+  const std::size_t n_unknowns = nl.unknown_count();
+  if (n_unknowns == 0)
+    throw std::invalid_argument("simulate_transient: empty circuit");
+  for (const auto& [name, wf] : waveforms) {
+    nl.vsource_index(name);  // throws for unknown source names
+    if (!wf)
+      throw std::invalid_argument("simulate_transient: null waveform: " +
+                                  name);
+  }
+
+  auto source_value = [&](const VSource& vs, double t) {
+    const auto it = waveforms.find(vs.name);
+    return it != waveforms.end() ? it->second(t) : vs.vdc;
+  };
+
+  // Initial condition: DC operating point with the waveforms at t = 0.
+  Netlist nl0 = nl;
+  for (const VSource& vs : nl.vsources())
+    if (waveforms.count(vs.name))
+      nl0.set_vsource_dc(vs.name, source_value(vs, 0.0));
+  const DcSolution dc = solve_dc(nl0);
+
+  // Companion-model states. Explicit capacitors first, then the BJTs'
+  // bias-frozen junction capacitances (quasi-static approximation: values
+  // taken at the DC operating point).
+  std::vector<CapState> caps;
+  for (const Capacitor& c : nl.capacitors()) {
+    CapState s{c.n1, c.n2, c.c};
+    s.v_prev = dc.voltage(c.n1) - dc.voltage(c.n2);
+    caps.push_back(s);
+  }
+  if (options.include_bjt_caps) {
+    for (std::size_t k = 0; k < nl.bjts().size(); ++k) {
+      const Bjt& q = nl.bjts()[k];
+      const BjtOperatingPoint& op = dc.bjt_op[k];
+      CapState cpi{q.b, q.e, op.cpi};
+      cpi.v_prev = dc.voltage(q.b) - dc.voltage(q.e);
+      caps.push_back(cpi);
+      CapState cmu{q.b, q.c, op.cmu};
+      cmu.v_prev = dc.voltage(q.b) - dc.voltage(q.c);
+      caps.push_back(cmu);
+    }
+  }
+  std::vector<IndState> inds(nl.inductors().size());
+  for (std::size_t k = 0; k < inds.size(); ++k) {
+    inds[k].v_prev = 0.0;  // inductor is a DC short
+    inds[k].i_prev = dc.branch_i[nl.vsources().size() + k];
+  }
+
+  // Unknown vector seeded from the DC solution.
+  std::vector<double> x(n_unknowns, 0.0);
+  for (std::size_t n = 1; n <= nl.node_count(); ++n) x[n - 1] = dc.v[n];
+  for (std::size_t k = 0; k < dc.branch_i.size(); ++k)
+    x[nl.node_count() + k] = dc.branch_i[k];
+
+  auto vnode = [&x](NodeId n) { return n == 0 ? 0.0 : x[node_unknown(n)]; };
+
+  const auto n_steps =
+      static_cast<std::size_t>(std::floor(options.t_stop / options.dt)) + 1;
+  std::vector<double> time(n_steps);
+  stf::la::Matrix v_out(n_steps, nl.node_count() + 1);
+  time[0] = 0.0;
+  for (std::size_t n = 1; n <= nl.node_count(); ++n) v_out(0, n) = dc.v[n];
+
+  const double g_c = 2.0 / options.dt;  // companion scale: geq = 2C/dt
+
+  for (std::size_t step = 1; step < n_steps; ++step) {
+    const double t = static_cast<double>(step) * options.dt;
+
+    bool converged = false;
+    for (int iter = 0; iter < options.max_newton; ++iter) {
+      stf::la::Matrix jac(n_unknowns, n_unknowns);
+      std::vector<double> f(n_unknowns, 0.0);
+
+      for (std::size_t n = 1; n <= nl.node_count(); ++n) {
+        jac(n - 1, n - 1) += 1e-12;
+        f[n - 1] += 1e-12 * x[n - 1];
+      }
+
+      for (const Resistor& r : nl.resistors()) {
+        const double g = 1.0 / r.r;
+        stamp_conductance(jac, r.n1, r.n2, g);
+        inject(f, r.n1, r.n2, g * (vnode(r.n1) - vnode(r.n2)));
+      }
+
+      for (const CapState& c : caps) {
+        const double geq = g_c * c.c;
+        const double i_hist = geq * c.v_prev + c.i_prev;
+        stamp_conductance(jac, c.n1, c.n2, geq);
+        inject(f, c.n1, c.n2, geq * (vnode(c.n1) - vnode(c.n2)) - i_hist);
+      }
+
+      for (std::size_t k = 0; k < nl.inductors().size(); ++k) {
+        const Inductor& l = nl.inductors()[k];
+        const std::size_t br = nl.inductor_branch(k);
+        const double r_eq = g_c * l.l;  // 2L/dt
+        // Branch: v_n - r_eq * i_n + (v_prev + r_eq * i_prev) = 0.
+        f[br] = vnode(l.n1) - vnode(l.n2) - r_eq * x[br] + inds[k].v_prev +
+                r_eq * inds[k].i_prev;
+        if (l.n1 > 0) jac(br, node_unknown(l.n1)) += 1.0;
+        if (l.n2 > 0) jac(br, node_unknown(l.n2)) -= 1.0;
+        jac(br, br) -= r_eq;
+        inject(f, l.n1, l.n2, x[br]);
+        if (l.n1 > 0) jac(node_unknown(l.n1), br) += 1.0;
+        if (l.n2 > 0) jac(node_unknown(l.n2), br) -= 1.0;
+      }
+
+      for (std::size_t k = 0; k < nl.vsources().size(); ++k) {
+        const VSource& vs = nl.vsources()[k];
+        const std::size_t br = nl.vsource_branch(k);
+        f[br] = vnode(vs.np) - vnode(vs.nn) - source_value(vs, t);
+        if (vs.np > 0) jac(br, node_unknown(vs.np)) += 1.0;
+        if (vs.nn > 0) jac(br, node_unknown(vs.nn)) -= 1.0;
+        inject(f, vs.np, vs.nn, x[br]);
+        if (vs.np > 0) jac(node_unknown(vs.np), br) += 1.0;
+        if (vs.nn > 0) jac(node_unknown(vs.nn), br) -= 1.0;
+      }
+
+      for (const ISource& is : nl.isources())
+        inject(f, is.np, is.nn, is.idc);
+
+      for (const Vccs& g : nl.vccs()) {
+        inject(f, g.op, g.on, g.gm * (vnode(g.cp) - vnode(g.cn)));
+        stamp_vccs(jac, g.op, g.on, g.cp, g.cn, g.gm);
+      }
+
+      for (const Bjt& q : nl.bjts()) {
+        const double vbe = vnode(q.b) - vnode(q.e);
+        const double vbc = vnode(q.b) - vnode(q.c);
+        const BjtOperatingPoint op =
+          bjt_evaluate(q.params, vbe, vbc, nl.temperature());
+        inject(f, q.c, 0, op.ic);
+        inject(f, q.b, 0, op.ib);
+        inject(f, q.e, 0, -(op.ic + op.ib));
+        const double dic_dvbc = -op.go;
+        const double dib_dvbc = op.gmu;
+        auto add = [&](NodeId row, NodeId col, double val) {
+          if (row > 0 && col > 0)
+            jac(node_unknown(row), node_unknown(col)) += val;
+        };
+        add(q.c, q.b, op.gm + dic_dvbc);
+        add(q.c, q.e, -op.gm);
+        add(q.c, q.c, -dic_dvbc);
+        add(q.b, q.b, op.gpi + dib_dvbc);
+        add(q.b, q.e, -op.gpi);
+        add(q.b, q.c, -dib_dvbc);
+        add(q.e, q.b, -(op.gm + dic_dvbc + op.gpi + dib_dvbc));
+        add(q.e, q.e, op.gm + op.gpi);
+        add(q.e, q.c, dic_dvbc + dib_dvbc);
+      }
+
+      std::vector<double> rhs(n_unknowns);
+      for (std::size_t i = 0; i < n_unknowns; ++i) rhs[i] = -f[i];
+      const std::vector<double> dx = stf::la::lu_solve(jac, rhs);
+
+      double max_dv = 0.0;
+      for (std::size_t i = 0; i < nl.node_count(); ++i)
+        max_dv = std::max(max_dv, std::abs(dx[i]));
+      double damping = 1.0;
+      if (max_dv > 0.25) damping = 0.25 / max_dv;
+      for (std::size_t i = 0; i < n_unknowns; ++i) x[i] += damping * dx[i];
+      if (max_dv * damping < options.v_tol) {
+        converged = true;
+        break;
+      }
+    }
+    if (!converged)
+      throw std::runtime_error(
+          "simulate_transient: Newton failed to converge at t = " +
+          std::to_string(t));
+
+    // Accept the step: update companion histories and record the output.
+    for (CapState& c : caps) {
+      const double v_now = vnode(c.n1) - vnode(c.n2);
+      const double geq = g_c * c.c;
+      const double i_now = geq * (v_now - c.v_prev) - c.i_prev;
+      c.v_prev = v_now;
+      c.i_prev = i_now;
+    }
+    for (std::size_t k = 0; k < nl.inductors().size(); ++k) {
+      const Inductor& l = nl.inductors()[k];
+      inds[k].v_prev = vnode(l.n1) - vnode(l.n2);
+      inds[k].i_prev = x[nl.inductor_branch(k)];
+    }
+
+    time[step] = t;
+    for (std::size_t n = 1; n <= nl.node_count(); ++n)
+      v_out(step, n) = x[n - 1];
+  }
+
+  return TransientResult(std::move(time), std::move(v_out));
+}
+
+}  // namespace stf::circuit

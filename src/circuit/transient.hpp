@@ -1,0 +1,64 @@
+// Nonlinear transient analysis (trapezoidal integration + Newton).
+//
+// The signature-test idea predates RF: the papers this work builds on
+// ([Variyam/Chatterjee VTS'98], [Voorakaranam/Chatterjee VTS'00]) predict
+// low-frequency analog specs from the *transient response* to an optimized
+// stimulus. This engine provides that substrate: it integrates the full
+// nonlinear MNA system so baseband analog DUTs can be signature-tested
+// directly, and it doubles as the validation oracle for the
+// complex-envelope shortcuts used at RF.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/dc.hpp"
+#include "circuit/netlist.hpp"
+#include "linalg/matrix.hpp"
+
+namespace stf::circuit {
+
+/// Time-varying drive for one voltage source: value (volts) at time t.
+/// Sources without a waveform hold their DC value.
+using SourceWaveform = std::function<double(double)>;
+using SourceWaveforms = std::unordered_map<std::string, SourceWaveform>;
+
+struct TransientOptions {
+  double t_stop = 1e-3;   ///< End time (s); simulation starts at 0.
+  double dt = 1e-6;       ///< Fixed time step (trapezoidal rule).
+  int max_newton = 100;   ///< Per-step Newton iteration budget.
+  double v_tol = 1e-9;    ///< Newton convergence on max |delta V|.
+  /// Include the BJT's (bias-frozen) junction capacitances. They matter at
+  /// RF only; baseband analog runs can skip them for speed.
+  bool include_bjt_caps = true;
+};
+
+/// Waveforms of every node voltage over the run.
+class TransientResult {
+ public:
+  TransientResult(std::vector<double> time, stf::la::Matrix v_nodes);
+
+  const std::vector<double>& time() const { return time_; }
+  std::size_t steps() const { return time_.size(); }
+
+  /// Voltage waveform of one node (index 0 = ground = all zeros).
+  std::vector<double> voltage(NodeId node) const;
+
+  /// Voltage of `node` at step i.
+  double at(std::size_t i, NodeId node) const;
+
+ private:
+  std::vector<double> time_;
+  stf::la::Matrix v_;  // rows = time steps, cols = nodes incl. ground
+};
+
+/// Integrate the circuit from its DC operating point (computed with all
+/// waveform sources evaluated at t = 0). Throws std::runtime_error if a
+/// Newton step fails to converge.
+TransientResult simulate_transient(const Netlist& nl,
+                                   const TransientOptions& options,
+                                   const SourceWaveforms& waveforms = {});
+
+}  // namespace stf::circuit

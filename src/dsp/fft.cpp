@@ -1,0 +1,139 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace stf::dsp {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+// In-place iterative radix-2 Cooley-Tukey; sign = -1 forward, +1 inverse
+// (without normalization).
+void fft_radix2(std::vector<cplx>& a, int sign) {
+  const std::size_t n = a.size();
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = static_cast<double>(sign) * kTwoPi /
+                       static_cast<double>(len);
+    const cplx wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cplx u = a[i + k];
+        const cplx v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+// Bluestein chirp-z transform for arbitrary N, built on the radix-2 kernel.
+std::vector<cplx> bluestein(const std::vector<cplx>& x, int sign) {
+  const std::size_t n = x.size();
+  const std::size_t m = next_pow2(2 * n + 1);
+
+  // Chirp: w[k] = exp(sign * j * pi * k^2 / n).
+  std::vector<cplx> chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // k^2 mod 2n avoids precision loss for large k.
+    const double kk = static_cast<double>((k * k) % (2 * n));
+    const double ang = static_cast<double>(sign) * std::numbers::pi * kk /
+                       static_cast<double>(n);
+    chirp[k] = cplx(std::cos(ang), std::sin(ang));
+  }
+
+  std::vector<cplx> a(m, cplx{}), b(m, cplx{});
+  for (std::size_t k = 0; k < n; ++k) a[k] = x[k] * chirp[k];
+  b[0] = std::conj(chirp[0]);
+  for (std::size_t k = 1; k < n; ++k)
+    b[k] = b[m - k] = std::conj(chirp[k]);
+
+  fft_radix2(a, -1);
+  fft_radix2(b, -1);
+  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  fft_radix2(a, +1);
+  const double inv_m = 1.0 / static_cast<double>(m);
+
+  std::vector<cplx> out(n);
+  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * inv_m * chirp[k];
+  return out;
+}
+
+std::vector<cplx> transform(const std::vector<cplx>& x, int sign) {
+  if (x.empty()) throw std::invalid_argument("fft: empty input");
+  if (is_pow2(x.size())) {
+    std::vector<cplx> a = x;
+    fft_radix2(a, sign);
+    return a;
+  }
+  return bluestein(x, sign);
+}
+
+}  // namespace
+
+bool is_pow2(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::vector<cplx> fft(const std::vector<cplx>& x) { return transform(x, -1); }
+
+std::vector<cplx> ifft(const std::vector<cplx>& x) {
+  std::vector<cplx> y = transform(x, +1);
+  const double inv_n = 1.0 / static_cast<double>(y.size());
+  for (auto& v : y) v *= inv_n;
+  return y;
+}
+
+std::vector<cplx> fft_real(const std::vector<double>& x) {
+  std::vector<cplx> c(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) c[i] = cplx(x[i], 0.0);
+  return fft(c);
+}
+
+std::vector<double> magnitude(const std::vector<cplx>& x) {
+  std::vector<double> m(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) m[i] = std::abs(x[i]);
+  return m;
+}
+
+std::vector<double> fft_frequencies(std::size_t n, double fs) {
+  std::vector<double> f(n);
+  const double df = fs / static_cast<double>(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto ks = static_cast<double>(k);
+    f[k] = (k <= n / 2) ? ks * df : (ks - static_cast<double>(n)) * df;
+  }
+  return f;
+}
+
+std::vector<cplx> dft_reference(const std::vector<cplx>& x) {
+  const std::size_t n = x.size();
+  std::vector<cplx> out(n, cplx{});
+  for (std::size_t k = 0; k < n; ++k) {
+    cplx acc{};
+    for (std::size_t t = 0; t < n; ++t) {
+      const double ang = -kTwoPi * static_cast<double>(k) *
+                         static_cast<double>(t) / static_cast<double>(n);
+      acc += x[t] * cplx(std::cos(ang), std::sin(ang));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+}  // namespace stf::dsp

@@ -1,0 +1,45 @@
+// Fast Fourier transform.
+//
+// The signature itself is the magnitude of the FFT of the demodulated
+// baseband response (paper Section 2.1, Fig. 3) -- taking the magnitude
+// removes the path-length phase term of Eq. 5. An iterative radix-2
+// Cooley-Tukey kernel handles power-of-two sizes; Bluestein's chirp-z
+// algorithm extends it to arbitrary lengths so capture windows need not be
+// padded.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace stf::dsp {
+
+using cplx = std::complex<double>;
+
+/// True if n is a power of two (n >= 1).
+bool is_pow2(std::size_t n);
+
+/// Smallest power of two >= n.
+std::size_t next_pow2(std::size_t n);
+
+/// Forward DFT: X[k] = sum_n x[n] exp(-j 2 pi k n / N).
+/// Works for any length (radix-2 fast path, Bluestein otherwise).
+std::vector<cplx> fft(const std::vector<cplx>& x);
+
+/// Inverse DFT with 1/N normalization (ifft(fft(x)) == x).
+std::vector<cplx> ifft(const std::vector<cplx>& x);
+
+/// Forward DFT of a real signal; returns the full complex spectrum.
+std::vector<cplx> fft_real(const std::vector<double>& x);
+
+/// Elementwise magnitudes of a complex spectrum.
+std::vector<double> magnitude(const std::vector<cplx>& x);
+
+/// Bin center frequencies for an N-point DFT at sample rate fs.
+/// Bins k <= N/2 map to k*fs/N, bins above map to negative frequencies.
+std::vector<double> fft_frequencies(std::size_t n, double fs);
+
+/// Brute-force O(N^2) DFT, used as the test oracle for the fast paths.
+std::vector<cplx> dft_reference(const std::vector<cplx>& x);
+
+}  // namespace stf::dsp

@@ -1,0 +1,106 @@
+#include "dsp/iir.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace stf::dsp {
+
+std::complex<double> Biquad::response(double freq, double fs) const {
+  const double w = 2.0 * std::numbers::pi * freq / fs;
+  const std::complex<double> z1(std::cos(-w), std::sin(-w));
+  const std::complex<double> z2 = z1 * z1;
+  return (b0 + b1 * z1 + b2 * z2) / (1.0 + a1 * z1 + a2 * z2);
+}
+
+BiquadCascade::BiquadCascade(std::vector<Biquad> sections)
+    : sections_(std::move(sections)) {
+  if (sections_.empty())
+    throw std::invalid_argument("BiquadCascade: no sections");
+}
+
+namespace {
+
+// Direct form II transposed, one-shot over the whole buffer.
+template <class T>
+std::vector<T> run_cascade(const std::vector<Biquad>& sections,
+                           const std::vector<T>& x) {
+  std::vector<T> y = x;
+  for (const Biquad& s : sections) {
+    T z1{}, z2{};
+    for (auto& v : y) {
+      const T in = v;
+      const T out = s.b0 * in + z1;
+      z1 = s.b1 * in - s.a1 * out + z2;
+      z2 = s.b2 * in - s.a2 * out;
+      v = out;
+    }
+  }
+  return y;
+}
+
+}  // namespace
+
+std::vector<double> BiquadCascade::filter(const std::vector<double>& x) const {
+  return run_cascade(sections_, x);
+}
+
+std::vector<std::complex<double>> BiquadCascade::filter(
+    const std::vector<std::complex<double>>& x) const {
+  return run_cascade(sections_, x);
+}
+
+std::complex<double> BiquadCascade::response(double freq, double fs) const {
+  std::complex<double> h(1.0, 0.0);
+  for (const Biquad& s : sections_) h *= s.response(freq, fs);
+  return h;
+}
+
+BiquadCascade butterworth_lowpass(std::size_t order, double cutoff_hz,
+                                  double fs) {
+  if (order == 0) throw std::invalid_argument("butterworth_lowpass: order 0");
+  if (cutoff_hz <= 0.0 || cutoff_hz >= fs / 2.0)
+    throw std::invalid_argument(
+        "butterworth_lowpass: cutoff must be in (0, fs/2)");
+
+  // Prewarped analog cutoff so the -3 dB point lands exactly at cutoff_hz
+  // after the bilinear transform.
+  const double k = 2.0 * fs;
+  const double wc = k * std::tan(std::numbers::pi * cutoff_hz / fs);
+
+  std::vector<Biquad> sections;
+  const std::size_t n_pairs = order / 2;
+  for (std::size_t i = 0; i < n_pairs; ++i) {
+    // Butterworth pole-pair damping: zeta = cos(theta) with theta the pole
+    // angle from the negative real axis. Odd orders also carry a real pole,
+    // which shifts the conjugate pairs to theta = pi*(i+1)/order.
+    const double numer = 2.0 * static_cast<double>(i) + 1.0 +
+                         (order % 2 == 1 ? 1.0 : 0.0);
+    const double theta =
+        std::numbers::pi * numer / (2.0 * static_cast<double>(order));
+    const double zeta = std::cos(theta);
+    // Bilinear transform of wc^2 / (s^2 + 2 zeta wc s + wc^2).
+    const double a0 = k * k + 2.0 * zeta * wc * k + wc * wc;
+    Biquad s;
+    s.b0 = wc * wc / a0;
+    s.b1 = 2.0 * s.b0;
+    s.b2 = s.b0;
+    s.a1 = 2.0 * (wc * wc - k * k) / a0;
+    s.a2 = (k * k - 2.0 * zeta * wc * k + wc * wc) / a0;
+    sections.push_back(s);
+  }
+  if (order % 2 == 1) {
+    // Real pole: wc / (s + wc) as a degenerate biquad.
+    const double a0 = k + wc;
+    Biquad s;
+    s.b0 = wc / a0;
+    s.b1 = s.b0;
+    s.b2 = 0.0;
+    s.a1 = (wc - k) / a0;
+    s.a2 = 0.0;
+    sections.push_back(s);
+  }
+  return BiquadCascade(std::move(sections));
+}
+
+}  // namespace stf::dsp

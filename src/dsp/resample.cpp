@@ -1,0 +1,60 @@
+#include "dsp/resample.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fir.hpp"
+
+namespace stf::dsp {
+
+namespace {
+
+template <class T>
+std::vector<T> resample_impl(const std::vector<T>& x, double fs_in,
+                             double fs_out) {
+  if (x.size() < 2)
+    throw std::invalid_argument("resample_linear: need >= 2 samples");
+  if (fs_in <= 0.0 || fs_out <= 0.0)
+    throw std::invalid_argument("resample_linear: rates must be > 0");
+  const double duration = static_cast<double>(x.size() - 1) / fs_in;
+  const auto n_out =
+      static_cast<std::size_t>(std::floor(duration * fs_out)) + 1;
+  std::vector<T> y(n_out);
+  for (std::size_t i = 0; i < n_out; ++i) {
+    const double t = static_cast<double>(i) / fs_out;
+    const double pos = t * fs_in;
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, x.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    y[i] = x[lo] * (1.0 - frac) + x[hi] * frac;
+  }
+  return y;
+}
+
+}  // namespace
+
+std::vector<double> resample_linear(const std::vector<double>& x, double fs_in,
+                                    double fs_out) {
+  return resample_impl(x, fs_in, fs_out);
+}
+
+std::vector<std::complex<double>> resample_linear(
+    const std::vector<std::complex<double>>& x, double fs_in, double fs_out) {
+  return resample_impl(x, fs_in, fs_out);
+}
+
+std::vector<double> decimate(const std::vector<double>& x, std::size_t factor) {
+  if (factor == 0) throw std::invalid_argument("decimate: factor must be > 0");
+  if (factor == 1) return x;
+  // Anti-alias filter relative to the notional input rate of 1.0.
+  const auto taps = design_fir_lowpass(0.45 / static_cast<double>(factor), 1.0,
+                                       63, WindowType::kHamming);
+  const auto filtered = fir_filter(taps, x);
+  std::vector<double> y;
+  y.reserve(x.size() / factor + 1);
+  for (std::size_t i = 0; i < filtered.size(); i += factor)
+    y.push_back(filtered[i]);
+  return y;
+}
+
+}  // namespace stf::dsp

@@ -1,0 +1,28 @@
+// Rate conversion between simulation and digitizer sample rates.
+//
+// The envelope simulation runs at a rate set by the LPF model; the
+// digitizer then captures at the tester rate (20 MHz in the simulation
+// study, 1 MHz in the hardware study). Decimation applies an anti-alias
+// FIR first; arbitrary-ratio conversion interpolates linearly.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace stf::dsp {
+
+/// Linear-interpolation resample from fs_in to fs_out over the same time
+/// span (output length = floor(duration * fs_out) + 1).
+std::vector<double> resample_linear(const std::vector<double>& x, double fs_in,
+                                    double fs_out);
+
+/// Complex variant of resample_linear.
+std::vector<std::complex<double>> resample_linear(
+    const std::vector<std::complex<double>>& x, double fs_in, double fs_out);
+
+/// Integer-factor decimation with an anti-alias lowpass (cutoff at
+/// 0.45 * fs_in / factor).
+std::vector<double> decimate(const std::vector<double>& x, std::size_t factor);
+
+}  // namespace stf::dsp

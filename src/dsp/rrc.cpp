@@ -1,0 +1,49 @@
+#include "dsp/rrc.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace stf::dsp {
+
+std::vector<double> design_rrc(double beta, std::size_t sps,
+                               std::size_t span) {
+  if (beta < 0.0 || beta > 1.0)
+    throw std::invalid_argument("design_rrc: beta must be in [0, 1]");
+  if (sps < 2) throw std::invalid_argument("design_rrc: sps must be >= 2");
+  if (span == 0) throw std::invalid_argument("design_rrc: span must be > 0");
+
+  const std::size_t n_taps = 2 * span * sps + 1;
+  const auto mid = static_cast<double>(span * sps);
+  std::vector<double> h(n_taps);
+  const double pi = std::numbers::pi;
+
+  for (std::size_t i = 0; i < n_taps; ++i) {
+    // t in symbol periods.
+    const double t = (static_cast<double>(i) - mid) / static_cast<double>(sps);
+    double v;
+    if (std::abs(t) < 1e-9) {
+      v = 1.0 - beta + 4.0 * beta / pi;
+    } else if (beta > 0.0 &&
+               std::abs(std::abs(t) - 1.0 / (4.0 * beta)) < 1e-9) {
+      // Removable singularity at t = 1/(4 beta).
+      v = beta / std::sqrt(2.0) *
+          ((1.0 + 2.0 / pi) * std::sin(pi / (4.0 * beta)) +
+           (1.0 - 2.0 / pi) * std::cos(pi / (4.0 * beta)));
+    } else {
+      const double num = std::sin(pi * t * (1.0 - beta)) +
+                         4.0 * beta * t * std::cos(pi * t * (1.0 + beta));
+      const double den = pi * t * (1.0 - 16.0 * beta * beta * t * t);
+      v = num / den;
+    }
+    h[i] = v;
+  }
+  // Unit energy normalization (matched-filter convention).
+  double energy = 0.0;
+  for (double x : h) energy += x * x;
+  const double scale = 1.0 / std::sqrt(energy);
+  for (double& x : h) x *= scale;
+  return h;
+}
+
+}  // namespace stf::dsp

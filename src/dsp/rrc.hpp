@@ -1,0 +1,19 @@
+// Root-raised-cosine (RRC) pulse shaping.
+//
+// Digital-communication DUT tests (EVM) shape symbols with an RRC filter
+// at the transmitter and matched-filter with the same RRC at the receiver;
+// the cascade is ISI-free at the symbol instants (Nyquist criterion).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace stf::dsp {
+
+/// RRC impulse response with roll-off beta in [0, 1], `sps` samples per
+/// symbol, spanning `span` symbols on each side (taps = 2*span*sps + 1),
+/// normalized to unit energy. Throws std::invalid_argument on bad inputs.
+std::vector<double> design_rrc(double beta, std::size_t sps,
+                               std::size_t span);
+
+}  // namespace stf::dsp

@@ -1,0 +1,74 @@
+#include "dsp/window.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace stf::dsp {
+
+namespace {
+
+// Shared kernel: t[i] in [0, 1) (periodic) or [0, 1] (symmetric).
+std::vector<double> window_impl(WindowType type, std::size_t n,
+                                double denominator) {
+  std::vector<double> w(n, 1.0);
+  const double two_pi = 2.0 * std::numbers::pi;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / denominator;
+    switch (type) {
+      case WindowType::kRect:
+        w[i] = 1.0;
+        break;
+      case WindowType::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(two_pi * t);
+        break;
+      case WindowType::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(two_pi * t);
+        break;
+      case WindowType::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(two_pi * t) +
+               0.08 * std::cos(2.0 * two_pi * t);
+        break;
+      case WindowType::kFlatTop:
+        // SRS flat-top coefficients; near-zero amplitude error for
+        // off-bin tones.
+        w[i] = 0.21557895 - 0.41663158 * std::cos(two_pi * t) +
+               0.277263158 * std::cos(2.0 * two_pi * t) -
+               0.083578947 * std::cos(3.0 * two_pi * t) +
+               0.006947368 * std::cos(4.0 * two_pi * t);
+        break;
+    }
+  }
+  return w;
+}
+
+}  // namespace
+
+std::vector<double> make_window(WindowType type, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("make_window: n must be > 0");
+  return window_impl(type, n, static_cast<double>(n));
+}
+
+std::vector<double> make_window_symmetric(WindowType type, std::size_t n) {
+  if (n == 0)
+    throw std::invalid_argument("make_window_symmetric: n must be > 0");
+  if (n == 1) return {1.0};
+  return window_impl(type, n, static_cast<double>(n - 1));
+}
+
+double window_gain(const std::vector<double>& w) {
+  double s = 0.0;
+  for (double x : w) s += x;
+  return s;
+}
+
+std::vector<double> apply_window(const std::vector<double>& x,
+                                 const std::vector<double>& w) {
+  if (x.size() != w.size())
+    throw std::invalid_argument("apply_window: size mismatch");
+  std::vector<double> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] * w[i];
+  return y;
+}
+
+}  // namespace stf::dsp

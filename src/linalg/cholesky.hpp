@@ -1,0 +1,34 @@
+// Cholesky factorization for symmetric positive definite systems.
+//
+// Used by the ridge-regularized normal equations in the calibration stage
+// (signature -> specification regression), where A^T A + lambda I is SPD by
+// construction.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace stf::la {
+
+/// Cholesky factorization A = L L^T of a symmetric positive definite matrix.
+class Cholesky {
+ public:
+  /// Factorize. Throws std::runtime_error if A is not positive definite.
+  explicit Cholesky(const Matrix& a);
+
+  /// Solve A x = b using the cached factor.
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// Lower-triangular factor L.
+  const Matrix& factor() const { return l_; }
+
+ private:
+  Matrix l_;
+};
+
+/// One-shot SPD solve of A x = b.
+std::vector<double> cholesky_solve(const Matrix& a,
+                                   const std::vector<double>& b);
+
+}  // namespace stf::la

@@ -1,0 +1,53 @@
+#include "linalg/lstsq.hpp"
+
+#include <stdexcept>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/svd.hpp"
+
+namespace stf::la {
+
+Matrix gram(const Matrix& a) {
+  const std::size_t n = a.cols();
+  Matrix g(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < a.rows(); ++k) s += a(k, i) * a(k, j);
+      g(i, j) = s;
+      g(j, i) = s;
+    }
+  }
+  return g;
+}
+
+std::vector<double> at_b(const Matrix& a, const std::vector<double>& b) {
+  if (b.size() != a.rows())
+    throw std::invalid_argument("at_b: size mismatch");
+  std::vector<double> r(a.cols(), 0.0);
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const double bk = b[k];
+    for (std::size_t j = 0; j < a.cols(); ++j) r[j] += a(k, j) * bk;
+  }
+  return r;
+}
+
+std::vector<double> lstsq(const Matrix& a, const std::vector<double>& b) {
+  if (a.rows() >= a.cols()) {
+    QrDecomposition qr(a);
+    if (qr.full_rank()) return qr.solve(b);
+  }
+  return svd_lstsq(a, b);
+}
+
+std::vector<double> ridge(const Matrix& a, const std::vector<double>& b,
+                          double lambda) {
+  if (lambda < 0.0) throw std::invalid_argument("ridge: lambda must be >= 0");
+  if (lambda == 0.0) return lstsq(a, b);
+  Matrix g = gram(a);
+  for (std::size_t i = 0; i < g.rows(); ++i) g(i, i) += lambda;
+  return cholesky_solve(g, at_b(a, b));
+}
+
+}  // namespace stf::la

@@ -1,0 +1,33 @@
+// High-level least-squares and ridge-regression solvers.
+//
+// The calibration stage (paper Section 3.2) fits regression maps from
+// measured signatures to specifications; ridge regularization keeps those
+// fits stable when signature bins are collinear.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace stf::la {
+
+/// Ordinary least squares min ||A x - b||_2.
+///
+/// Uses Householder QR when A has full column rank, falling back to the
+/// SVD minimum-norm solution otherwise.
+std::vector<double> lstsq(const Matrix& a, const std::vector<double>& b);
+
+/// Ridge regression: minimize ||A x - b||^2 + lambda ||x||^2, lambda >= 0.
+///
+/// Solved through the regularized normal equations with a Cholesky
+/// factorization; lambda > 0 guarantees positive definiteness.
+std::vector<double> ridge(const Matrix& a, const std::vector<double>& b,
+                          double lambda);
+
+/// A^T A (Gram matrix), exploiting symmetry.
+Matrix gram(const Matrix& a);
+
+/// A^T b.
+std::vector<double> at_b(const Matrix& a, const std::vector<double>& b);
+
+}  // namespace stf::la

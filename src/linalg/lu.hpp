@@ -1,0 +1,119 @@
+// LU decomposition with partial pivoting, templated over the scalar type.
+//
+// The MNA circuit engine needs complex solves (AC analysis) and real solves
+// (DC Newton iterations); templating on the scalar keeps one audited kernel
+// for both. Matrices are small (tens of nodes), so the O(n^3) dense
+// factorization is the right tool.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace stf::la {
+
+namespace detail {
+inline double abs_val(double x) { return std::abs(x); }
+inline double abs_val(const std::complex<double>& x) { return std::abs(x); }
+}  // namespace detail
+
+/// LU factorization PA = LU with partial pivoting.
+///
+/// Throws std::runtime_error if the matrix is singular to working precision.
+template <class T>
+class LuDecomposition {
+ public:
+  /// Factorize a square matrix. The input is copied.
+  explicit LuDecomposition(const MatrixT<T>& a) : lu_(a), piv_(a.rows()) {
+    if (a.rows() != a.cols())
+      throw std::invalid_argument("LuDecomposition: matrix must be square");
+    const std::size_t n = a.rows();
+    for (std::size_t i = 0; i < n; ++i) piv_[i] = i;
+
+    for (std::size_t k = 0; k < n; ++k) {
+      // Partial pivot: largest magnitude in column k at or below the diagonal.
+      std::size_t p = k;
+      double best = detail::abs_val(lu_(k, k));
+      for (std::size_t i = k + 1; i < n; ++i) {
+        const double v = detail::abs_val(lu_(i, k));
+        if (v > best) {
+          best = v;
+          p = i;
+        }
+      }
+      if (best == 0.0)
+        throw std::runtime_error("LuDecomposition: singular matrix");
+      if (p != k) {
+        for (std::size_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(p, j));
+        std::swap(piv_[k], piv_[p]);
+        sign_ = -sign_;
+      }
+      const T pivot = lu_(k, k);
+      for (std::size_t i = k + 1; i < n; ++i) {
+        const T m = lu_(i, k) / pivot;
+        lu_(i, k) = m;
+        if (m == T{}) continue;
+        for (std::size_t j = k + 1; j < n; ++j) lu_(i, j) -= m * lu_(k, j);
+      }
+    }
+  }
+
+  /// Solve A x = b for one right-hand side.
+  std::vector<T> solve(const std::vector<T>& b) const {
+    const std::size_t n = lu_.rows();
+    if (b.size() != n)
+      throw std::invalid_argument("LuDecomposition::solve: size mismatch");
+    std::vector<T> x(n);
+    // Apply permutation, then forward-substitute L (unit diagonal).
+    for (std::size_t i = 0; i < n; ++i) {
+      T s = b[piv_[i]];
+      for (std::size_t j = 0; j < i; ++j) s -= lu_(i, j) * x[j];
+      x[i] = s;
+    }
+    // Back-substitute U.
+    for (std::size_t ii = n; ii-- > 0;) {
+      T s = x[ii];
+      for (std::size_t j = ii + 1; j < n; ++j) s -= lu_(ii, j) * x[j];
+      x[ii] = s / lu_(ii, ii);
+    }
+    return x;
+  }
+
+  /// Solve A X = B column by column.
+  MatrixT<T> solve(const MatrixT<T>& b) const {
+    MatrixT<T> x(b.rows(), b.cols());
+    for (std::size_t c = 0; c < b.cols(); ++c)
+      x.set_col(c, solve(b.col(c)));
+    return x;
+  }
+
+  /// Determinant of the factored matrix.
+  T determinant() const {
+    T d = static_cast<T>(sign_);
+    for (std::size_t i = 0; i < lu_.rows(); ++i) d *= lu_(i, i);
+    return d;
+  }
+
+ private:
+  MatrixT<T> lu_;
+  std::vector<std::size_t> piv_;
+  int sign_ = 1;
+};
+
+/// Convenience one-shot solve of A x = b.
+template <class T>
+std::vector<T> lu_solve(const MatrixT<T>& a, const std::vector<T>& b) {
+  return LuDecomposition<T>(a).solve(b);
+}
+
+/// Matrix inverse via LU. Intended for small, well-conditioned systems.
+template <class T>
+MatrixT<T> inverse(const MatrixT<T>& a) {
+  return LuDecomposition<T>(a).solve(MatrixT<T>::identity(a.rows()));
+}
+
+}  // namespace stf::la

@@ -1,0 +1,197 @@
+// Dense row-major matrix container used throughout the framework.
+//
+// The framework's regression, SVD-based test optimization (paper Eq. 8-10)
+// and MNA circuit solves all operate on small/medium dense matrices, so a
+// simple contiguous row-major container with value semantics is sufficient
+// and keeps every algorithm easy to audit.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <vector>
+
+namespace stf::la {
+
+/// Dense row-major matrix over T (double or std::complex<double>).
+///
+/// Value semantics: copy/move behave like std::vector. Bounds are checked
+/// via at(); operator() is unchecked for inner loops.
+template <class T>
+class MatrixT {
+ public:
+  MatrixT() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  MatrixT(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, T{}) {}
+
+  /// rows x cols matrix with every entry set to fill.
+  MatrixT(std::size_t rows, std::size_t cols, T fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Construct from nested initializer lists: Matrix{{1,2},{3,4}}.
+  MatrixT(std::initializer_list<std::initializer_list<T>> init) {
+    rows_ = init.size();
+    cols_ = rows_ ? init.begin()->size() : 0;
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : init) {
+      if (row.size() != cols_)
+        throw std::invalid_argument("MatrixT: ragged initializer list");
+      data_.insert(data_.end(), row.begin(), row.end());
+    }
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked element access.
+  T& at(std::size_t r, std::size_t c) {
+    check(r, c);
+    return data_[r * cols_ + c];
+  }
+  const T& at(std::size_t r, std::size_t c) const {
+    check(r, c);
+    return data_[r * cols_ + c];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  /// Pointer to the start of row r (rows are contiguous).
+  T* row_ptr(std::size_t r) { return data_.data() + r * cols_; }
+  const T* row_ptr(std::size_t r) const { return data_.data() + r * cols_; }
+
+  /// Copy of row r as a vector.
+  std::vector<T> row(std::size_t r) const {
+    return {row_ptr(r), row_ptr(r) + cols_};
+  }
+
+  /// Copy of column c as a vector.
+  std::vector<T> col(std::size_t c) const {
+    std::vector<T> out(rows_);
+    for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+    return out;
+  }
+
+  /// Overwrite row r with v (v.size() must equal cols()).
+  void set_row(std::size_t r, const std::vector<T>& v) {
+    if (v.size() != cols_) throw std::invalid_argument("set_row: size mismatch");
+    for (std::size_t c = 0; c < cols_; ++c) (*this)(r, c) = v[c];
+  }
+
+  /// Overwrite column c with v (v.size() must equal rows()).
+  void set_col(std::size_t c, const std::vector<T>& v) {
+    if (v.size() != rows_) throw std::invalid_argument("set_col: size mismatch");
+    for (std::size_t r = 0; r < rows_; ++r) (*this)(r, c) = v[r];
+  }
+
+  /// Transposed copy.
+  MatrixT transposed() const {
+    MatrixT t(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+      for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+    return t;
+  }
+
+  /// n x n identity.
+  static MatrixT identity(std::size_t n) {
+    MatrixT m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+  /// Build from a flat row-major buffer.
+  static MatrixT from_flat(std::size_t rows, std::size_t cols,
+                           std::vector<T> flat) {
+    if (flat.size() != rows * cols)
+      throw std::invalid_argument("from_flat: size mismatch");
+    MatrixT m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.data_ = std::move(flat);
+    return m;
+  }
+
+  MatrixT& operator+=(const MatrixT& o) {
+    check_same_shape(o);
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+    return *this;
+  }
+  MatrixT& operator-=(const MatrixT& o) {
+    check_same_shape(o);
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+    return *this;
+  }
+  MatrixT& operator*=(T s) {
+    for (auto& v : data_) v *= s;
+    return *this;
+  }
+
+  friend MatrixT operator+(MatrixT a, const MatrixT& b) { return a += b; }
+  friend MatrixT operator-(MatrixT a, const MatrixT& b) { return a -= b; }
+  friend MatrixT operator*(MatrixT a, T s) { return a *= s; }
+  friend MatrixT operator*(T s, MatrixT a) { return a *= s; }
+
+  /// Matrix product (naive triple loop; matrices here are small).
+  friend MatrixT operator*(const MatrixT& a, const MatrixT& b) {
+    if (a.cols_ != b.rows_)
+      throw std::invalid_argument("matmul: inner dimension mismatch");
+    MatrixT c(a.rows_, b.cols_);
+    for (std::size_t i = 0; i < a.rows_; ++i) {
+      for (std::size_t k = 0; k < a.cols_; ++k) {
+        const T aik = a(i, k);
+        if (aik == T{}) continue;
+        const T* brow = b.row_ptr(k);
+        T* crow = c.row_ptr(i);
+        for (std::size_t j = 0; j < b.cols_; ++j) crow[j] += aik * brow[j];
+      }
+    }
+    return c;
+  }
+
+  /// Matrix-vector product.
+  friend std::vector<T> operator*(const MatrixT& a, const std::vector<T>& x) {
+    if (a.cols_ != x.size())
+      throw std::invalid_argument("matvec: dimension mismatch");
+    std::vector<T> y(a.rows_, T{});
+    for (std::size_t i = 0; i < a.rows_; ++i) {
+      const T* row = a.row_ptr(i);
+      T acc{};
+      for (std::size_t j = 0; j < a.cols_; ++j) acc += row[j] * x[j];
+      y[i] = acc;
+    }
+    return y;
+  }
+
+  bool operator==(const MatrixT& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+  }
+
+ private:
+  void check(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_)
+      throw std::out_of_range("MatrixT: index out of range");
+  }
+  void check_same_shape(const MatrixT& o) const {
+    if (rows_ != o.rows_ || cols_ != o.cols_)
+      throw std::invalid_argument("MatrixT: shape mismatch");
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using Matrix = MatrixT<double>;
+using CMatrix = MatrixT<std::complex<double>>;
+
+}  // namespace stf::la

@@ -1,0 +1,43 @@
+// Free-function vector algebra over std::vector<double>.
+//
+// Vectors in the framework (signatures, spec vectors, process-parameter
+// perturbations) are plain std::vector<double>; these helpers keep call
+// sites readable without introducing another vector type.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace stf::la {
+
+/// Dot product a . b. Sizes must match.
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean (L2) norm.
+double norm2(const std::vector<double>& v);
+
+/// L-infinity norm (max absolute entry).
+double norm_inf(const std::vector<double>& v);
+
+/// Elementwise a + b.
+std::vector<double> add(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Elementwise a - b.
+std::vector<double> sub(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Scalar multiple s * v.
+std::vector<double> scale(const std::vector<double>& v, double s);
+
+/// In-place y += alpha * x (BLAS axpy).
+void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y);
+
+/// Normalize v to unit L2 norm; returns the zero vector unchanged.
+std::vector<double> normalized(const std::vector<double>& v);
+
+/// Concatenate two vectors.
+std::vector<double> concat(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+}  // namespace stf::la

@@ -1,0 +1,78 @@
+#include "rf/dut.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "circuit/ac.hpp"
+#include "circuit/constants.hpp"
+#include "circuit/dc.hpp"
+
+namespace stf::rf {
+
+BehavioralLna::BehavioralLna(Cplx gain, double iip3_v, double nf_db,
+                             double rs_ohms)
+    : gain_(gain), iip3_v_(iip3_v), nf_db_(nf_db), rs_ohms_(rs_ohms) {
+  if (iip3_v <= 0.0)
+    throw std::invalid_argument("BehavioralLna: iip3_v must be > 0");
+  if (rs_ohms <= 0.0)
+    throw std::invalid_argument("BehavioralLna: rs_ohms must be > 0");
+}
+
+EnvelopeSignal BehavioralLna::process(const EnvelopeSignal& in,
+                                      stf::stats::Rng* rng) const {
+  EnvelopeSignal out = in;
+  const double inv_a2 =
+      std::isinf(iip3_v_) ? 0.0 : 1.0 / (iip3_v_ * iip3_v_);
+  for (auto& v : out.x) {
+    const double mag2 = std::norm(v);
+    v = gain_ * v / std::sqrt(1.0 + 2.0 * mag2 * inv_a2);
+  }
+  if (rng != nullptr && nf_db_ > 0.0) {
+    // Excess input-referred noise PSD over the source floor:
+    // (F - 1) * 4 k T Rs (V^2/Hz as a source EMF), amplified by |H|^2.
+    // Complex envelope noise in the simulation bandwidth fs has per-sample
+    // variance PSD * fs (so each real quadrature carries PSD * fs / 2).
+    const double f_lin = std::pow(10.0, nf_db_ / 10.0);
+    const double psd_in = (f_lin - 1.0) * 4.0 * stf::circuit::kBoltzmann *
+                          stf::circuit::kNoiseTemperature * rs_ohms_;
+    const double sigma =
+        std::sqrt(psd_in * in.fs / 2.0) * std::abs(gain_);
+    for (auto& v : out.x)
+      v += Cplx(rng->normal(0.0, sigma), rng->normal(0.0, sigma));
+  }
+  return out;
+}
+
+EnvelopeSignal IdealGainDut::process(const EnvelopeSignal& in,
+                                     stf::stats::Rng*) const {
+  EnvelopeSignal out = in;
+  for (auto& v : out.x) v *= gain_;
+  return out;
+}
+
+double iip3_dbm_to_source_amplitude(double iip3_dbm, double rs_ohms) {
+  const double p_watts = 1e-3 * std::pow(10.0, iip3_dbm / 10.0);
+  return std::sqrt(8.0 * rs_ohms * p_watts);
+}
+
+LnaCharacterization extract_lna_dut(const std::vector<double>& process) {
+  using namespace stf::circuit;
+  const Netlist nl = Lna900::build(process);
+  const DcSolution dc = solve_dc(nl);
+  const AcAnalysis ac(nl, dc);
+  const RfPort port = Lna900::port();
+
+  LnaCharacterization out;
+  out.specs.gain_db = transducer_gain_db(ac, Lna900::kF0, port);
+  out.specs.nf_db = noise_figure_db(ac, Lna900::kF0, port);
+  out.specs.iip3_dbm = iip3_dbm(ac, Lna900::kF0, Lna900::kF2, port);
+
+  const Phasor h = voltage_transfer(ac, Lna900::kF0, port);
+  const double a_ip3 =
+      iip3_dbm_to_source_amplitude(out.specs.iip3_dbm, port.rs_ohms);
+  out.dut = std::make_shared<BehavioralLna>(h, a_ip3, out.specs.nf_db,
+                                            port.rs_ohms);
+  return out;
+}
+
+}  // namespace stf::rf

@@ -1,0 +1,89 @@
+// Behavioral device-under-test models for the envelope signal path.
+//
+// The signature pipeline needs the DUT as an envelope-domain block; the
+// circuit engine characterizes each device instance (complex gain at the
+// carrier, input-referred IP3, noise figure) and extract_lna_dut() folds
+// those numbers into a saturating memoryless AM/AM envelope model:
+//
+//   y~ = H * x~ / sqrt(1 + 2 |x~|^2 / A_ip3^2) + n~
+//
+// whose third-order expansion equals the classic cubic
+// H * x~ * (1 - |x~|^2/A^2) -- i.e. it reproduces exactly the measured
+// IIP3 -- and whose output amplitude is *strictly increasing* in the input
+// amplitude for all drive levels (a pure cubic peaks at A/sqrt(3) and a
+// first-order rational at A, then both decrease, which no amplifier
+// does; the property suite enforces monotonicity). n~ is the device's
+// excess noise (F - 1 over the source noise floor).
+#pragma once
+
+#include <complex>
+#include <memory>
+
+#include "circuit/lna900.hpp"
+#include "rf/envelope.hpp"
+#include "stats/rng.hpp"
+
+namespace stf::rf {
+
+/// Envelope-domain device under test.
+class RfDut {
+ public:
+  virtual ~RfDut() = default;
+
+  /// Process an input envelope. When rng is non-null the DUT adds its own
+  /// noise; pass nullptr for noiseless (sensitivity/optimization) runs.
+  virtual EnvelopeSignal process(const EnvelopeSignal& in,
+                                 stf::stats::Rng* rng) const = 0;
+};
+
+/// Memoryless polynomial LNA model with additive excess noise.
+class BehavioralLna : public RfDut {
+ public:
+  /// gain: complex voltage transfer (source EMF -> output) at the carrier.
+  /// iip3_v: input-referred IP3 as a source-EMF amplitude (volts); +inf
+  ///         disables compression.
+  /// nf_db:  noise figure; excess output noise is (F-1) * kT * 4 Rs * |H|^2
+  ///         referred through the gain.
+  /// rs_ohms: reference source resistance for the noise floor.
+  BehavioralLna(Cplx gain, double iip3_v, double nf_db, double rs_ohms = 50.0);
+
+  EnvelopeSignal process(const EnvelopeSignal& in,
+                         stf::stats::Rng* rng) const override;
+
+  Cplx gain() const { return gain_; }
+  double iip3_v() const { return iip3_v_; }
+  double nf_db() const { return nf_db_; }
+
+ private:
+  Cplx gain_;
+  double iip3_v_;
+  double nf_db_;
+  double rs_ohms_;
+};
+
+/// Ideal gain block (used by unit tests and the Eq. 4/5 phase study, where
+/// the paper's derivation assumes "a simple gain device with gain A").
+class IdealGainDut : public RfDut {
+ public:
+  explicit IdealGainDut(Cplx gain) : gain_(gain) {}
+  EnvelopeSignal process(const EnvelopeSignal& in,
+                         stf::stats::Rng*) const override;
+
+ private:
+  Cplx gain_;
+};
+
+/// Characterize one LNA process instance with the circuit engine and build
+/// its behavioral envelope model. Also returns the direct-simulation specs
+/// (the paper's "direct simulation" axis).
+struct LnaCharacterization {
+  stf::circuit::LnaSpecs specs;
+  std::shared_ptr<BehavioralLna> dut;
+};
+LnaCharacterization extract_lna_dut(const std::vector<double>& process);
+
+/// Convert an available-power IP3 in dBm to the source-EMF amplitude used
+/// by BehavioralLna (A = sqrt(8 Rs P)).
+double iip3_dbm_to_source_amplitude(double iip3_dbm, double rs_ohms = 50.0);
+
+}  // namespace stf::rf

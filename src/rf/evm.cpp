@@ -1,0 +1,81 @@
+#include "rf/evm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fir.hpp"
+#include "dsp/rrc.hpp"
+#include "stats/rng.hpp"
+
+namespace stf::rf {
+
+double measure_evm_percent(const RfDut& dut, const EvmConfig& config,
+                           stf::stats::Rng* rng) {
+  if (config.n_symbols < 16)
+    throw std::invalid_argument("measure_evm_percent: need >= 16 symbols");
+  const std::size_t sps = config.sps;
+  const double fs = config.symbol_rate_hz * static_cast<double>(sps);
+
+  // Random QPSK constellation points (+/-1 +/-j)/sqrt(2).
+  stf::stats::Rng sym_rng(config.symbol_seed);
+  std::vector<Cplx> symbols(config.n_symbols);
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  for (auto& s : symbols)
+    s = Cplx(sym_rng.bernoulli(0.5) ? inv_sqrt2 : -inv_sqrt2,
+             sym_rng.bernoulli(0.5) ? inv_sqrt2 : -inv_sqrt2);
+
+  // Upsample (zero-stuff) and RRC-shape.
+  const auto rrc = stf::dsp::design_rrc(config.rrc_beta, sps,
+                                        config.rrc_span);
+  std::vector<Cplx> upsampled(config.n_symbols * sps, Cplx{});
+  for (std::size_t k = 0; k < config.n_symbols; ++k)
+    upsampled[k * sps] = symbols[k];
+  std::vector<Cplx> shaped = stf::dsp::fir_filter(rrc, upsampled);
+
+  // Scale to the requested average available power: for unit-energy RRC on
+  // unit symbols the mean |x|^2 is 1/sps; P_avg = E|x|^2 / (8 Rs) in the
+  // source-EMF convention.
+  const double p_target =
+      1e-3 * std::pow(10.0, config.level_dbm / 10.0) * 8.0 * config.rs_ohms;
+  double mean_sq = 0.0;
+  for (const auto& v : shaped) mean_sq += std::norm(v);
+  mean_sq /= static_cast<double>(shaped.size());
+  const double scale = std::sqrt(p_target / mean_sq);
+  for (auto& v : shaped) v *= scale;
+
+  // Through the DUT.
+  EnvelopeSignal in;
+  in.fs = fs;
+  in.fc = config.carrier_hz;
+  in.x = std::move(shaped);
+  const EnvelopeSignal out = dut.process(in, rng);
+
+  // Matched filter and symbol-instant sampling. fir_filter compensates
+  // each filter's group delay, so symbol k sits at index k*sps.
+  const std::vector<Cplx> matched = stf::dsp::fir_filter(rrc, out.x);
+  std::vector<Cplx> received(config.n_symbols);
+  for (std::size_t k = 0; k < config.n_symbols; ++k)
+    received[k] = matched[k * sps];
+
+  // One-tap equalizer: least-squares complex gain g minimizing
+  // sum |r_k - g s_k|^2 over the central symbols (skip filter edges).
+  const std::size_t guard = config.rrc_span + 1;
+  Cplx num{};
+  double den = 0.0;
+  for (std::size_t k = guard; k + guard < config.n_symbols; ++k) {
+    num += received[k] * std::conj(symbols[k]);
+    den += std::norm(symbols[k]);
+  }
+  if (den <= 0.0 || std::abs(num) <= 0.0)
+    throw std::runtime_error("measure_evm_percent: degenerate equalizer");
+  const Cplx g = num / den;
+
+  double err = 0.0, ref = 0.0;
+  for (std::size_t k = guard; k + guard < config.n_symbols; ++k) {
+    err += std::norm(received[k] - g * symbols[k]);
+    ref += std::norm(g * symbols[k]);
+  }
+  return 100.0 * std::sqrt(err / ref);
+}
+
+}  // namespace stf::rf

@@ -1,0 +1,34 @@
+// Error-vector-magnitude (EVM) measurement with a QPSK test signal.
+//
+// Modern RF front-end datasheets specify modulation quality directly; the
+// paper's own reference list points at modulated-signal test (MVNA [6]).
+// This measurement shapes random QPSK symbols with an RRC filter, runs the
+// complex envelope through the DUT, matched-filters, samples at the symbol
+// instants, removes the best single complex gain (the tester's equalizer),
+// and reports the residual error vector magnitude in percent RMS.
+#pragma once
+
+#include <cstdint>
+
+#include "rf/dut.hpp"
+
+namespace stf::rf {
+
+struct EvmConfig {
+  double carrier_hz = 900e6;
+  double symbol_rate_hz = 1e6;
+  std::size_t sps = 8;             ///< Samples per symbol (envelope rate).
+  std::size_t n_symbols = 512;
+  double rrc_beta = 0.35;
+  std::size_t rrc_span = 6;        ///< Filter span in symbols, each side.
+  double level_dbm = -20.0;        ///< Average available power.
+  double rs_ohms = 50.0;
+  std::uint64_t symbol_seed = 1;   ///< Random QPSK data.
+};
+
+/// Measure EVM (% RMS) of the DUT. Pass rng to include the DUT's noise in
+/// the measurement, or nullptr for distortion-only EVM.
+double measure_evm_percent(const RfDut& dut, const EvmConfig& config,
+                           stf::stats::Rng* rng);
+
+}  // namespace stf::rf

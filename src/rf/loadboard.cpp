@@ -1,0 +1,83 @@
+#include "rf/loadboard.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/resample.hpp"
+
+namespace stf::rf {
+
+void MixerModel::apply(EnvelopeSignal& s) const {
+  const double g = std::pow(10.0, conversion_gain_db / 20.0);
+  const double a_ip3 = iip3_dbm_to_source_amplitude(iip3_dbm);
+  const double inv_a2 = 1.0 / (a_ip3 * a_ip3);
+  // Saturating AM/AM with the same third-order expansion as the classic
+  // cubic (see BehavioralLna).
+  for (auto& v : s.x) {
+    const double mag2 = std::norm(v);
+    v = g * v / std::sqrt(1.0 + 2.0 * mag2 * inv_a2);
+  }
+}
+
+LoadBoard::LoadBoard(const LoadBoardConfig& config) : config_(config) {
+  if (config_.lpf_cutoff_hz <= 0.0)
+    throw std::invalid_argument("LoadBoard: lpf_cutoff_hz must be > 0");
+  if (config_.lpf_order == 0)
+    throw std::invalid_argument("LoadBoard: lpf_order must be > 0");
+}
+
+std::vector<double> LoadBoard::run(const std::vector<double>& stimulus,
+                                   double fs_sim, const RfDut& dut,
+                                   stf::stats::Rng* rng) const {
+  if (stimulus.empty())
+    throw std::invalid_argument("LoadBoard::run: empty stimulus");
+  if (fs_sim <= 2.0 * config_.lpf_cutoff_hz)
+    throw std::invalid_argument(
+        "LoadBoard::run: fs_sim must exceed twice the LPF cutoff");
+
+  // Mixer 1: x_t(t) * sin(w1 t) -- in envelope terms the stimulus *is* the
+  // envelope at the carrier; the mixer contributes gain/compression.
+  EnvelopeSignal rf =
+      EnvelopeSignal::from_real(stimulus, fs_sim, config_.carrier_hz);
+  config_.up_mixer.apply(rf);
+
+  // The device under test.
+  EnvelopeSignal resp = dut.process(rf, rng);
+
+  // Mixer 2 at f2 = f1 - lo_offset with path phase phi: the real product
+  // after discarding the 2*fc image is Re{ y~ e^{j(2 pi (f1-f2) t + phi)} }
+  // (Eq. 5; lo_offset = 0 degenerates to the Eq. 4 cos(phi) scaling).
+  config_.down_mixer.apply(resp);  // conversion gain + compression
+  std::vector<double> mixed =
+      resp.to_real(config_.lo_offset_hz, config_.path_phase_rad);
+  // DC offset from LO self-mixing appears at the demodulator output.
+  for (auto& v : mixed) v += config_.down_mixer.lo_feedthrough_v;
+
+  // Post-mixer anti-alias lowpass.
+  const auto lpf = stf::dsp::butterworth_lowpass(
+      config_.lpf_order, config_.lpf_cutoff_hz, fs_sim);
+  return lpf.filter(mixed);
+}
+
+std::vector<double> Digitizer::capture(const std::vector<double>& analog,
+                                       double fs_in,
+                                       stf::stats::Rng* rng) const {
+  if (fs_hz <= 0.0)
+    throw std::invalid_argument("Digitizer: fs_hz must be > 0");
+  std::vector<double> samples =
+      stf::dsp::resample_linear(analog, fs_in, fs_hz);
+  if (rng != nullptr && noise_rms_v > 0.0)
+    for (auto& v : samples) v += rng->normal(0.0, noise_rms_v);
+  if (bits > 0) {
+    const double levels = std::pow(2.0, bits - 1);
+    const double lsb = full_scale_v / levels;
+    for (auto& v : samples) {
+      double q = std::round(v / lsb) * lsb;
+      q = std::min(std::max(q, -full_scale_v), full_scale_v);
+      v = q;
+    }
+  }
+  return samples;
+}
+
+}  // namespace stf::rf

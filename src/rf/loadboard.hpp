@@ -1,0 +1,76 @@
+// Load-board model: the modulation/demodulation signal path of Figs. 2-3.
+//
+// The board receives the baseband test stimulus from the ATE's AWG,
+// upconverts it onto the RF carrier (mixer 1, LO at f1), drives the DUT,
+// downconverts the response (mixer 2, LO at f2 = f1 - lo_offset, with a
+// path phase error phi), and low-pass filters the product back to baseband.
+// With f1 == f2 the output is scaled by cos(phi) -- the Eq. 4 cancellation
+// hazard; the production configuration offsets the LOs so phi only rotates
+// the beat (Eq. 5) and the FFT magnitude signature is phase-invariant.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/iir.hpp"
+#include "rf/dut.hpp"
+#include "rf/envelope.hpp"
+#include "stats/rng.hpp"
+
+namespace stf::rf {
+
+/// Behavioral mixer: conversion gain, compression (from an IP3 rating) and
+/// LO self-mixing DC offset. RF/LO harmonic cross-products land at multiples
+/// of the carrier, far outside the envelope band, and are absorbed by the
+/// LPF; their only in-band effects are the ones modeled here.
+struct MixerModel {
+  double conversion_gain_db = -6.0;  ///< Typical diode-ring loss.
+  double iip3_dbm = 20.0;            ///< Input IP3 (50-ohm convention).
+  double lo_feedthrough_v = 0.0;     ///< DC offset from LO self-mixing.
+
+  /// Apply gain + cubic compression to an envelope in place.
+  void apply(EnvelopeSignal& s) const;
+};
+
+/// Signature-path configuration (paper Section 4.1 defaults).
+struct LoadBoardConfig {
+  double carrier_hz = 900e6;
+  double lo_offset_hz = 100e3;   ///< f1 - f2; 0 reproduces the Eq. 4 hazard.
+  double path_phase_rad = 0.0;   ///< phi: LO path-length mismatch.
+  MixerModel up_mixer;
+  MixerModel down_mixer;
+  std::size_t lpf_order = 5;
+  double lpf_cutoff_hz = 10e6;   ///< Post-mixer anti-alias lowpass.
+};
+
+/// The analog signature path: stimulus -> mixer1 -> DUT -> mixer2 -> LPF.
+class LoadBoard {
+ public:
+  explicit LoadBoard(const LoadBoardConfig& config);
+
+  /// Run a rendered baseband stimulus (at simulation rate fs_sim) through
+  /// the board and DUT. Returns the analog signature x_s(t) at fs_sim.
+  /// rng enables DUT noise; pass nullptr for deterministic runs.
+  std::vector<double> run(const std::vector<double>& stimulus, double fs_sim,
+                          const RfDut& dut, stf::stats::Rng* rng) const;
+
+  const LoadBoardConfig& config() const { return config_; }
+
+ private:
+  LoadBoardConfig config_;
+};
+
+/// Baseband digitizer: linear resampling to the capture rate, additive
+/// measurement noise, optional quantization.
+struct Digitizer {
+  double fs_hz = 20e6;        ///< Capture sample rate.
+  double noise_rms_v = 1e-3;  ///< Additive gaussian noise (paper: 1 mV).
+  int bits = 0;               ///< 0 disables quantization.
+  double full_scale_v = 1.0;  ///< Quantizer range is [-fs, +fs].
+
+  /// Sample the analog waveform. rng may be null (no noise added).
+  std::vector<double> capture(const std::vector<double>& analog, double fs_in,
+                              stf::stats::Rng* rng) const;
+};
+
+}  // namespace stf::rf

@@ -1,0 +1,77 @@
+#include "rf/population.hpp"
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+
+#include "rf/specmeas.hpp"
+#include "stats/rng.hpp"
+#include "stats/sampling.hpp"
+
+namespace stf::rf {
+
+std::vector<DeviceRecord> make_lna_population(std::size_t n, double spread,
+                                              std::uint64_t seed) {
+  if (n == 0) throw std::invalid_argument("make_lna_population: n == 0");
+  stf::stats::UniformBox box{stf::circuit::Lna900::nominal(), spread};
+  stf::stats::Rng rng(seed);
+  std::vector<DeviceRecord> devices;
+  devices.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    DeviceRecord d;
+    d.process = box.sample(rng);
+    LnaCharacterization ch = extract_lna_dut(d.process);
+    d.specs = ch.specs;
+    d.dut = std::move(ch.dut);
+    devices.push_back(std::move(d));
+  }
+  return devices;
+}
+
+std::vector<DeviceRecord> make_rf401_population(const Rf401Options& opts,
+                                                std::uint64_t seed) {
+  if (opts.n == 0) throw std::invalid_argument("make_rf401_population: n == 0");
+  stf::stats::Rng rng(seed);
+  std::vector<DeviceRecord> devices;
+  devices.reserve(opts.n);
+  for (std::size_t i = 0; i < opts.n; ++i) {
+    // Latent process factors; specs are correlated through them the way a
+    // shared fab process correlates real device parameters.
+    const double z1 = rng.normal();
+    const double z2 = rng.normal();
+    const double z3 = rng.normal();
+    const double z_phase = rng.normal();
+
+    DeviceRecord d;
+    d.process = {z1, z2, z3, z_phase};
+    d.specs.gain_db =
+        opts.gain_nominal_db + opts.gain_sigma_db * (0.9 * z1 - 0.2 * z2);
+    d.specs.iip3_dbm = opts.iip3_nominal_dbm +
+                       opts.iip3_sigma_db * (0.7 * z2 + 0.5 * z1 + 0.2 * z3);
+    d.specs.nf_db =
+        opts.nf_nominal_db + opts.nf_sigma_db * (0.8 * z3 - 0.4 * z1);
+
+    const double h_mag = h_mag_from_transducer_gain_db(d.specs.gain_db);
+    const double phase = opts.socket_phase_sigma_rad * z_phase;
+    const Cplx h = h_mag * Cplx(std::cos(phase), std::sin(phase));
+    const double a_ip3 = iip3_dbm_to_source_amplitude(d.specs.iip3_dbm);
+    d.dut = std::make_shared<BehavioralLna>(h, a_ip3, d.specs.nf_db);
+    devices.push_back(std::move(d));
+  }
+  return devices;
+}
+
+PopulationSplit split_population(const std::vector<DeviceRecord>& devices,
+                                 std::size_t n_cal) {
+  if (n_cal == 0 || n_cal >= devices.size())
+    throw std::invalid_argument(
+        "split_population: n_cal must be in (0, devices.size())");
+  PopulationSplit s;
+  s.calibration.assign(devices.begin(),
+                       devices.begin() + static_cast<std::ptrdiff_t>(n_cal));
+  s.validation.assign(devices.begin() + static_cast<std::ptrdiff_t>(n_cal),
+                      devices.end());
+  return s;
+}
+
+}  // namespace stf::rf

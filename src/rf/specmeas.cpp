@@ -1,0 +1,129 @@
+#include "rf/specmeas.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "circuit/constants.hpp"
+#include "dsp/spectrum.hpp"
+
+namespace stf::rf {
+
+namespace {
+
+// Complex-envelope tone exp(j 2 pi f t) of the given source-EMF amplitude.
+EnvelopeSignal make_tone(double amp, double freq_off, const MeasureConfig& cfg) {
+  EnvelopeSignal s;
+  s.fs = cfg.fs_hz;
+  s.fc = cfg.carrier_hz;
+  s.x.resize(cfg.n_samples);
+  const double dphi = 2.0 * std::numbers::pi * freq_off / cfg.fs_hz;
+  for (std::size_t i = 0; i < cfg.n_samples; ++i) {
+    const double ang = dphi * static_cast<double>(i);
+    s.x[i] = amp * Cplx(std::cos(ang), std::sin(ang));
+  }
+  return s;
+}
+
+double dbm_to_emf_amplitude(double dbm, double rs) {
+  const double watts = 1e-3 * std::pow(10.0, dbm / 10.0);
+  return std::sqrt(8.0 * rs * watts);
+}
+
+}  // namespace
+
+double transducer_gain_db_from_h(double h_mag, double rs_ohms,
+                                 double rl_ohms) {
+  if (h_mag <= 0.0)
+    throw std::invalid_argument("transducer_gain_db_from_h: h_mag <= 0");
+  return 10.0 * std::log10(h_mag * h_mag * 4.0 * rs_ohms / rl_ohms);
+}
+
+double h_mag_from_transducer_gain_db(double gain_db, double rs_ohms,
+                                     double rl_ohms) {
+  return std::sqrt(std::pow(10.0, gain_db / 10.0) * rl_ohms /
+                   (4.0 * rs_ohms));
+}
+
+double measure_gain_db(const RfDut& dut, const MeasureConfig& cfg) {
+  const double amp = dbm_to_emf_amplitude(cfg.level_dbm, cfg.rs_ohms);
+  const EnvelopeSignal in = make_tone(amp, cfg.tone_offset_hz, cfg);
+  const EnvelopeSignal out = dut.process(in, nullptr);
+  const double a_out =
+      stf::dsp::tone_amplitude(out.x, cfg.tone_offset_hz, cfg.fs_hz);
+  return transducer_gain_db_from_h(a_out / amp, cfg.rs_ohms, cfg.rl_ohms);
+}
+
+double measure_iip3_dbm(const RfDut& dut, const MeasureConfig& cfg) {
+  const double amp = dbm_to_emf_amplitude(cfg.level_dbm, cfg.rs_ohms);
+  const double f_a = cfg.tone_offset_hz;
+  const double f_b = cfg.tone_offset_hz + cfg.tone_spacing_hz;
+  EnvelopeSignal in = make_tone(amp, f_a, cfg);
+  const EnvelopeSignal tone_b = make_tone(amp, f_b, cfg);
+  for (std::size_t i = 0; i < in.x.size(); ++i) in.x[i] += tone_b.x[i];
+
+  const EnvelopeSignal out = dut.process(in, nullptr);
+  const double a_fund = stf::dsp::tone_amplitude(out.x, f_a, cfg.fs_hz);
+  const double a_im3 =
+      stf::dsp::tone_amplitude(out.x, 2.0 * f_a - f_b, cfg.fs_hz);
+  if (a_fund <= 0.0)
+    throw std::runtime_error("measure_iip3_dbm: no fundamental at output");
+  if (a_im3 <= 0.0)
+    throw std::runtime_error("measure_iip3_dbm: IM3 below numerical floor");
+  const double delta_db = 20.0 * std::log10(a_fund / a_im3);
+  return cfg.level_dbm + delta_db / 2.0;
+}
+
+double measure_nf_db(const RfDut& dut, const MeasureConfig& cfg,
+                     stf::stats::Rng& rng, int n_avg) {
+  if (n_avg < 1) throw std::invalid_argument("measure_nf_db: n_avg < 1");
+  // Gain from a clean tone run.
+  const double amp = dbm_to_emf_amplitude(cfg.level_dbm, cfg.rs_ohms);
+  const EnvelopeSignal tone = make_tone(amp, cfg.tone_offset_hz, cfg);
+  const EnvelopeSignal tone_out = dut.process(tone, nullptr);
+  const double h =
+      stf::dsp::tone_amplitude(tone_out.x, cfg.tone_offset_hz, cfg.fs_hz) /
+      amp;
+
+  // Calibrated source noise floor: EMF PSD 4kT Rs, complex envelope
+  // per-quadrature variance PSD * fs / 2 (matching BehavioralLna).
+  const double psd_src = 4.0 * stf::circuit::kBoltzmann *
+                         stf::circuit::kNoiseTemperature * cfg.rs_ohms;
+  const double sigma = std::sqrt(psd_src * cfg.fs_hz / 2.0);
+
+  double psd_out_acc = 0.0;
+  for (int k = 0; k < n_avg; ++k) {
+    EnvelopeSignal in;
+    in.fs = cfg.fs_hz;
+    in.fc = cfg.carrier_hz;
+    in.x.resize(cfg.n_samples);
+    for (auto& v : in.x)
+      v = Cplx(rng.normal(0.0, sigma), rng.normal(0.0, sigma));
+    const EnvelopeSignal out = dut.process(in, &rng);
+    psd_out_acc += envelope_power(out) / cfg.fs_hz;
+  }
+  const double psd_out = psd_out_acc / n_avg;
+  return 10.0 * std::log10(psd_out / (h * h * psd_src));
+}
+
+double measure_p1db_dbm(const RfDut& dut, const MeasureConfig& cfg) {
+  MeasureConfig sweep = cfg;
+  sweep.level_dbm = -60.0;
+  const double g0 = measure_gain_db(dut, sweep);
+  double prev_level = sweep.level_dbm;
+  double prev_drop = 0.0;
+  for (double level = -50.0; level <= 30.0; level += 0.5) {
+    sweep.level_dbm = level;
+    const double drop = g0 - measure_gain_db(dut, sweep);
+    if (drop >= 1.0) {
+      // Linear interpolation between the bracketing sweep points.
+      const double frac = (1.0 - prev_drop) / (drop - prev_drop);
+      return prev_level + frac * (level - prev_level);
+    }
+    prev_level = level;
+    prev_drop = drop;
+  }
+  throw std::runtime_error("measure_p1db_dbm: no compression up to +30 dBm");
+}
+
+}  // namespace stf::rf

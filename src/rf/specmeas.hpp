@@ -1,0 +1,59 @@
+// Envelope-domain "conventional tester" measurements.
+//
+// These routines emulate the per-specification parametric tests a
+// conventional RF ATE runs (paper Fig. 1, left path): single-tone gain,
+// two-tone IIP3, gain-method noise figure, and a 1 dB compression sweep.
+// Each needs its own stimulus and acquisition -- exactly the per-test setup
+// cost the signature method eliminates. They also serve as the reference
+// ("measured") spec values for the hardware-study population, mirroring how
+// the paper's RF401 devices were characterized on a full RF ATE.
+#pragma once
+
+#include "rf/dut.hpp"
+#include "rf/envelope.hpp"
+#include "stats/rng.hpp"
+
+namespace stf::rf {
+
+/// Shared measurement conditions.
+struct MeasureConfig {
+  double carrier_hz = 900e6;
+  double fs_hz = 40e6;        ///< Envelope simulation rate.
+  std::size_t n_samples = 4096;
+  double rs_ohms = 50.0;      ///< Source/load reference impedance.
+  double rl_ohms = 50.0;
+  double tone_offset_hz = 1e6;   ///< Test-tone offset from the carrier.
+  double tone_spacing_hz = 2e6;  ///< Two-tone spacing for IIP3.
+  double level_dbm = -30.0;      ///< Per-tone available input power.
+};
+
+/// Transducer gain in dB from a single-tone measurement.
+double measure_gain_db(const RfDut& dut, const MeasureConfig& cfg);
+
+/// Input IP3 in dBm from a two-tone measurement (tones at
+/// tone_offset_hz and tone_offset_hz + tone_spacing_hz; IM3 read at
+/// tone_offset_hz - tone_spacing_hz).
+double measure_iip3_dbm(const RfDut& dut, const MeasureConfig& cfg);
+
+/// Noise figure in dB by the gain method: a calibrated source noise floor
+/// (4kT Rs) is injected, the output noise PSD is measured, and
+/// F = PSD_out / (|H|^2 * PSD_src). Needs an RNG for the noise realizations;
+/// n_avg captures are averaged to tame estimator variance.
+double measure_nf_db(const RfDut& dut, const MeasureConfig& cfg,
+                     stf::stats::Rng& rng, int n_avg = 8);
+
+/// Input-referred 1 dB compression point in dBm (level sweep). Returns the
+/// available input power at which gain has fallen 1 dB from its small-signal
+/// value. Throws if compression is not reached within the sweep range.
+double measure_p1db_dbm(const RfDut& dut, const MeasureConfig& cfg);
+
+/// Convert |H| (source EMF -> output voltage transfer) to transducer gain
+/// in dB for the given port impedances.
+double transducer_gain_db_from_h(double h_mag, double rs_ohms = 50.0,
+                                 double rl_ohms = 50.0);
+
+/// Inverse of transducer_gain_db_from_h.
+double h_mag_from_transducer_gain_db(double gain_db, double rs_ohms = 50.0,
+                                     double rl_ohms = 50.0);
+
+}  // namespace stf::rf

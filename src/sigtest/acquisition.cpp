@@ -1,0 +1,152 @@
+#include "sigtest/acquisition.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+#include "rf/loadboard.hpp"
+
+namespace stf::sigtest {
+
+SignatureTestConfig SignatureTestConfig::simulation_study() {
+  SignatureTestConfig c;
+  c.board.carrier_hz = 900e6;
+  c.board.lo_offset_hz = 100e3;
+  c.board.lpf_order = 5;
+  c.board.lpf_cutoff_hz = 10e6;
+  c.digitizer.fs_hz = 20e6;
+  c.digitizer.noise_rms_v = 1e-3;  // paper: 1 mV gaussian noise
+  c.fs_sim_hz = 80e6;
+  c.capture_s = 5e-6;
+  c.signature_band_hz = 10e6;
+  return c;
+}
+
+SignatureTestConfig SignatureTestConfig::hardware_study() {
+  SignatureTestConfig c;
+  c.board.carrier_hz = 900e6;
+  c.board.lo_offset_hz = 100e3;  // LOs at 900 MHz and 900.1 MHz
+  c.board.lpf_order = 5;
+  c.board.lpf_cutoff_hz = 400e3;
+  c.digitizer.fs_hz = 1e6;       // 1 MHz digitizing rate
+  c.digitizer.noise_rms_v = 1e-3;
+  c.fs_sim_hz = 4e6;
+  c.capture_s = 5e-3;            // 5 ms of data capture
+  c.signature_band_hz = 400e3;
+  return c;
+}
+
+SignatureAcquirer::SignatureAcquirer(const SignatureTestConfig& config,
+                                     std::size_t max_bins)
+    : config_(config), max_bins_(max_bins) {
+  if (max_bins_ == 0)
+    throw std::invalid_argument("SignatureAcquirer: max_bins must be > 0");
+  if (config_.capture_s <= 0.0)
+    throw std::invalid_argument("SignatureAcquirer: capture_s must be > 0");
+}
+
+std::vector<double> SignatureAcquirer::raw_capture(
+    const stf::rf::RfDut& dut, const stf::dsp::PwlWaveform& stimulus,
+    stf::stats::Rng* rng) const {
+  const auto n_sim = static_cast<std::size_t>(
+                         std::floor(config_.capture_s * config_.fs_sim_hz)) +
+                     1;
+  const std::vector<double> rendered =
+      stimulus.render(config_.fs_sim_hz, n_sim);
+  const stf::rf::LoadBoard board(config_.board);
+  const std::vector<double> analog =
+      board.run(rendered, config_.fs_sim_hz, dut, rng);
+  return config_.digitizer.capture(analog, config_.fs_sim_hz, rng);
+}
+
+namespace {
+
+// Group-average a vector down to at most max_bins entries.
+std::vector<double> pool_bins(const std::vector<double>& bins,
+                              std::size_t max_bins) {
+  if (bins.size() <= max_bins) return bins;
+  const std::size_t group =
+      (bins.size() + max_bins - 1) / max_bins;  // ceil division
+  std::vector<double> out;
+  out.reserve(max_bins);
+  for (std::size_t i = 0; i < bins.size(); i += group) {
+    const std::size_t end = std::min(i + group, bins.size());
+    double acc = 0.0;
+    for (std::size_t j = i; j < end; ++j) acc += bins[j];
+    out.push_back(acc / static_cast<double>(end - i));
+  }
+  return out;
+}
+
+}  // namespace
+
+Signature SignatureAcquirer::to_signature(
+    const std::vector<double>& capture) const {
+  if (!config_.use_fft_magnitude)
+    return pool_bins(capture, max_bins_);
+
+  // Zero-pad to a power of two, take the normalized magnitude spectrum and
+  // keep the in-band bins: the magnitude step is what removes the Eq. 5
+  // phase term from the signature.
+  const std::size_t n_fft = stf::dsp::next_pow2(capture.size());
+  std::vector<stf::dsp::cplx> padded(n_fft, stf::dsp::cplx{});
+  for (std::size_t i = 0; i < capture.size(); ++i)
+    padded[i] = stf::dsp::cplx(capture[i], 0.0);
+  const auto spec = stf::dsp::fft(padded);
+
+  const double band = config_.signature_band_hz > 0.0
+                          ? config_.signature_band_hz
+                          : config_.digitizer.fs_hz / 2.0;
+  auto n_keep = static_cast<std::size_t>(
+      band / config_.digitizer.fs_hz * static_cast<double>(n_fft));
+  n_keep = std::min(std::max<std::size_t>(n_keep, 2), n_fft / 2);
+
+  std::vector<double> bins(n_keep);
+  for (std::size_t k = 0; k < n_keep; ++k)
+    bins[k] = std::abs(spec[k]) / static_cast<double>(capture.size());
+  return pool_bins(bins, max_bins_);
+}
+
+Signature SignatureAcquirer::acquire(const stf::rf::RfDut& dut,
+                                     const stf::dsp::PwlWaveform& stimulus,
+                                     stf::stats::Rng* rng) const {
+  return to_signature(raw_capture(dut, stimulus, rng));
+}
+
+std::size_t SignatureAcquirer::signature_length() const {
+  const auto n_cap = static_cast<std::size_t>(std::floor(
+                         config_.capture_s * config_.digitizer.fs_hz)) +
+                     1;
+  if (!config_.use_fft_magnitude) return std::min(n_cap, max_bins_);
+  const std::size_t n_fft = stf::dsp::next_pow2(n_cap);
+  const double band = config_.signature_band_hz > 0.0
+                          ? config_.signature_band_hz
+                          : config_.digitizer.fs_hz / 2.0;
+  auto n_keep = static_cast<std::size_t>(
+      band / config_.digitizer.fs_hz * static_cast<double>(n_fft));
+  n_keep = std::min(std::max<std::size_t>(n_keep, 2), n_fft / 2);
+  return std::min(n_keep, max_bins_);
+}
+
+double SignatureAcquirer::expected_bin_noise_sigma() const {
+  const auto n_cap = static_cast<std::size_t>(std::floor(
+                         config_.capture_s * config_.digitizer.fs_hz)) +
+                     1;
+  const double sigma_t = config_.digitizer.noise_rms_v;
+  if (!config_.use_fft_magnitude) return sigma_t;
+  // White time-domain noise of std sigma_t spreads across the FFT: each
+  // normalized complex bin has std sigma_t / sqrt(n); group-averaging g
+  // bins reduces it by sqrt(g) more.
+  const std::size_t n_fft = stf::dsp::next_pow2(n_cap);
+  const std::size_t len = signature_length();
+  const double band = config_.signature_band_hz > 0.0
+                          ? config_.signature_band_hz
+                          : config_.digitizer.fs_hz / 2.0;
+  auto n_keep = static_cast<std::size_t>(
+      band / config_.digitizer.fs_hz * static_cast<double>(n_fft));
+  n_keep = std::min(std::max<std::size_t>(n_keep, 2), n_fft / 2);
+  const double group = static_cast<double>((n_keep + len - 1) / len);
+  return sigma_t / std::sqrt(static_cast<double>(n_cap) * group);
+}
+
+}  // namespace stf::sigtest

@@ -1,0 +1,55 @@
+// Signature acquisition: stimulus -> load board -> DUT -> digitizer -> FFT
+// magnitude (paper Fig. 3).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/pwl.hpp"
+#include "rf/dut.hpp"
+#include "sigtest/config.hpp"
+#include "stats/rng.hpp"
+
+namespace stf::sigtest {
+
+/// A signature is a real feature vector extracted from one acquisition
+/// (FFT-magnitude bins in the production configuration).
+using Signature = std::vector<double>;
+
+/// Runs the full signature pipeline for one DUT and one stimulus.
+class SignatureAcquirer {
+ public:
+  /// max_bins caps the signature dimension; longer captures are
+  /// group-averaged down (spectral smoothing) so the regression stays
+  /// well-posed for small calibration sets.
+  explicit SignatureAcquirer(const SignatureTestConfig& config,
+                             std::size_t max_bins = 64);
+
+  /// Acquire a signature. rng enables DUT + digitizer noise; nullptr gives
+  /// the noiseless response used for sensitivity estimation.
+  Signature acquire(const stf::rf::RfDut& dut,
+                    const stf::dsp::PwlWaveform& stimulus,
+                    stf::stats::Rng* rng) const;
+
+  /// The digitized time-domain capture (before the FFT stage).
+  std::vector<double> raw_capture(const stf::rf::RfDut& dut,
+                                  const stf::dsp::PwlWaveform& stimulus,
+                                  stf::stats::Rng* rng) const;
+
+  /// Signature length produced by acquire() for this configuration.
+  std::size_t signature_length() const;
+
+  /// Approximate standard deviation of the digitizer noise as seen on one
+  /// signature bin -- the sigma_m of the Eq. 10 objective.
+  double expected_bin_noise_sigma() const;
+
+  const SignatureTestConfig& config() const { return config_; }
+
+ private:
+  Signature to_signature(const std::vector<double>& capture) const;
+
+  SignatureTestConfig config_;
+  std::size_t max_bins_;
+};
+
+}  // namespace stf::sigtest

@@ -1,0 +1,375 @@
+#include "sigtest/calibration.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "linalg/lstsq.hpp"
+
+namespace stf::sigtest {
+
+CalibrationModel::CalibrationModel(CalibrationOptions options)
+    : options_(options) {
+  if (options_.poly_degree < 1 || options_.poly_degree > 3)
+    throw std::invalid_argument(
+        "CalibrationModel: poly_degree must be 1, 2 or 3");
+  if (options_.ridge_lambda < 0.0)
+    throw std::invalid_argument("CalibrationModel: ridge_lambda < 0");
+}
+
+std::vector<double> CalibrationModel::features(
+    const Signature& signature) const {
+  if (signature.size() != bin_mean_.size())
+    throw std::invalid_argument(
+        "CalibrationModel: signature length does not match training");
+  const std::size_t m = signature.size();
+  std::vector<double> f;
+  f.reserve(1 + m * options_.poly_degree);
+  f.push_back(1.0);  // bias
+  std::vector<double> z(m);
+  for (std::size_t i = 0; i < m; ++i)
+    z[i] = bin_alive_[i] ? (signature[i] - bin_mean_[i]) / bin_scale_[i] : 0.0;
+  for (std::size_t d = 1; d <= options_.poly_degree; ++d)
+    for (std::size_t i = 0; i < m; ++i) f.push_back(std::pow(z[i], d));
+  return f;
+}
+
+void CalibrationModel::fit(const stf::la::Matrix& signatures,
+                           const stf::la::Matrix& specs,
+                           const std::vector<double>& noise_var) {
+  const std::size_t n = signatures.rows();
+  const std::size_t m = signatures.cols();
+  if (n < 2) throw std::invalid_argument("CalibrationModel::fit: n < 2");
+  if (specs.rows() != n)
+    throw std::invalid_argument("CalibrationModel::fit: row mismatch");
+  if (!noise_var.empty() && noise_var.size() != m)
+    throw std::invalid_argument(
+        "CalibrationModel::fit: noise_var length mismatch");
+  const std::size_t n_specs = specs.cols();
+  if (n_specs == 0)
+    throw std::invalid_argument("CalibrationModel::fit: no specs");
+
+  // Per-bin normalization: center on the training mean, scale by the
+  // combined device variation + single-capture noise floor. Constant
+  // noiseless bins get unit scale so they contribute a harmless zero
+  // feature.
+  bin_mean_.assign(m, 0.0);
+  bin_scale_.assign(m, 1.0);
+  bin_alive_.assign(m, true);
+  for (std::size_t j = 0; j < m; ++j) {
+    double mu = 0.0;
+    for (std::size_t i = 0; i < n; ++i) mu += signatures(i, j);
+    mu /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = signatures(i, j) - mu;
+      var += d * d;
+    }
+    var /= static_cast<double>(n);
+    bin_mean_[j] = mu;
+    if (!noise_var.empty()) {
+      // SNR screen: a bin carrying less device information than one
+      // capture's noise is a liability, not a feature.
+      const double snr2 = options_.min_bin_snr * options_.min_bin_snr;
+      if (var < snr2 * noise_var[j]) bin_alive_[j] = false;
+      var += noise_var[j];
+    }
+    bin_scale_[j] = var > 1e-30 ? std::sqrt(var) : 1.0;
+  }
+
+  // Target normalization.
+  spec_mean_.assign(n_specs, 0.0);
+  spec_scale_.assign(n_specs, 1.0);
+  for (std::size_t s = 0; s < n_specs; ++s) {
+    double mu = 0.0;
+    for (std::size_t i = 0; i < n; ++i) mu += specs(i, s);
+    mu /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = specs(i, s) - mu;
+      var += d * d;
+    }
+    var /= static_cast<double>(n);
+    spec_mean_[s] = mu;
+    spec_scale_[s] = var > 1e-30 ? std::sqrt(var) : 1.0;
+  }
+
+  // Design matrix over normalized features (shared across specs).
+  // Mark fitted_ early so features() accepts rows -- fit fully overwrites
+  // the state below either way.
+  const std::size_t n_features = 1 + m * options_.poly_degree;
+  stf::la::Matrix design(n, n_features);
+  for (std::size_t i = 0; i < n; ++i) {
+    Signature row(m);
+    for (std::size_t j = 0; j < m; ++j) row[j] = signatures(i, j);
+    design.set_row(i, features(row));
+  }
+
+  weights_ = stf::la::Matrix(n_specs, n_features);
+  for (std::size_t s = 0; s < n_specs; ++s) {
+    std::vector<double> target(n);
+    for (std::size_t i = 0; i < n; ++i)
+      target[i] = (specs(i, s) - spec_mean_[s]) / spec_scale_[s];
+    weights_.set_row(s,
+                     stf::la::ridge(design, target, options_.ridge_lambda));
+  }
+  fitted_ = true;
+}
+
+void fit_from_captures(CalibrationModel& model, std::size_t n_devices,
+                       const CaptureFn& capture, const SpecsFn& specs,
+                       int n_avg) {
+  if (n_devices < 2)
+    throw std::invalid_argument("fit_from_captures: need >= 2 devices");
+  if (n_avg < 1) throw std::invalid_argument("fit_from_captures: n_avg < 1");
+  if (!capture || !specs)
+    throw std::invalid_argument("fit_from_captures: null callback");
+
+  // Probe device 0 once to size the matrices.
+  const Signature first = capture(0);
+  const std::size_t m = first.size();
+  const std::vector<double> first_specs = specs(0);
+  const std::size_t n_specs = first_specs.size();
+  if (m == 0 || n_specs == 0)
+    throw std::invalid_argument("fit_from_captures: empty capture or specs");
+
+  stf::la::Matrix signatures(n_devices, m);
+  stf::la::Matrix spec_matrix(n_devices, n_specs);
+  std::vector<double> noise_var(m, 0.0);
+  std::size_t noise_dof = 0;
+
+  for (std::size_t i = 0; i < n_devices; ++i) {
+    std::vector<Signature> captures;
+    captures.reserve(static_cast<std::size_t>(n_avg));
+    // Reuse the probe capture for device 0 so budgets stay exact.
+    if (i == 0) captures.push_back(first);
+    while (captures.size() < static_cast<std::size_t>(n_avg)) {
+      Signature s = capture(i);
+      if (s.size() != m)
+        throw std::runtime_error("fit_from_captures: capture size changed");
+      captures.push_back(std::move(s));
+    }
+    Signature mean(m, 0.0);
+    for (const Signature& s : captures)
+      for (std::size_t j = 0; j < m; ++j) mean[j] += s[j];
+    for (double& v : mean) v /= static_cast<double>(captures.size());
+    signatures.set_row(i, mean);
+    if (n_avg >= 2) {
+      for (const Signature& s : captures)
+        for (std::size_t j = 0; j < m; ++j) {
+          const double d = s[j] - mean[j];
+          noise_var[j] += d * d;
+        }
+      noise_dof += captures.size() - 1;
+    }
+    const std::vector<double> p = specs(i);
+    if (p.size() != n_specs)
+      throw std::runtime_error("fit_from_captures: spec size changed");
+    spec_matrix.set_row(i, p);
+  }
+
+  if (noise_dof > 0) {
+    for (double& v : noise_var) v /= static_cast<double>(noise_dof);
+    model.fit(signatures, spec_matrix, noise_var);
+  } else {
+    model.fit(signatures, spec_matrix);
+  }
+}
+
+std::vector<double> CalibrationModel::predict(
+    const Signature& signature) const {
+  if (!fitted_)
+    throw std::logic_error("CalibrationModel::predict: model not fitted");
+  const std::vector<double> f = features(signature);
+  std::vector<double> out(weights_.rows());
+  for (std::size_t s = 0; s < weights_.rows(); ++s) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < f.size(); ++j) acc += weights_(s, j) * f[j];
+    out[s] = acc * spec_scale_[s] + spec_mean_[s];
+  }
+  return out;
+}
+
+std::string CalibrationModel::serialize() const {
+  if (!fitted_)
+    throw std::logic_error("CalibrationModel::serialize: model not fitted");
+  std::ostringstream os;
+  os.precision(17);
+  os << "sigtest-calibration v1\n";
+  os << "poly_degree " << options_.poly_degree << '\n';
+  os << "ridge_lambda " << options_.ridge_lambda << '\n';
+  os << "min_bin_snr " << options_.min_bin_snr << '\n';
+  auto emit = [&os](const char* key, const std::vector<double>& v) {
+    os << key << ' ' << v.size();
+    for (double x : v) os << ' ' << x;
+    os << '\n';
+  };
+  emit("bin_mean", bin_mean_);
+  emit("bin_scale", bin_scale_);
+  os << "bin_alive " << bin_alive_.size();
+  for (bool alive : bin_alive_) os << ' ' << (alive ? 1 : 0);
+  os << '\n';
+  emit("spec_mean", spec_mean_);
+  emit("spec_scale", spec_scale_);
+  os << "weights " << weights_.rows() << ' ' << weights_.cols();
+  for (std::size_t r = 0; r < weights_.rows(); ++r)
+    for (std::size_t c = 0; c < weights_.cols(); ++c)
+      os << ' ' << weights_(r, c);
+  os << '\n';
+  return os.str();
+}
+
+CalibrationModel CalibrationModel::deserialize(const std::string& text) {
+  std::istringstream is(text);
+  std::string magic, version;
+  if (!(is >> magic >> version) || magic != "sigtest-calibration" ||
+      version != "v1")
+    throw std::invalid_argument(
+        "CalibrationModel::deserialize: bad header");
+
+  auto expect_key = [&is](const char* key) {
+    std::string k;
+    if (!(is >> k) || k != key)
+      throw std::invalid_argument(
+          std::string("CalibrationModel::deserialize: expected ") + key);
+  };
+  auto read_vector = [&](const char* key) {
+    expect_key(key);
+    std::size_t n = 0;
+    if (!(is >> n))
+      throw std::invalid_argument(
+          "CalibrationModel::deserialize: bad vector length");
+    std::vector<double> v(n);
+    for (double& x : v)
+      if (!(is >> x))
+        throw std::invalid_argument(
+            "CalibrationModel::deserialize: truncated vector");
+    return v;
+  };
+
+  CalibrationOptions opts;
+  expect_key("poly_degree");
+  is >> opts.poly_degree;
+  expect_key("ridge_lambda");
+  is >> opts.ridge_lambda;
+  expect_key("min_bin_snr");
+  is >> opts.min_bin_snr;
+  if (!is)
+    throw std::invalid_argument(
+        "CalibrationModel::deserialize: bad options block");
+
+  CalibrationModel model(opts);
+  model.bin_mean_ = read_vector("bin_mean");
+  model.bin_scale_ = read_vector("bin_scale");
+  {
+    expect_key("bin_alive");
+    std::size_t n = 0;
+    is >> n;
+    model.bin_alive_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      int flag = 0;
+      if (!(is >> flag))
+        throw std::invalid_argument(
+            "CalibrationModel::deserialize: truncated bin_alive");
+      model.bin_alive_[i] = flag != 0;
+    }
+  }
+  model.spec_mean_ = read_vector("spec_mean");
+  model.spec_scale_ = read_vector("spec_scale");
+  {
+    expect_key("weights");
+    std::size_t rows = 0, cols = 0;
+    if (!(is >> rows >> cols))
+      throw std::invalid_argument(
+          "CalibrationModel::deserialize: bad weights shape");
+    model.weights_ = stf::la::Matrix(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t c = 0; c < cols; ++c)
+        if (!(is >> model.weights_(r, c)))
+          throw std::invalid_argument(
+              "CalibrationModel::deserialize: truncated weights");
+  }
+  if (model.bin_mean_.size() != model.bin_scale_.size() ||
+      model.bin_mean_.size() != model.bin_alive_.size() ||
+      model.spec_mean_.size() != model.spec_scale_.size() ||
+      model.weights_.rows() != model.spec_mean_.size() ||
+      model.weights_.cols() !=
+          1 + model.bin_mean_.size() * opts.poly_degree)
+    throw std::invalid_argument(
+        "CalibrationModel::deserialize: inconsistent dimensions");
+  model.fitted_ = true;
+  return model;
+}
+
+CalibrationOptions select_ridge_by_cv(const stf::la::Matrix& signatures,
+                                      const stf::la::Matrix& specs,
+                                      CalibrationOptions base,
+                                      const std::vector<double>& lambdas,
+                                      std::size_t k_folds) {
+  const std::size_t n = signatures.rows();
+  if (lambdas.empty())
+    throw std::invalid_argument("select_ridge_by_cv: empty lambda grid");
+  if (k_folds < 2 || n < 2 * k_folds)
+    throw std::invalid_argument("select_ridge_by_cv: too few rows for folds");
+  const std::size_t n_specs = specs.cols();
+
+  // Per-spec normalization so specs with different units weigh equally.
+  std::vector<double> spec_scale(n_specs, 1.0);
+  for (std::size_t s = 0; s < n_specs; ++s) {
+    double mu = 0.0;
+    for (std::size_t i = 0; i < n; ++i) mu += specs(i, s);
+    mu /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = specs(i, s) - mu;
+      var += d * d;
+    }
+    var /= static_cast<double>(n);
+    spec_scale[s] = var > 1e-30 ? std::sqrt(var) : 1.0;
+  }
+
+  double best_score = std::numeric_limits<double>::infinity();
+  double best_lambda = lambdas.front();
+  for (const double lambda : lambdas) {
+    if (lambda < 0.0)
+      throw std::invalid_argument("select_ridge_by_cv: negative lambda");
+    double score = 0.0;
+    std::size_t count = 0;
+    for (std::size_t fold = 0; fold < k_folds; ++fold) {
+      // Contiguous folds: row i is held out when i % k_folds == fold.
+      std::vector<std::size_t> train_rows, test_rows;
+      for (std::size_t i = 0; i < n; ++i)
+        (i % k_folds == fold ? test_rows : train_rows).push_back(i);
+
+      stf::la::Matrix train_sig(train_rows.size(), signatures.cols());
+      stf::la::Matrix train_specs(train_rows.size(), n_specs);
+      for (std::size_t r = 0; r < train_rows.size(); ++r) {
+        train_sig.set_row(r, signatures.row(train_rows[r]));
+        train_specs.set_row(r, specs.row(train_rows[r]));
+      }
+      CalibrationOptions opts = base;
+      opts.ridge_lambda = lambda;
+      CalibrationModel model(opts);
+      model.fit(train_sig, train_specs);
+
+      for (const std::size_t i : test_rows) {
+        const auto pred = model.predict(signatures.row(i));
+        for (std::size_t s = 0; s < n_specs; ++s) {
+          const double e = (pred[s] - specs(i, s)) / spec_scale[s];
+          score += e * e;
+          ++count;
+        }
+      }
+    }
+    score /= static_cast<double>(count);
+    if (score < best_score) {
+      best_score = score;
+      best_lambda = lambda;
+    }
+  }
+  base.ridge_lambda = best_lambda;
+  return base;
+}
+
+}  // namespace stf::sigtest

@@ -1,0 +1,113 @@
+// Calibration: nonlinear regression from signatures to specifications.
+//
+// This is the paper's "normalized calibration relationships" stage
+// (Section 3.2, Fig. 5): a one-time training pass on devices measured both
+// ways (specs on an RF ATE / direct simulation, signatures on the low-cost
+// path). Features are z-score normalized signature bins plus their squares
+// (a compact nonlinear basis in the spirit of the MARS-style regressors the
+// paper cites); one ridge-regularized linear model per specification keeps
+// the fit stable when bins are collinear or the calibration set is small
+// (28 devices in the hardware study).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "sigtest/acquisition.hpp"
+
+namespace stf::sigtest {
+
+struct CalibrationOptions {
+  /// Polynomial feature degree over normalized bins: 1 = linear,
+  /// 2 = adds elementwise squares.
+  std::size_t poly_degree = 2;
+  /// Ridge regularization strength on the normalized design matrix.
+  double ridge_lambda = 1e-2;
+  /// Bins whose device-to-device variance is below
+  /// (min_bin_snr^2 * capture noise variance) are dropped from the feature
+  /// set: such bins are unit-variance *noise* features after normalization,
+  /// and with few calibration devices the regression will happily use them
+  /// to interpolate the training targets, then explode on fresh captures.
+  /// Only active when fit() receives a noise_var estimate.
+  double min_bin_snr = 1.0;
+};
+
+/// Per-spec ridge regression on normalized polynomial signature features.
+class CalibrationModel {
+ public:
+  explicit CalibrationModel(CalibrationOptions options = {});
+
+  /// Fit from n training devices: signatures (n x m matrix, one row per
+  /// device) and specs (n x n_specs). Throws if n < 2 or sizes mismatch.
+  ///
+  /// noise_var (optional, length m) is the per-bin variance of ONE
+  /// production capture's measurement noise. It is folded into the feature
+  /// scale (scale_j = sqrt(device_var_j + noise_var_j)), so bins whose
+  /// device-to-device variation is below the noise floor are not amplified
+  /// into pure-noise features -- without this, averaged calibration
+  /// signatures followed by single-capture production signatures push weak
+  /// bins many "calibration sigmas" out of distribution and polynomial
+  /// features explode.
+  void fit(const stf::la::Matrix& signatures, const stf::la::Matrix& specs,
+           const std::vector<double>& noise_var = {});
+
+  /// Predict all specs for one signature. Throws if not fitted or the
+  /// signature length differs from training.
+  std::vector<double> predict(const Signature& signature) const;
+
+  bool fitted() const { return fitted_; }
+  std::size_t n_specs() const { return weights_.rows(); }
+  std::size_t signature_length() const { return bin_mean_.size(); }
+
+  /// Text serialization of a fitted model (versioned, line-oriented), for
+  /// deploying calibrations from the characterization lab to production
+  /// testers. Round-trips exactly: deserialize(serialize()) predicts
+  /// identically.
+  std::string serialize() const;
+  static CalibrationModel deserialize(const std::string& text);
+
+ private:
+  std::vector<double> features(const Signature& signature) const;
+
+  CalibrationOptions options_;
+  bool fitted_ = false;
+  // Feature normalization (per signature bin).
+  std::vector<double> bin_mean_;
+  std::vector<double> bin_scale_;
+  // Bins failing the SNR screen contribute zero features.
+  std::vector<bool> bin_alive_;
+  // Target normalization (per spec).
+  std::vector<double> spec_mean_;
+  std::vector<double> spec_scale_;
+  // One weight row per spec over the feature vector (incl. bias).
+  stf::la::Matrix weights_;
+};
+
+/// Produces one (noisy) signature capture of training device i.
+using CaptureFn = std::function<Signature(std::size_t device_index)>;
+/// Reference specification vector of training device i.
+using SpecsFn = std::function<std::vector<double>(std::size_t device_index)>;
+
+/// Shared calibration driver: averages n_avg captures per device,
+/// estimates the per-bin single-capture noise variance from the repeats,
+/// and fits the model with that estimate (enabling the SNR bin screen).
+/// Used by both the RF (FastestRuntime) and baseband-analog runtimes.
+void fit_from_captures(CalibrationModel& model, std::size_t n_devices,
+                       const CaptureFn& capture, const SpecsFn& specs,
+                       int n_avg);
+
+/// Select the ridge strength by k-fold cross-validation over a candidate
+/// grid: for each lambda, fit on k-1 folds and score the held-out fold's
+/// RMS error (per spec, normalized by that spec's overall spread, then
+/// averaged); returns `base` with ridge_lambda set to the winner. Throws
+/// if there are fewer rows than folds or the grid is empty.
+CalibrationOptions select_ridge_by_cv(const stf::la::Matrix& signatures,
+                                      const stf::la::Matrix& specs,
+                                      CalibrationOptions base,
+                                      const std::vector<double>& lambdas,
+                                      std::size_t k_folds = 5);
+
+}  // namespace stf::sigtest

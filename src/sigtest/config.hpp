@@ -1,0 +1,35 @@
+// Signature-test configuration: everything Figs. 2-3 parameterize.
+#pragma once
+
+#include <cstddef>
+
+#include "rf/loadboard.hpp"
+
+namespace stf::sigtest {
+
+/// Full signature-path configuration: load board + digitizer + signature
+/// definition. Defaults reproduce the paper's simulation study
+/// (Section 4.1): 900 MHz carrier, 10 MHz LPF, 20 MHz capture, 5 us window,
+/// 1 mV added noise, FFT-magnitude signature.
+struct SignatureTestConfig {
+  stf::rf::LoadBoardConfig board;
+  stf::rf::Digitizer digitizer;
+  double fs_sim_hz = 80e6;      ///< Envelope simulation rate.
+  double capture_s = 5e-6;      ///< Acquisition window.
+  /// Keep FFT-magnitude bins from DC up to this frequency (the band the
+  /// LPF passes); 0 keeps every non-redundant bin.
+  double signature_band_hz = 10e6;
+  /// When false the signature is the raw time-domain capture instead of
+  /// the FFT magnitude -- the Fig. 2 (phase-sensitive) configuration,
+  /// kept for the Eq. 4/5 ablation.
+  bool use_fft_magnitude = true;
+
+  /// Paper Section 4.1 configuration (simulation study).
+  static SignatureTestConfig simulation_study();
+
+  /// Paper Section 4.2 configuration (hardware study): 100 kHz LO offset,
+  /// 1 MHz digitizing rate, 5 ms capture.
+  static SignatureTestConfig hardware_study();
+};
+
+}  // namespace stf::sigtest

@@ -1,0 +1,82 @@
+#include "sigtest/diagnosis.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/metrics.hpp"
+
+namespace stf::sigtest {
+
+ParametricDiagnoser::ParametricDiagnoser(const SignatureTestConfig& config,
+                                         stf::dsp::PwlWaveform stimulus,
+                                         std::vector<std::string> param_names,
+                                         CalibrationOptions cal_options,
+                                         std::size_t max_signature_bins)
+    : acquirer_(config, max_signature_bins),
+      stimulus_(std::move(stimulus)),
+      param_names_(std::move(param_names)),
+      model_(cal_options) {
+  if (param_names_.empty())
+    throw std::invalid_argument("ParametricDiagnoser: no parameter names");
+}
+
+void ParametricDiagnoser::calibrate(
+    const std::vector<stf::rf::DeviceRecord>& training, stf::stats::Rng& rng,
+    int n_avg) {
+  if (training.size() < 2)
+    throw std::invalid_argument("ParametricDiagnoser: need >= 2 devices");
+  const std::size_t k = param_names_.size();
+  fit_from_captures(
+      model_, training.size(),
+      [&](std::size_t i) {
+        return acquirer_.acquire(*training[i].dut, stimulus_, &rng);
+      },
+      [&](std::size_t i) {
+        if (training[i].process.size() != k)
+          throw std::runtime_error(
+              "ParametricDiagnoser: process vector size mismatch");
+        return training[i].process;
+      },
+      n_avg);
+}
+
+std::vector<double> ParametricDiagnoser::diagnose(
+    const stf::rf::RfDut& dut, stf::stats::Rng& rng) const {
+  if (!model_.fitted())
+    throw std::logic_error("ParametricDiagnoser: not calibrated");
+  return model_.predict(acquirer_.acquire(dut, stimulus_, &rng));
+}
+
+DiagnosisReport ParametricDiagnoser::validate(
+    const std::vector<stf::rf::DeviceRecord>& devices,
+    const std::vector<double>& nominal, stf::stats::Rng& rng) const {
+  if (devices.empty())
+    throw std::invalid_argument("ParametricDiagnoser: no devices");
+  const std::size_t k = param_names_.size();
+  if (nominal.size() != k)
+    throw std::invalid_argument("ParametricDiagnoser: nominal size mismatch");
+
+  std::vector<std::vector<double>> truth(k), predicted(k);
+  for (const auto& dev : devices) {
+    const auto est = diagnose(*dev.dut, rng);
+    for (std::size_t j = 0; j < k; ++j) {
+      truth[j].push_back(dev.process[j]);
+      predicted[j].push_back(est[j]);
+    }
+  }
+
+  DiagnosisReport report;
+  report.names = param_names_;
+  report.rms_error.resize(k);
+  report.rms_percent.resize(k);
+  report.r_squared.resize(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    report.rms_error[j] = stf::stats::rms_error(truth[j], predicted[j]);
+    report.rms_percent[j] =
+        100.0 * report.rms_error[j] / std::abs(nominal[j]);
+    report.r_squared[j] = stf::stats::r_squared(truth[j], predicted[j]);
+  }
+  return report;
+}
+
+}  // namespace stf::sigtest

@@ -1,0 +1,100 @@
+#include "sigtest/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace stf::sigtest {
+
+KnnRegressor::KnnRegressor(std::size_t k) : k_(k) {
+  if (k_ == 0) throw std::invalid_argument("KnnRegressor: k must be > 0");
+}
+
+void KnnRegressor::fit(const stf::la::Matrix& signatures,
+                       const stf::la::Matrix& specs,
+                       const std::vector<double>& noise_var) {
+  const std::size_t n = signatures.rows();
+  const std::size_t m = signatures.cols();
+  if (n < k_) throw std::invalid_argument("KnnRegressor::fit: rows < k");
+  if (specs.rows() != n)
+    throw std::invalid_argument("KnnRegressor::fit: row mismatch");
+  if (!noise_var.empty() && noise_var.size() != m)
+    throw std::invalid_argument("KnnRegressor::fit: noise_var mismatch");
+
+  bin_mean_.assign(m, 0.0);
+  bin_scale_.assign(m, 1.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    double mu = 0.0;
+    for (std::size_t i = 0; i < n; ++i) mu += signatures(i, j);
+    mu /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = signatures(i, j) - mu;
+      var += d * d;
+    }
+    var /= static_cast<double>(n);
+    if (!noise_var.empty()) var += noise_var[j];
+    bin_mean_[j] = mu;
+    bin_scale_[j] = var > 1e-30 ? std::sqrt(var) : 1.0;
+  }
+
+  train_z_ = stf::la::Matrix(n, m);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < m; ++j)
+      train_z_(i, j) = (signatures(i, j) - bin_mean_[j]) / bin_scale_[j];
+  train_specs_ = specs;
+  fitted_ = true;
+}
+
+std::vector<double> KnnRegressor::predict(const Signature& signature) const {
+  if (!fitted_)
+    throw std::logic_error("KnnRegressor::predict: not fitted");
+  const std::size_t m = bin_mean_.size();
+  if (signature.size() != m)
+    throw std::invalid_argument("KnnRegressor::predict: length mismatch");
+
+  std::vector<double> z(m);
+  for (std::size_t j = 0; j < m; ++j)
+    z[j] = (signature[j] - bin_mean_[j]) / bin_scale_[j];
+
+  const std::size_t n = train_z_.rows();
+  std::vector<double> dist(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      const double d = z[j] - train_z_(i, j);
+      d2 += d * d;
+    }
+    dist[i] = std::sqrt(d2);
+  }
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(k_),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      return dist[a] < dist[b];
+                    });
+
+  const std::size_t n_specs = train_specs_.cols();
+  std::vector<double> out(n_specs, 0.0);
+  // Exact hit: return that device's specs outright.
+  if (dist[order[0]] < 1e-12) {
+    for (std::size_t s = 0; s < n_specs; ++s)
+      out[s] = train_specs_(order[0], s);
+    return out;
+  }
+  double weight_sum = 0.0;
+  for (std::size_t r = 0; r < k_; ++r) {
+    const std::size_t i = order[r];
+    const double w = 1.0 / dist[i];
+    weight_sum += w;
+    for (std::size_t s = 0; s < n_specs; ++s)
+      out[s] += w * train_specs_(i, s);
+  }
+  for (double& v : out) v /= weight_sum;
+  return out;
+}
+
+}  // namespace stf::sigtest

@@ -1,0 +1,45 @@
+// k-nearest-neighbor regression: a nonparametric alternative calibration.
+//
+// The paper's regression stage cites MARS-style nonparametric learners;
+// this is the simplest member of that family and serves as the baseline
+// the polynomial ridge model is compared against
+// (bench/tab_regressor_compare). Distances are measured in the same
+// noise-aware normalized bin space the ridge model uses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "sigtest/acquisition.hpp"
+
+namespace stf::sigtest {
+
+/// Inverse-distance-weighted k-NN over normalized signature bins.
+class KnnRegressor {
+ public:
+  explicit KnnRegressor(std::size_t k = 5);
+
+  /// Store the training set; normalization matches CalibrationModel
+  /// (per-bin z-score with optional single-capture noise-variance
+  /// inflation). Throws if rows < k or sizes are inconsistent.
+  void fit(const stf::la::Matrix& signatures, const stf::la::Matrix& specs,
+           const std::vector<double>& noise_var = {});
+
+  /// Predict all specs: inverse-distance-weighted average of the k
+  /// nearest training devices (exact-match neighbor dominates).
+  std::vector<double> predict(const Signature& signature) const;
+
+  bool fitted() const { return fitted_; }
+  std::size_t k() const { return k_; }
+
+ private:
+  std::size_t k_;
+  bool fitted_ = false;
+  std::vector<double> bin_mean_;
+  std::vector<double> bin_scale_;
+  stf::la::Matrix train_z_;     // normalized training signatures
+  stf::la::Matrix train_specs_;
+};
+
+}  // namespace stf::sigtest

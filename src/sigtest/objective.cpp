@@ -1,0 +1,56 @@
+#include "sigtest/objective.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/svd.hpp"
+
+namespace stf::sigtest {
+
+ObjectiveBreakdown signature_objective(const stf::la::Matrix& a_p,
+                                       const stf::la::Matrix& a_s,
+                                       double sigma_m) {
+  if (a_p.empty() || a_s.empty())
+    throw std::invalid_argument("signature_objective: empty sensitivity");
+  if (a_p.cols() != a_s.cols())
+    throw std::invalid_argument(
+        "signature_objective: A_p and A_s must share the parameter axis");
+  if (sigma_m < 0.0)
+    throw std::invalid_argument("signature_objective: sigma_m < 0");
+
+  const std::size_t n = a_p.rows();  // specs
+  const std::size_t m = a_s.rows();  // signature bins
+  const std::size_t k = a_p.cols();  // process parameters
+
+  // Eq. 9: A = A_p * pinv(A_s). pinv(A_s) is k x m.
+  const stf::la::Matrix as_pinv = stf::la::pinv(a_s);
+  ObjectiveBreakdown out;
+  out.a = a_p * as_pinv;  // n x m
+
+  out.sigma_p.resize(n);
+  out.noise_term.resize(n);
+  out.sigma.resize(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Residual of row i: || a_p,i^T - a_i^T A_s ||.
+    double res2 = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      double recon = 0.0;
+      for (std::size_t b = 0; b < m; ++b) recon += out.a(i, b) * a_s(b, j);
+      const double r = a_p(i, j) - recon;
+      res2 += r * r;
+    }
+    double a_norm2 = 0.0;
+    for (std::size_t b = 0; b < m; ++b) a_norm2 += out.a(i, b) * out.a(i, b);
+
+    out.sigma_p[i] = std::sqrt(res2);
+    out.noise_term[i] = sigma_m * std::sqrt(a_norm2);
+    const double sigma2 = res2 + sigma_m * sigma_m * a_norm2;
+    out.sigma[i] = std::sqrt(sigma2);
+    acc += sigma2;
+  }
+  out.f = acc / static_cast<double>(n);
+  return out;
+}
+
+}  // namespace stf::sigtest

@@ -1,0 +1,52 @@
+#include "sigtest/optimizer.hpp"
+
+namespace stf::sigtest {
+
+namespace {
+
+double resolve_sigma_m(double sigma_m, const SignatureAcquirer& acquirer) {
+  return sigma_m > 0.0 ? sigma_m : acquirer.expected_bin_noise_sigma();
+}
+
+}  // namespace
+
+ObjectiveBreakdown evaluate_stimulus(const PerturbationSet& perturbations,
+                                     const SignatureAcquirer& acquirer,
+                                     const stf::dsp::PwlWaveform& stimulus,
+                                     double sigma_m) {
+  const stf::la::Matrix a_p = perturbations.spec_sensitivity();
+  const stf::la::Matrix a_s =
+      perturbations.signature_sensitivity(acquirer, stimulus);
+  return signature_objective(a_p, a_s, resolve_sigma_m(sigma_m, acquirer));
+}
+
+OptimizedStimulus optimize_stimulus(const PerturbationSet& perturbations,
+                                    const SignatureAcquirer& acquirer,
+                                    const StimulusOptimizerConfig& config) {
+  // A_p is stimulus-independent: compute it once outside the GA loop.
+  const stf::la::Matrix a_p = perturbations.spec_sensitivity();
+  const double sigma_m = resolve_sigma_m(config.sigma_m, acquirer);
+
+  const auto objective = [&](const std::vector<double>& genes) {
+    const stf::dsp::PwlWaveform stimulus = config.encoding.decode(genes);
+    const stf::la::Matrix a_s =
+        perturbations.signature_sensitivity(acquirer, stimulus);
+    return signature_objective(a_p, a_s, sigma_m).f;
+  };
+
+  const stf::testgen::GaResult ga = stf::testgen::ga_minimize(
+      objective, config.encoding.lower_bounds(), config.encoding.upper_bounds(),
+      config.ga);
+
+  OptimizedStimulus out;
+  out.waveform = config.encoding.decode(ga.best_genes);
+  out.objective = ga.best_fitness;
+  out.history = ga.history;
+  out.evaluations = ga.evaluations;
+  out.breakdown = signature_objective(
+      a_p, perturbations.signature_sensitivity(acquirer, out.waveform),
+      sigma_m);
+  return out;
+}
+
+}  // namespace stf::sigtest

@@ -1,0 +1,46 @@
+// Stimulus optimization: GA over PWL breakpoints minimizing Eq. 10.
+#pragma once
+
+#include <vector>
+
+#include "dsp/pwl.hpp"
+#include "sigtest/acquisition.hpp"
+#include "sigtest/objective.hpp"
+#include "sigtest/sensitivity.hpp"
+#include "testgen/ga.hpp"
+#include "testgen/pwl_encoding.hpp"
+
+namespace stf::sigtest {
+
+struct StimulusOptimizerConfig {
+  stf::testgen::PwlEncoding encoding;
+  stf::testgen::GaOptions ga;
+  /// Signature-bin noise sigma_m of Eq. 10; <= 0 uses the acquirer's
+  /// expected_bin_noise_sigma().
+  double sigma_m = -1.0;
+};
+
+struct OptimizedStimulus {
+  stf::dsp::PwlWaveform waveform;
+  double objective = 0.0;
+  /// Best objective per GA generation (the paper runs five iterations).
+  std::vector<double> history;
+  /// Eq. 8-10 breakdown at the optimum.
+  ObjectiveBreakdown breakdown;
+  std::size_t evaluations = 0;
+};
+
+/// Optimize the PWL stimulus against the perturbation set. The encoding's
+/// duration should equal the acquirer's capture window.
+OptimizedStimulus optimize_stimulus(const PerturbationSet& perturbations,
+                                    const SignatureAcquirer& acquirer,
+                                    const StimulusOptimizerConfig& config);
+
+/// Evaluate the Eq. 10 objective of a fixed stimulus (for ablations
+/// comparing optimized vs. random / single-tone stimuli).
+ObjectiveBreakdown evaluate_stimulus(const PerturbationSet& perturbations,
+                                     const SignatureAcquirer& acquirer,
+                                     const stf::dsp::PwlWaveform& stimulus,
+                                     double sigma_m = -1.0);
+
+}  // namespace stf::sigtest

@@ -1,0 +1,55 @@
+#include "sigtest/outlier.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stf::sigtest {
+
+void OutlierScreen::fit(const stf::la::Matrix& signatures,
+                        const std::vector<double>& noise_var) {
+  const std::size_t n = signatures.rows();
+  const std::size_t m = signatures.cols();
+  if (n < 2) throw std::invalid_argument("OutlierScreen::fit: n < 2");
+  if (!noise_var.empty() && noise_var.size() != m)
+    throw std::invalid_argument("OutlierScreen::fit: noise_var mismatch");
+
+  mean_.assign(m, 0.0);
+  scale_.assign(m, 1.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    double mu = 0.0;
+    for (std::size_t i = 0; i < n; ++i) mu += signatures(i, j);
+    mu /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = signatures(i, j) - mu;
+      var += d * d;
+    }
+    var /= static_cast<double>(n - 1);
+    if (!noise_var.empty()) var += noise_var[j];
+    mean_[j] = mu;
+    scale_[j] = var > 1e-30 ? std::sqrt(var) : 1.0;
+  }
+  fitted_ = true;
+}
+
+double OutlierScreen::score(const Signature& signature) const {
+  if (!fitted_)
+    throw std::logic_error("OutlierScreen::score: not fitted");
+  if (signature.size() != mean_.size())
+    throw std::invalid_argument("OutlierScreen::score: length mismatch");
+  double acc = 0.0;
+  for (std::size_t j = 0; j < signature.size(); ++j) {
+    const double z = (signature[j] - mean_[j]) / scale_[j];
+    acc += z * z;
+  }
+  return std::sqrt(acc / static_cast<double>(signature.size()));
+}
+
+bool OutlierScreen::is_outlier(const Signature& signature,
+                               double threshold) const {
+  if (threshold <= 0.0)
+    throw std::invalid_argument("OutlierScreen::is_outlier: bad threshold");
+  return score(signature) > threshold;
+}
+
+}  // namespace stf::sigtest

@@ -1,0 +1,45 @@
+// Signature-space outlier screening.
+//
+// A regression-based alternate test is only valid for devices *inside* the
+// population it was calibrated on: a catastrophically defective part can
+// land on a signature the regression happily extrapolates into a passing
+// spec prediction (a test escape a conventional tester would never make).
+// The standard industrial defense is a distance guard in signature space:
+// any device whose signature is statistically far from the calibration
+// cloud is routed to conventional test instead of being predicted.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "sigtest/acquisition.hpp"
+
+namespace stf::sigtest {
+
+/// Diagonal-Mahalanobis outlier screen over signature bins.
+class OutlierScreen {
+ public:
+  /// Learn per-bin mean/variance from the calibration signatures (one row
+  /// per device). noise_var (optional) inflates the per-bin variance by
+  /// the single-capture noise floor, exactly as CalibrationModel does.
+  void fit(const stf::la::Matrix& signatures,
+           const std::vector<double>& noise_var = {});
+
+  /// Normalized distance: sqrt(mean_j z_j^2) with z_j the per-bin z-score.
+  /// ~1 for in-population devices, growing with atypicality.
+  double score(const Signature& signature) const;
+
+  /// True when score() exceeds the threshold.
+  bool is_outlier(const Signature& signature, double threshold = 4.0) const;
+
+  bool fitted() const { return fitted_; }
+  std::size_t signature_length() const { return mean_.size(); }
+
+ private:
+  bool fitted_ = false;
+  std::vector<double> mean_;
+  std::vector<double> scale_;
+};
+
+}  // namespace stf::sigtest

@@ -1,0 +1,87 @@
+#include "sigtest/runtime.hpp"
+
+#include <stdexcept>
+
+#include "stats/metrics.hpp"
+
+namespace stf::sigtest {
+
+FastestRuntime::FastestRuntime(const SignatureTestConfig& config,
+                               stf::dsp::PwlWaveform stimulus,
+                               std::vector<std::string> spec_names,
+                               CalibrationOptions cal_options,
+                               std::size_t max_signature_bins)
+    : acquirer_(config, max_signature_bins),
+      stimulus_(std::move(stimulus)),
+      spec_names_(std::move(spec_names)),
+      model_(cal_options) {
+  if (spec_names_.empty())
+    throw std::invalid_argument("FastestRuntime: no spec names");
+}
+
+void FastestRuntime::calibrate(
+    const std::vector<stf::rf::DeviceRecord>& training,
+    stf::stats::Rng& rng, int n_avg) {
+  if (training.size() < 2)
+    throw std::invalid_argument("FastestRuntime::calibrate: need >= 2 devices");
+  if (n_avg < 1)
+    throw std::invalid_argument("FastestRuntime::calibrate: n_avg < 1");
+  const std::size_t m = acquirer_.signature_length();
+  const std::size_t n_specs = spec_names_.size();
+
+  fit_from_captures(
+      model_, training.size(),
+      [&](std::size_t i) {
+        const Signature s =
+            acquirer_.acquire(*training[i].dut, stimulus_, &rng);
+        if (s.size() != m)
+          throw std::runtime_error(
+              "FastestRuntime: signature length mismatch");
+        return s;
+      },
+      [&](std::size_t i) {
+        const std::vector<double> p = training[i].specs.to_vector();
+        if (p.size() != n_specs)
+          throw std::runtime_error("FastestRuntime: spec vector mismatch");
+        return p;
+      },
+      n_avg);
+}
+
+std::vector<double> FastestRuntime::test_device(const stf::rf::RfDut& dut,
+                                                stf::stats::Rng& rng) const {
+  if (!model_.fitted())
+    throw std::logic_error("FastestRuntime::test_device: not calibrated");
+  return model_.predict(acquirer_.acquire(dut, stimulus_, &rng));
+}
+
+ValidationReport FastestRuntime::validate(
+    const std::vector<stf::rf::DeviceRecord>& devices,
+    stf::stats::Rng& rng) const {
+  if (devices.empty())
+    throw std::invalid_argument("FastestRuntime::validate: no devices");
+  const std::size_t n_specs = spec_names_.size();
+
+  ValidationReport report;
+  report.specs.resize(n_specs);
+  for (std::size_t s = 0; s < n_specs; ++s)
+    report.specs[s].name = spec_names_[s];
+
+  for (const auto& device : devices) {
+    const std::vector<double> predicted = test_device(*device.dut, rng);
+    const std::vector<double> truth = device.specs.to_vector();
+    for (std::size_t s = 0; s < n_specs; ++s) {
+      report.specs[s].truth.push_back(truth[s]);
+      report.specs[s].predicted.push_back(predicted[s]);
+    }
+  }
+  for (auto& spec : report.specs) {
+    spec.rms_error = stf::stats::rms_error(spec.truth, spec.predicted);
+    spec.std_error = stf::stats::std_error(spec.truth, spec.predicted);
+    spec.max_abs_error = stf::stats::max_abs_error(spec.truth, spec.predicted);
+    spec.r_squared = stf::stats::r_squared(spec.truth, spec.predicted);
+  }
+  return report;
+}
+
+}  // namespace stf::sigtest

@@ -1,0 +1,74 @@
+// FASTest-style runtime system (paper Fig. 5): the production-test engine.
+//
+// Calibration phase: each training device is measured for its reference
+// specs (RF ATE / direct simulation) and its signature on the low-cost
+// path; a CalibrationModel is fitted. Production phase: one signature
+// acquisition per device and a regression evaluation yield every
+// specification -- no RF ATE involved.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dsp/pwl.hpp"
+#include "rf/population.hpp"
+#include "sigtest/acquisition.hpp"
+#include "sigtest/calibration.hpp"
+#include "stats/rng.hpp"
+
+namespace stf::sigtest {
+
+/// Per-spec scatter data and error metrics (what Figs. 8-10/12-13 plot).
+struct SpecScatter {
+  std::string name;
+  std::vector<double> truth;      ///< Direct-simulation / measured spec.
+  std::vector<double> predicted;  ///< Signature-test prediction.
+  double rms_error = 0.0;
+  double std_error = 0.0;  ///< The paper's "std(err)".
+  double max_abs_error = 0.0;
+  double r_squared = 0.0;
+};
+
+struct ValidationReport {
+  std::vector<SpecScatter> specs;
+};
+
+/// The runtime: a configured signature path + optimized stimulus + fitted
+/// calibration model.
+class FastestRuntime {
+ public:
+  FastestRuntime(const SignatureTestConfig& config,
+                 stf::dsp::PwlWaveform stimulus,
+                 std::vector<std::string> spec_names,
+                 CalibrationOptions cal_options = {},
+                 std::size_t max_signature_bins = 16);
+
+  /// One-time calibration on the training devices. Signatures are acquired
+  /// with noise from rng (the real tester is noisy during calibration too);
+  /// n_avg captures per device are averaged -- calibration is a one-time
+  /// effort, so spending extra captures there is standard practice and
+  /// removes the errors-in-variables bias a noisy regressor suffers.
+  void calibrate(const std::vector<stf::rf::DeviceRecord>& training,
+                 stf::stats::Rng& rng, int n_avg = 8);
+
+  /// Production-test one device: acquire its signature and map to specs.
+  std::vector<double> test_device(const stf::rf::RfDut& dut,
+                                  stf::stats::Rng& rng) const;
+
+  /// Test every validation device and compare predictions against their
+  /// reference specs.
+  ValidationReport validate(const std::vector<stf::rf::DeviceRecord>& devices,
+                            stf::stats::Rng& rng) const;
+
+  const SignatureAcquirer& acquirer() const { return acquirer_; }
+  const stf::dsp::PwlWaveform& stimulus() const { return stimulus_; }
+  bool calibrated() const { return model_.fitted(); }
+
+ private:
+  SignatureAcquirer acquirer_;
+  stf::dsp::PwlWaveform stimulus_;
+  std::vector<std::string> spec_names_;
+  CalibrationModel model_;
+};
+
+}  // namespace stf::sigtest

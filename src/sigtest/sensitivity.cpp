@@ -1,0 +1,83 @@
+#include "sigtest/sensitivity.hpp"
+
+#include <stdexcept>
+
+#include "circuit/lna900.hpp"
+
+namespace stf::sigtest {
+
+PerturbationSet::PerturbationSet(const DeviceFactory& factory,
+                                 std::vector<double> x0, double rel_step)
+    : x0_(std::move(x0)), rel_step_(rel_step) {
+  if (!factory) throw std::invalid_argument("PerturbationSet: null factory");
+  if (x0_.empty()) throw std::invalid_argument("PerturbationSet: empty x0");
+  if (rel_step_ <= 0.0 || rel_step_ >= 1.0)
+    throw std::invalid_argument("PerturbationSet: rel_step must be in (0,1)");
+
+  nominal_ = factory(x0_);
+  if (nominal_.specs.empty() || nominal_.dut == nullptr)
+    throw std::invalid_argument(
+        "PerturbationSet: factory returned empty characterization");
+
+  pairs_.reserve(x0_.size());
+  for (std::size_t j = 0; j < x0_.size(); ++j) {
+    std::vector<double> xp = x0_, xm = x0_;
+    xp[j] = x0_[j] * (1.0 + rel_step_);
+    xm[j] = x0_[j] * (1.0 - rel_step_);
+    Pair pr;
+    pr.plus = factory(xp);
+    pr.minus = factory(xm);
+    if (pr.plus.specs.size() != nominal_.specs.size() ||
+        pr.minus.specs.size() != nominal_.specs.size())
+      throw std::runtime_error(
+          "PerturbationSet: inconsistent spec vector sizes");
+    pairs_.push_back(std::move(pr));
+  }
+}
+
+stf::la::Matrix PerturbationSet::spec_sensitivity() const {
+  const std::size_t n = n_specs();
+  const std::size_t k = n_params();
+  stf::la::Matrix a_p(n, k);
+  // d p_i / d (relative change of x_j): central difference over 2*rel_step.
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      a_p(i, j) = (pairs_[j].plus.specs[i] - pairs_[j].minus.specs[i]) /
+                  (2.0 * rel_step_);
+    }
+  }
+  return a_p;
+}
+
+stf::la::Matrix PerturbationSet::signature_sensitivity(
+    const SignatureAcquirer& acquirer,
+    const stf::dsp::PwlWaveform& stimulus) const {
+  const std::size_t k = n_params();
+  const std::size_t m = acquirer.signature_length();
+  stf::la::Matrix a_s(m, k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const Signature sp =
+        acquirer.acquire(*pairs_[j].plus.dut, stimulus, nullptr);
+    const Signature sm =
+        acquirer.acquire(*pairs_[j].minus.dut, stimulus, nullptr);
+    if (sp.size() != m || sm.size() != m)
+      throw std::runtime_error(
+          "signature_sensitivity: signature length mismatch");
+    for (std::size_t i = 0; i < m; ++i)
+      a_s(i, j) = (sp[i] - sm[i]) / (2.0 * rel_step_);
+  }
+  return a_s;
+}
+
+DeviceFactory lna900_factory() {
+  return [](const std::vector<double>& process) {
+    const stf::rf::LnaCharacterization ch =
+        stf::rf::extract_lna_dut(process);
+    DeviceCharacterization out;
+    out.specs = ch.specs.to_vector();
+    out.dut = ch.dut;
+    return out;
+  };
+}
+
+}  // namespace stf::sigtest

@@ -1,0 +1,80 @@
+// Deterministic random number generation for Monte Carlo device populations
+// and measurement-noise injection.
+//
+// All stochastic behavior in the framework flows through this one class so
+// that experiments (paper Figs. 8-10, 12-13) are exactly reproducible from a
+// seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace stf::stats {
+
+/// Seedable random source wrapping std::mt19937_64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5161746573ULL) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform relative spread: nominal * (1 + U(-frac, +frac)).
+  /// The paper draws process parameters uniformly within +/-20% (frac=0.2).
+  double uniform_spread(double nominal, double frac) {
+    return nominal * (1.0 + uniform(-frac, frac));
+  }
+
+  /// Standard normal sample scaled to the given sigma and mean.
+  double normal(double mean = 0.0, double sigma = 1.0) {
+    return std::normal_distribution<double>(mean, sigma)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial with probability p of true.
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Vector of n iid normal samples.
+  std::vector<double> normal_vector(std::size_t n, double mean = 0.0,
+                                    double sigma = 1.0) {
+    std::vector<double> v(n);
+    for (auto& x : v) x = normal(mean, sigma);
+    return v;
+  }
+
+  /// Vector of n iid uniform samples in [lo, hi).
+  std::vector<double> uniform_vector(std::size_t n, double lo, double hi) {
+    std::vector<double> v(n);
+    for (auto& x : v) x = uniform(lo, hi);
+    return v;
+  }
+
+  /// Fisher-Yates shuffle of indices 0..n-1.
+  std::vector<std::size_t> permutation(std::size_t n) {
+    std::vector<std::size_t> p(n);
+    for (std::size_t i = 0; i < n; ++i) p[i] = i;
+    for (std::size_t i = n; i-- > 1;) {
+      const std::size_t j =
+          std::uniform_int_distribution<std::size_t>(0, i)(engine_);
+      std::swap(p[i], p[j]);
+    }
+    return p;
+  }
+
+  /// Underlying engine, for std distributions not wrapped here.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace stf::stats

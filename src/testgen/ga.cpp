@@ -1,0 +1,110 @@
+#include "testgen/ga.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace stf::testgen {
+
+namespace {
+
+struct Individual {
+  std::vector<double> genes;
+  double fitness = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace
+
+GaResult ga_minimize(const Objective& objective, const std::vector<double>& lo,
+                     const std::vector<double>& hi,
+                     const GaOptions& options) {
+  if (!objective) throw std::invalid_argument("ga_minimize: null objective");
+  if (lo.empty() || lo.size() != hi.size())
+    throw std::invalid_argument("ga_minimize: malformed bounds");
+  for (std::size_t i = 0; i < lo.size(); ++i)
+    if (lo[i] >= hi[i])
+      throw std::invalid_argument("ga_minimize: lo must be < hi");
+  if (options.population < 2)
+    throw std::invalid_argument("ga_minimize: population < 2");
+  if (options.elite >= options.population)
+    throw std::invalid_argument("ga_minimize: elite >= population");
+  if (options.tournament_k == 0)
+    throw std::invalid_argument("ga_minimize: tournament_k == 0");
+
+  const std::size_t k = lo.size();
+  stf::stats::Rng rng(options.seed);
+  GaResult result;
+
+  auto clamp_gene = [&](double v, std::size_t i) {
+    return std::min(std::max(v, lo[i]), hi[i]);
+  };
+
+  // Initial population: uniform over the box.
+  std::vector<Individual> pop(options.population);
+  for (auto& ind : pop) {
+    ind.genes.resize(k);
+    for (std::size_t i = 0; i < k; ++i) ind.genes[i] = rng.uniform(lo[i], hi[i]);
+    ind.fitness = objective(ind.genes);
+    ++result.evaluations;
+  }
+
+  auto by_fitness = [](const Individual& a, const Individual& b) {
+    return a.fitness < b.fitness;
+  };
+  std::sort(pop.begin(), pop.end(), by_fitness);
+
+  auto tournament = [&]() -> const Individual& {
+    std::size_t best = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(pop.size()) - 1));
+    for (std::size_t t = 1; t < options.tournament_k; ++t) {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(pop.size()) - 1));
+      if (pop[idx].fitness < pop[best].fitness) best = idx;
+    }
+    return pop[best];
+  };
+
+  for (std::size_t gen = 0; gen < options.generations; ++gen) {
+    std::vector<Individual> next;
+    next.reserve(options.population);
+    // Elitism: carry the best forward untouched.
+    for (std::size_t e = 0; e < options.elite; ++e) next.push_back(pop[e]);
+
+    while (next.size() < options.population) {
+      const Individual& pa = tournament();
+      const Individual& pb = tournament();
+      Individual child;
+      child.genes.resize(k);
+      // Blend (BLX-style) crossover, per gene.
+      const bool crossover = rng.bernoulli(options.crossover_prob);
+      for (std::size_t i = 0; i < k; ++i) {
+        if (crossover) {
+          const double alpha = rng.uniform(-0.25, 1.25);
+          child.genes[i] =
+              clamp_gene(pa.genes[i] + alpha * (pb.genes[i] - pa.genes[i]), i);
+        } else {
+          child.genes[i] = pa.genes[i];
+        }
+        if (rng.bernoulli(options.mutation_prob)) {
+          const double sigma = options.mutation_sigma_frac * (hi[i] - lo[i]);
+          child.genes[i] = clamp_gene(child.genes[i] + rng.normal(0.0, sigma),
+                                      i);
+        }
+      }
+      child.fitness = objective(child.genes);
+      ++result.evaluations;
+      next.push_back(std::move(child));
+    }
+    pop = std::move(next);
+    std::sort(pop.begin(), pop.end(), by_fitness);
+    result.history.push_back(pop.front().fitness);
+  }
+
+  result.best_genes = pop.front().genes;
+  result.best_fitness = pop.front().fitness;
+  return result;
+}
+
+}  // namespace stf::testgen

@@ -1,0 +1,47 @@
+// Real-coded genetic algorithm.
+//
+// The paper optimizes the PWL stimulus breakpoints with a genetic algorithm
+// (Section 3.1, citing Goldberg): breakpoints encoded as the genome,
+// successive generations lower the Eq. 10 objective. This is a generic
+// bounded minimizer: tournament selection, blend crossover, gaussian
+// mutation, elitism.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace stf::testgen {
+
+/// Objective to MINIMIZE over a gene vector.
+using Objective = std::function<double(const std::vector<double>&)>;
+
+struct GaOptions {
+  std::size_t population = 30;
+  std::size_t generations = 25;
+  double crossover_prob = 0.9;
+  /// Per-gene mutation probability.
+  double mutation_prob = 0.15;
+  /// Mutation sigma as a fraction of each gene's bound range.
+  double mutation_sigma_frac = 0.1;
+  std::size_t tournament_k = 3;
+  /// Top individuals copied unchanged into the next generation.
+  std::size_t elite = 2;
+  std::uint64_t seed = 1;
+};
+
+struct GaResult {
+  std::vector<double> best_genes;
+  double best_fitness = 0.0;
+  /// Best objective after each generation (monotone non-increasing).
+  std::vector<double> history;
+  std::size_t evaluations = 0;
+};
+
+/// Minimize the objective over the box [lo, hi]^k.
+/// Throws std::invalid_argument on malformed bounds or options.
+GaResult ga_minimize(const Objective& objective,
+                     const std::vector<double>& lo,
+                     const std::vector<double>& hi, const GaOptions& options);
+
+}  // namespace stf::testgen

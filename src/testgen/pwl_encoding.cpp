@@ -1,0 +1,33 @@
+#include "testgen/pwl_encoding.hpp"
+
+#include <stdexcept>
+
+namespace stf::testgen {
+
+stf::dsp::PwlWaveform PwlEncoding::decode(
+    const std::vector<double>& genes) const {
+  if (genes.size() != n_breakpoints)
+    throw std::invalid_argument("PwlEncoding::decode: wrong genome length");
+  if (n_breakpoints < 2)
+    throw std::invalid_argument("PwlEncoding::decode: need >= 2 breakpoints");
+  return stf::dsp::PwlWaveform::uniform(duration_s, genes);
+}
+
+std::vector<double> PwlEncoding::encode(
+    const stf::dsp::PwlWaveform& w) const {
+  if (w.points().size() != n_breakpoints)
+    throw std::invalid_argument("PwlEncoding::encode: breakpoint mismatch");
+  std::vector<double> genes(n_breakpoints);
+  for (std::size_t i = 0; i < n_breakpoints; ++i) genes[i] = w.points()[i].v;
+  return genes;
+}
+
+std::vector<double> PwlEncoding::lower_bounds() const {
+  return std::vector<double>(n_breakpoints, v_min);
+}
+
+std::vector<double> PwlEncoding::upper_bounds() const {
+  return std::vector<double>(n_breakpoints, v_max);
+}
+
+}  // namespace stf::testgen

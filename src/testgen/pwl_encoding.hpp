@@ -1,0 +1,33 @@
+// Genome <-> PWL stimulus mapping.
+//
+// The paper's stimulus is a piecewise-linear baseband waveform whose
+// breakpoint voltages form the genetic string (Section 3.1). Breakpoint
+// times are a fixed uniform grid over the capture window, so the genome is
+// simply the vector of breakpoint levels bounded by the AWG output range.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/pwl.hpp"
+
+namespace stf::testgen {
+
+struct PwlEncoding {
+  std::size_t n_breakpoints = 16;  ///< Genome length.
+  double duration_s = 5e-6;        ///< Capture window (paper: 5 us).
+  double v_min = -0.5;             ///< AWG low rail (volts).
+  double v_max = 0.5;              ///< AWG high rail (volts).
+
+  /// Genome -> waveform. genes.size() must equal n_breakpoints.
+  stf::dsp::PwlWaveform decode(const std::vector<double>& genes) const;
+
+  /// Waveform -> genome (breakpoint values), for round-tripping.
+  std::vector<double> encode(const stf::dsp::PwlWaveform& w) const;
+
+  /// GA bounds vectors (all entries v_min / v_max).
+  std::vector<double> lower_bounds() const;
+  std::vector<double> upper_bounds() const;
+};
+
+}  // namespace stf::testgen

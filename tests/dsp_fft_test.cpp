@@ -1,0 +1,232 @@
+// Tests for FFT, windows, and spectral measurement.
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "dsp/fft.hpp"
+#include "dsp/spectrum.hpp"
+#include "dsp/window.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using stf::dsp::cplx;
+
+std::vector<double> make_tone(double amp, double freq, double fs,
+                              std::size_t n, double phase = 0.0) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = amp * std::cos(2.0 * std::numbers::pi * freq *
+                              static_cast<double>(i) / fs +
+                          phase);
+  return x;
+}
+
+// ------------------------------------------------------------------- FFT --
+
+TEST(Fft, Pow2Helpers) {
+  EXPECT_TRUE(stf::dsp::is_pow2(1));
+  EXPECT_TRUE(stf::dsp::is_pow2(64));
+  EXPECT_FALSE(stf::dsp::is_pow2(0));
+  EXPECT_FALSE(stf::dsp::is_pow2(48));
+  EXPECT_EQ(stf::dsp::next_pow2(1), 1u);
+  EXPECT_EQ(stf::dsp::next_pow2(17), 32u);
+}
+
+TEST(Fft, DcSignal) {
+  std::vector<cplx> x(8, cplx(1.0, 0.0));
+  auto spec = stf::dsp::fft(x);
+  EXPECT_NEAR(std::abs(spec[0]), 8.0, 1e-12);
+  for (std::size_t k = 1; k < 8; ++k) EXPECT_NEAR(std::abs(spec[k]), 0.0, 1e-12);
+}
+
+TEST(Fft, SingleBinTone) {
+  const std::size_t n = 64;
+  std::vector<cplx> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ang = 2.0 * std::numbers::pi * 5.0 * static_cast<double>(i) /
+                       static_cast<double>(n);
+    x[i] = cplx(std::cos(ang), std::sin(ang));
+  }
+  auto spec = stf::dsp::fft(x);
+  EXPECT_NEAR(std::abs(spec[5]), static_cast<double>(n), 1e-9);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == 5) continue;
+    EXPECT_NEAR(std::abs(spec[k]), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, EmptyThrows) {
+  EXPECT_THROW(stf::dsp::fft({}), std::invalid_argument);
+}
+
+// Fast paths must agree with the brute-force DFT for pow2 and non-pow2 sizes.
+class FftVsDft : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftVsDft, MatchesReference) {
+  const std::size_t n = GetParam();
+  stf::stats::Rng rng(static_cast<std::uint64_t>(n));
+  std::vector<cplx> x(n);
+  for (auto& v : x) v = cplx(rng.normal(), rng.normal());
+  auto fast = stf::dsp::fft(x);
+  auto ref = stf::dsp::dft_reference(x);
+  ASSERT_EQ(fast.size(), ref.size());
+  for (std::size_t k = 0; k < n; ++k)
+    EXPECT_NEAR(std::abs(fast[k] - ref[k]), 0.0, 1e-8 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftVsDft,
+                         ::testing::Values(1, 2, 3, 5, 8, 12, 16, 27, 60, 64,
+                                           100, 128, 255, 256, 257));
+
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, IfftInvertsFft) {
+  const std::size_t n = GetParam();
+  stf::stats::Rng rng(1000 + static_cast<std::uint64_t>(n));
+  std::vector<cplx> x(n);
+  for (auto& v : x) v = cplx(rng.normal(), rng.normal());
+  auto y = stf::dsp::ifft(stf::dsp::fft(x));
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTrip,
+                         ::testing::Values(2, 7, 16, 33, 64, 129, 500));
+
+TEST(Fft, ParsevalTheorem) {
+  stf::stats::Rng rng(77);
+  const std::size_t n = 256;
+  std::vector<cplx> x(n);
+  for (auto& v : x) v = cplx(rng.normal(), rng.normal());
+  auto spec = stf::dsp::fft(x);
+  double time_energy = 0.0, freq_energy = 0.0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  for (const auto& v : spec) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy, time_energy * static_cast<double>(n),
+              1e-6 * time_energy * static_cast<double>(n));
+}
+
+TEST(Fft, LinearityProperty) {
+  stf::stats::Rng rng(88);
+  const std::size_t n = 48;  // exercises Bluestein
+  std::vector<cplx> a(n), b(n);
+  for (auto& v : a) v = cplx(rng.normal(), rng.normal());
+  for (auto& v : b) v = cplx(rng.normal(), rng.normal());
+  std::vector<cplx> sum(n);
+  for (std::size_t i = 0; i < n; ++i) sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  auto fa = stf::dsp::fft(a);
+  auto fb = stf::dsp::fft(b);
+  auto fs = stf::dsp::fft(sum);
+  for (std::size_t k = 0; k < n; ++k)
+    EXPECT_NEAR(std::abs(fs[k] - (2.0 * fa[k] + 3.0 * fb[k])), 0.0, 1e-9);
+}
+
+TEST(Fft, FrequencyBins) {
+  auto f = stf::dsp::fft_frequencies(8, 800.0);
+  EXPECT_DOUBLE_EQ(f[0], 0.0);
+  EXPECT_DOUBLE_EQ(f[1], 100.0);
+  EXPECT_DOUBLE_EQ(f[4], 400.0);
+  EXPECT_DOUBLE_EQ(f[5], -300.0);
+  EXPECT_DOUBLE_EQ(f[7], -100.0);
+}
+
+// --------------------------------------------------------------- windows --
+
+TEST(Window, RectIsAllOnes) {
+  auto w = stf::dsp::make_window(stf::dsp::WindowType::kRect, 16);
+  for (double v : w) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Window, HannEndpointsAndPeak) {
+  auto w = stf::dsp::make_window(stf::dsp::WindowType::kHann, 64);
+  EXPECT_NEAR(w[0], 0.0, 1e-12);
+  EXPECT_NEAR(w[32], 1.0, 1e-12);  // periodic convention: peak at n/2
+}
+
+TEST(Window, ZeroLengthThrows) {
+  EXPECT_THROW(stf::dsp::make_window(stf::dsp::WindowType::kHann, 0),
+               std::invalid_argument);
+}
+
+TEST(Window, GainMatchesSum) {
+  auto w = stf::dsp::make_window(stf::dsp::WindowType::kHamming, 32);
+  double s = 0.0;
+  for (double v : w) s += v;
+  EXPECT_DOUBLE_EQ(stf::dsp::window_gain(w), s);
+}
+
+// -------------------------------------------------------------- spectrum --
+
+TEST(Spectrum, GoertzelMatchesFftBin) {
+  const double fs = 1000.0;
+  auto x = make_tone(1.0, 125.0, fs, 64);
+  auto spec = stf::dsp::fft_real(x);
+  auto g = stf::dsp::goertzel(x, 125.0, fs);
+  // Bin 8 of a 64-point FFT at fs=1000 is 125 Hz.
+  EXPECT_NEAR(std::abs(g - spec[8]), 0.0, 1e-8);
+}
+
+TEST(Spectrum, ToneAmplitudeOnBin) {
+  const double fs = 1000.0;
+  auto x = make_tone(0.7, 125.0, fs, 256);
+  EXPECT_NEAR(stf::dsp::tone_amplitude(x, 125.0, fs), 0.7, 1e-3);
+}
+
+// Flat-top window keeps amplitude accuracy for off-bin tones (needed by the
+// conventional-test emulation, where tone frequencies are not bin-aligned).
+class OffBinAmplitude : public ::testing::TestWithParam<double> {};
+
+TEST_P(OffBinAmplitude, FlatTopAccurate) {
+  const double fs = 1000.0;
+  const double freq = GetParam();
+  auto x = make_tone(0.5, freq, fs, 1024, 0.3);
+  EXPECT_NEAR(stf::dsp::tone_amplitude(x, freq, fs), 0.5, 0.5 * 1e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Freqs, OffBinAmplitude,
+                         ::testing::Values(100.0, 101.3, 117.77, 250.5,
+                                           333.33, 401.0));
+
+TEST(Spectrum, ComplexEnvelopeToneAmplitude) {
+  const double fs = 1000.0;
+  const std::size_t n = 512;
+  std::vector<cplx> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ang =
+        2.0 * std::numbers::pi * 93.7 * static_cast<double>(i) / fs + 1.1;
+    x[i] = 0.25 * cplx(std::cos(ang), std::sin(ang));
+  }
+  EXPECT_NEAR(stf::dsp::tone_amplitude(x, 93.7, fs), 0.25, 0.25 * 1e-2);
+}
+
+TEST(Spectrum, DbmConversionRoundTrip) {
+  // 0 dBm into 50 ohms is 223.6 mV peak.
+  const double amp = stf::dsp::dbm_to_amplitude(0.0, 50.0);
+  EXPECT_NEAR(amp, std::sqrt(2.0 * 50.0 * 1e-3), 1e-12);
+  EXPECT_NEAR(stf::dsp::amplitude_to_dbm(amp, 50.0), 0.0, 1e-12);
+  EXPECT_NEAR(stf::dsp::amplitude_to_dbm(
+                  stf::dsp::dbm_to_amplitude(-17.3, 50.0), 50.0),
+              -17.3, 1e-12);
+}
+
+TEST(Spectrum, SignalPowerOfTone) {
+  auto x = make_tone(2.0, 100.0, 1000.0, 1000);
+  EXPECT_NEAR(stf::dsp::signal_power(x), 2.0, 0.02);  // A^2/2
+}
+
+TEST(Spectrum, AmplitudeSpectrumOfTwoTones) {
+  const double fs = 1024.0;
+  const std::size_t n = 1024;
+  auto x = make_tone(1.0, 100.0, fs, n);
+  auto y = make_tone(0.3, 200.0, fs, n);
+  for (std::size_t i = 0; i < n; ++i) x[i] += y[i];
+  auto amp = stf::dsp::amplitude_spectrum(x);
+  EXPECT_NEAR(amp[100], 1.0, 1e-9);
+  EXPECT_NEAR(amp[200], 0.3, 1e-9);
+  EXPECT_NEAR(amp[150], 0.0, 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,424 @@
+// Unit and property tests for the linalg substrate.
+#include <cmath>
+#include <complex>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/lstsq.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/svd.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace {
+
+using stf::la::CMatrix;
+using stf::la::Matrix;
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, unsigned seed) {
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = dist(gen);
+  return m;
+}
+
+std::vector<double> random_vector(std::size_t n, unsigned seed) {
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> v(n);
+  for (auto& x : v) x = dist(gen);
+  return v;
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  EXPECT_EQ(a.rows(), b.rows());
+  EXPECT_EQ(a.cols(), b.cols());
+  double m = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      m = std::max(m, std::abs(a(r, c) - b(r, c)));
+  return m;
+}
+
+// ---------------------------------------------------------------- Matrix --
+
+TEST(Matrix, InitializerListAndAccess) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 3.0);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, ArithmeticOps) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{4.0, 3.0}, {2.0, 1.0}};
+  Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(sum(1, 1), 5.0);
+  Matrix diff = a - b;
+  EXPECT_DOUBLE_EQ(diff(0, 0), -3.0);
+  Matrix scaled = 2.0 * a;
+  EXPECT_DOUBLE_EQ(scaled(1, 1), 8.0);
+}
+
+TEST(Matrix, MatmulKnownResult) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatmulDimensionMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(Matrix, MatvecKnownResult) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  std::vector<double> x{1.0, 1.0};
+  auto y = a * x;
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  Matrix a = random_matrix(4, 7, 11);
+  EXPECT_EQ(max_abs_diff(a.transposed().transposed(), a), 0.0);
+}
+
+TEST(Matrix, IdentityIsMultiplicativeNeutral) {
+  Matrix a = random_matrix(5, 5, 3);
+  Matrix i = Matrix::identity(5);
+  EXPECT_LT(max_abs_diff(a * i, a), 1e-15);
+  EXPECT_LT(max_abs_diff(i * a, a), 1e-15);
+}
+
+TEST(Matrix, RowColRoundTrip) {
+  Matrix a = random_matrix(3, 4, 7);
+  auto r = a.row(1);
+  auto c = a.col(2);
+  EXPECT_EQ(r.size(), 4u);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_DOUBLE_EQ(r[2], a(1, 2));
+  EXPECT_DOUBLE_EQ(c[1], a(1, 2));
+  Matrix b(3, 4);
+  for (std::size_t i = 0; i < 3; ++i) b.set_row(i, a.row(i));
+  EXPECT_EQ(max_abs_diff(a, b), 0.0);
+}
+
+// ------------------------------------------------------------ vector_ops --
+
+TEST(VectorOps, DotAndNorm) {
+  std::vector<double> a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(stf::la::dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(stf::la::norm2(a), 5.0);
+  EXPECT_DOUBLE_EQ(stf::la::norm_inf(a), 4.0);
+}
+
+TEST(VectorOps, SizeMismatchThrows) {
+  std::vector<double> a{1.0};
+  std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(stf::la::dot(a, b), std::invalid_argument);
+  EXPECT_THROW(stf::la::add(a, b), std::invalid_argument);
+}
+
+TEST(VectorOps, AxpyMatchesManual) {
+  std::vector<double> x{1.0, 2.0};
+  std::vector<double> y{10.0, 20.0};
+  stf::la::axpy(0.5, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 10.5);
+  EXPECT_DOUBLE_EQ(y[1], 21.0);
+}
+
+TEST(VectorOps, NormalizedHasUnitNorm) {
+  auto v = random_vector(9, 5);
+  EXPECT_NEAR(stf::la::norm2(stf::la::normalized(v)), 1.0, 1e-14);
+  std::vector<double> zero(4, 0.0);
+  EXPECT_EQ(stf::la::normalized(zero), zero);
+}
+
+// -------------------------------------------------------------------- LU --
+
+TEST(Lu, SolvesKnownSystem) {
+  Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  std::vector<double> b{3.0, 5.0};
+  auto x = stf::la::lu_solve(a, b);
+  EXPECT_NEAR(x[0], 0.8, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(Lu, SingularThrows) {
+  Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(stf::la::LuDecomposition<double>{a}, std::runtime_error);
+}
+
+TEST(Lu, DeterminantKnown) {
+  Matrix a{{4.0, 3.0}, {6.0, 3.0}};
+  stf::la::LuDecomposition<double> lu(a);
+  EXPECT_NEAR(lu.determinant(), -6.0, 1e-12);
+}
+
+TEST(Lu, ComplexSolve) {
+  using C = std::complex<double>;
+  CMatrix a{{C(1.0, 1.0), C(2.0, 0.0)}, {C(0.0, -1.0), C(1.0, 0.0)}};
+  std::vector<C> xtrue{C(1.0, 2.0), C(-1.0, 0.5)};
+  auto b = a * xtrue;
+  auto x = stf::la::lu_solve(a, b);
+  EXPECT_NEAR(std::abs(x[0] - xtrue[0]), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(x[1] - xtrue[1]), 0.0, 1e-12);
+}
+
+TEST(Lu, InverseTimesSelfIsIdentity) {
+  Matrix a = random_matrix(6, 6, 17);
+  for (std::size_t i = 0; i < 6; ++i) a(i, i) += 3.0;  // well-conditioned
+  Matrix inv = stf::la::inverse(a);
+  EXPECT_LT(max_abs_diff(a * inv, Matrix::identity(6)), 1e-10);
+}
+
+// Property sweep: random solve round-trips over several sizes/seeds.
+class LuRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuRoundTrip, SolveRecoversX) {
+  const int seed = GetParam();
+  const std::size_t n = 2 + static_cast<std::size_t>(seed % 9);
+  Matrix a = random_matrix(n, n, static_cast<unsigned>(seed));
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 2.0;
+  auto xtrue = random_vector(n, static_cast<unsigned>(seed + 1000));
+  auto b = a * xtrue;
+  auto x = stf::la::lu_solve(a, b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xtrue[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LuRoundTrip, ::testing::Range(0, 20));
+
+// -------------------------------------------------------------- Cholesky --
+
+TEST(Cholesky, FactorOfKnownSpdMatrix) {
+  Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  stf::la::Cholesky chol(a);
+  const Matrix& l = chol.factor();
+  EXPECT_NEAR(l(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(l(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(l(1, 1), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Cholesky, NonSpdThrows) {
+  Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // indefinite
+  EXPECT_THROW(stf::la::Cholesky{a}, std::runtime_error);
+}
+
+class CholeskyRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskyRoundTrip, SolveRecoversX) {
+  const int seed = GetParam();
+  const std::size_t n = 2 + static_cast<std::size_t>(seed % 7);
+  Matrix g = random_matrix(n + 3, n, static_cast<unsigned>(seed));
+  Matrix a = stf::la::gram(g);  // SPD with high probability
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 0.5;
+  auto xtrue = random_vector(n, static_cast<unsigned>(seed + 99));
+  auto b = a * xtrue;
+  auto x = stf::la::cholesky_solve(a, b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xtrue[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CholeskyRoundTrip, ::testing::Range(0, 15));
+
+// -------------------------------------------------------------------- QR --
+
+TEST(Qr, ThinFactorsReconstructA) {
+  Matrix a = random_matrix(8, 4, 23);
+  stf::la::QrDecomposition qr(a);
+  Matrix recon = qr.q_thin() * qr.r();
+  EXPECT_LT(max_abs_diff(recon, a), 1e-12);
+}
+
+TEST(Qr, QHasOrthonormalColumns) {
+  Matrix a = random_matrix(10, 5, 29);
+  stf::la::QrDecomposition qr(a);
+  Matrix q = qr.q_thin();
+  Matrix qtq = q.transposed() * q;
+  EXPECT_LT(max_abs_diff(qtq, Matrix::identity(5)), 1e-12);
+}
+
+TEST(Qr, WideMatrixThrows) {
+  EXPECT_THROW(stf::la::QrDecomposition{random_matrix(3, 5, 1)},
+               std::invalid_argument);
+}
+
+TEST(Qr, ExactSolveOnSquareSystem) {
+  Matrix a{{2.0, 0.0}, {0.0, 4.0}};
+  std::vector<double> b{2.0, 8.0};
+  auto x = stf::la::qr_lstsq(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Qr, LeastSquaresResidualIsOrthogonalToColumns) {
+  Matrix a = random_matrix(12, 4, 31);
+  auto b = random_vector(12, 37);
+  auto x = stf::la::qr_lstsq(a, b);
+  auto ax = a * x;
+  std::vector<double> r = stf::la::sub(b, ax);
+  // Normal equations: A^T r == 0 at the least-squares optimum.
+  auto atr = stf::la::at_b(a, r);
+  for (double v : atr) EXPECT_NEAR(v, 0.0, 1e-10);
+}
+
+TEST(Qr, RankDeficientDetected) {
+  Matrix a(6, 3);
+  for (std::size_t i = 0; i < 6; ++i) {
+    a(i, 0) = static_cast<double>(i);
+    a(i, 1) = 2.0 * static_cast<double>(i);  // col 1 = 2 * col 0
+    a(i, 2) = 1.0;
+  }
+  stf::la::QrDecomposition qr(a);
+  EXPECT_FALSE(qr.full_rank());
+  EXPECT_THROW(qr.solve(std::vector<double>(6, 1.0)), std::runtime_error);
+}
+
+// ------------------------------------------------------------------- SVD --
+
+TEST(Svd, DiagonalMatrixSingularValues) {
+  Matrix a{{3.0, 0.0}, {0.0, 2.0}};
+  auto d = stf::la::svd(a);
+  ASSERT_EQ(d.s.size(), 2u);
+  EXPECT_NEAR(d.s[0], 3.0, 1e-12);
+  EXPECT_NEAR(d.s[1], 2.0, 1e-12);
+}
+
+TEST(Svd, ReconstructsTallMatrix) {
+  Matrix a = random_matrix(9, 4, 41);
+  auto d = stf::la::svd(a);
+  Matrix sigma(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) sigma(i, i) = d.s[i];
+  Matrix recon = d.u * sigma * d.v.transposed();
+  EXPECT_LT(max_abs_diff(recon, a), 1e-10);
+}
+
+TEST(Svd, ReconstructsWideMatrix) {
+  Matrix a = random_matrix(3, 7, 43);
+  auto d = stf::la::svd(a);
+  Matrix sigma(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) sigma(i, i) = d.s[i];
+  Matrix recon = d.u * sigma * d.v.transposed();
+  EXPECT_LT(max_abs_diff(recon, a), 1e-10);
+}
+
+TEST(Svd, SingularValuesDescendingAndNonNegative) {
+  Matrix a = random_matrix(6, 6, 47);
+  auto d = stf::la::svd(a);
+  for (std::size_t i = 1; i < d.s.size(); ++i) {
+    EXPECT_GE(d.s[i - 1], d.s[i]);
+    EXPECT_GE(d.s[i], 0.0);
+  }
+}
+
+TEST(Svd, RankOfRankDeficientMatrix) {
+  Matrix a(5, 3);
+  auto c0 = random_vector(5, 51);
+  for (std::size_t i = 0; i < 5; ++i) {
+    a(i, 0) = c0[i];
+    a(i, 1) = 3.0 * c0[i];
+    a(i, 2) = -c0[i];
+  }
+  auto d = stf::la::svd(a);
+  EXPECT_EQ(d.rank(1e-10), 1u);
+}
+
+TEST(Svd, OrthonormalFactors) {
+  Matrix a = random_matrix(8, 5, 53);
+  auto d = stf::la::svd(a);
+  EXPECT_LT(max_abs_diff(d.u.transposed() * d.u, Matrix::identity(5)), 1e-10);
+  EXPECT_LT(max_abs_diff(d.v.transposed() * d.v, Matrix::identity(5)), 1e-10);
+}
+
+// Moore-Penrose axioms as a property sweep over random shapes.
+class PinvAxioms : public ::testing::TestWithParam<int> {};
+
+TEST_P(PinvAxioms, SatisfiesAllFour) {
+  const int seed = GetParam();
+  const std::size_t m = 2 + static_cast<std::size_t>((seed * 7) % 6);
+  const std::size_t n = 2 + static_cast<std::size_t>((seed * 3) % 6);
+  Matrix a = random_matrix(m, n, static_cast<unsigned>(100 + seed));
+  Matrix ap = stf::la::pinv(a);
+  EXPECT_LT(max_abs_diff(a * ap * a, a), 1e-9);                        // AXA=A
+  EXPECT_LT(max_abs_diff(ap * a * ap, ap), 1e-9);                      // XAX=X
+  EXPECT_LT(max_abs_diff((a * ap).transposed(), a * ap), 1e-9);        // (AX)^T
+  EXPECT_LT(max_abs_diff((ap * a).transposed(), ap * a), 1e-9);        // (XA)^T
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PinvAxioms, ::testing::Range(0, 18));
+
+TEST(Svd, LstsqMatchesQrOnFullRank) {
+  Matrix a = random_matrix(10, 4, 61);
+  auto b = random_vector(10, 67);
+  auto x_qr = stf::la::qr_lstsq(a, b);
+  auto x_svd = stf::la::svd_lstsq(a, b);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(x_qr[i], x_svd[i], 1e-9);
+}
+
+TEST(Svd, LstsqMinimumNormOnUnderdetermined) {
+  // x + y = 2 has minimum-norm solution (1, 1).
+  Matrix a{{1.0, 1.0}};
+  auto x = stf::la::svd_lstsq(a, {2.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(Svd, ConditionNumberOfIdentityIsOne) {
+  auto d = stf::la::svd(Matrix::identity(4));
+  EXPECT_NEAR(d.condition_number(), 1.0, 1e-12);
+}
+
+// ----------------------------------------------------------------- lstsq --
+
+TEST(Ridge, ZeroLambdaMatchesLstsq) {
+  Matrix a = random_matrix(9, 3, 71);
+  auto b = random_vector(9, 73);
+  auto x0 = stf::la::lstsq(a, b);
+  auto x1 = stf::la::ridge(a, b, 0.0);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x0[i], x1[i], 1e-9);
+}
+
+TEST(Ridge, ShrinksSolutionNorm) {
+  Matrix a = random_matrix(20, 5, 79);
+  auto b = random_vector(20, 83);
+  auto x0 = stf::la::ridge(a, b, 0.0);
+  auto x1 = stf::la::ridge(a, b, 10.0);
+  EXPECT_LT(stf::la::norm2(x1), stf::la::norm2(x0));
+}
+
+TEST(Ridge, NegativeLambdaThrows) {
+  Matrix a = random_matrix(4, 2, 89);
+  EXPECT_THROW(stf::la::ridge(a, random_vector(4, 90), -1.0),
+               std::invalid_argument);
+}
+
+TEST(Ridge, LargeLambdaDrivesSolutionTowardZero) {
+  Matrix a = random_matrix(15, 4, 97);
+  auto b = random_vector(15, 101);
+  auto x = stf::la::ridge(a, b, 1e9);
+  EXPECT_LT(stf::la::norm2(x), 1e-6);
+}
+
+TEST(Gram, MatchesExplicitProduct) {
+  Matrix a = random_matrix(7, 3, 103);
+  EXPECT_LT(max_abs_diff(stf::la::gram(a), a.transposed() * a), 1e-13);
+}
+
+}  // namespace

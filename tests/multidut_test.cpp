@@ -1,0 +1,103 @@
+// Tests for the additional DUT classes (PA driver, attenuator pad).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "circuit/attenuator.hpp"
+#include "circuit/dc.hpp"
+#include "circuit/pa900.hpp"
+#include "stats/rng.hpp"
+#include "stats/sampling.hpp"
+
+namespace {
+
+using namespace stf::circuit;
+
+// -------------------------------------------------------------------- PA --
+
+TEST(Pa900, NominalSpecsInDesignRange) {
+  const auto specs = Pa900::measure(Pa900::nominal());
+  EXPECT_GT(specs.gain_db, 15.0);
+  EXPECT_LT(specs.gain_db, 24.0);
+  // Hot class-A bias: ~20 mA.
+  EXPECT_GT(specs.idd_ma, 12.0);
+  EXPECT_LT(specs.idd_ma, 30.0);
+}
+
+TEST(Pa900, HotterBiasIsMoreLinearThanLna) {
+  // Higher standing current -> better IIP3 than the 3 mA LNA.
+  const auto pa = Pa900::measure(Pa900::nominal());
+  EXPECT_GT(pa.iip3_dbm, -6.0);
+}
+
+TEST(Pa900, IddTracksBiasResistor) {
+  auto p = Pa900::nominal();
+  const double idd_nom = Pa900::measure(p).idd_ma;
+  p[0] *= 2.0;  // double RB1 -> roughly half the base current
+  const double idd_starved = Pa900::measure(p).idd_ma;
+  EXPECT_LT(idd_starved, 0.65 * idd_nom);
+}
+
+TEST(Pa900, BadProcessThrows) {
+  EXPECT_THROW(Pa900::build(std::vector<double>(2, 1.0)),
+               std::invalid_argument);
+  auto p = Pa900::nominal();
+  p[3] = 0.0;
+  EXPECT_THROW(Pa900::build(p), std::invalid_argument);
+}
+
+TEST(Pa900, PopulationConverges) {
+  stf::stats::UniformBox box{Pa900::nominal(), 0.2};
+  stf::stats::Rng rng(3);
+  for (int i = 0; i < 25; ++i)
+    EXPECT_NO_THROW(Pa900::measure(box.sample(rng)));
+}
+
+TEST(Pa900, SpecsVectorShape) {
+  EXPECT_EQ(PaSpecs::names().size(), 3u);
+  PaSpecs s;
+  s.idd_ma = 20.0;
+  EXPECT_DOUBLE_EQ(s.to_vector()[2], 20.0);
+}
+
+// ------------------------------------------------------------ attenuator --
+
+TEST(Attenuator, NominalIsSixDbMatchedPad) {
+  const auto specs = AttenuatorPad::measure(AttenuatorPad::nominal());
+  EXPECT_NEAR(specs.loss_db, 6.0, 0.05);
+  // Perfectly matched at nominal: very high return loss.
+  EXPECT_GT(specs.return_loss_db, 30.0);
+}
+
+TEST(Attenuator, MistunedPadDegradesMatch) {
+  auto p = AttenuatorPad::nominal();
+  p[0] *= 1.3;  // one shunt arm off by 30%
+  const auto specs = AttenuatorPad::measure(p);
+  const auto nominal = AttenuatorPad::measure(AttenuatorPad::nominal());
+  EXPECT_LT(specs.return_loss_db, nominal.return_loss_db - 20.0);
+  EXPECT_GT(specs.return_loss_db, 5.0);
+}
+
+TEST(Attenuator, LossIncreasesWithSeriesResistor) {
+  auto p = AttenuatorPad::nominal();
+  const double loss_nom = AttenuatorPad::measure(p).loss_db;
+  p[1] *= 1.5;
+  EXPECT_GT(AttenuatorPad::measure(p).loss_db, loss_nom + 0.5);
+}
+
+TEST(Attenuator, PassiveSoLossIsPositive) {
+  stf::stats::UniformBox box{AttenuatorPad::nominal(), 0.2};
+  stf::stats::Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    const auto specs = AttenuatorPad::measure(box.sample(rng));
+    EXPECT_GT(specs.loss_db, 0.0);
+  }
+}
+
+TEST(Attenuator, BadProcessThrows) {
+  EXPECT_THROW(AttenuatorPad::build({1.0}), std::invalid_argument);
+  EXPECT_THROW(AttenuatorPad::build({-1.0, 37.0, 150.0}),
+               std::invalid_argument);
+}
+
+}  // namespace

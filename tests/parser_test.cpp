@@ -1,0 +1,164 @@
+// Tests for the SPICE-style netlist parser.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "circuit/ac.hpp"
+#include "circuit/dc.hpp"
+#include "circuit/parser.hpp"
+
+namespace {
+
+using namespace stf::circuit;
+
+// ---------------------------------------------------------------- numbers --
+
+TEST(SpiceNumber, PlainAndScientific) {
+  EXPECT_DOUBLE_EQ(parse_spice_number("42"), 42.0);
+  EXPECT_DOUBLE_EQ(parse_spice_number("-3.5"), -3.5);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1e-9"), 1e-9);
+  EXPECT_DOUBLE_EQ(parse_spice_number("2.5E3"), 2500.0);
+}
+
+TEST(SpiceNumber, EngineeringSuffixes) {
+  EXPECT_DOUBLE_EQ(parse_spice_number("10p"), 10e-12);
+  EXPECT_DOUBLE_EQ(parse_spice_number("4n"), 4e-9);
+  EXPECT_DOUBLE_EQ(parse_spice_number("3.3u"), 3.3e-6);
+  EXPECT_DOUBLE_EQ(parse_spice_number("5m"), 5e-3);
+  EXPECT_DOUBLE_EQ(parse_spice_number("4.7k"), 4700.0);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1meg"), 1e6);
+  EXPECT_DOUBLE_EQ(parse_spice_number("2G"), 2e9);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1f"), 1e-15);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1t"), 1e12);
+}
+
+TEST(SpiceNumber, UnitAnnotationsIgnored) {
+  EXPECT_DOUBLE_EQ(parse_spice_number("10pF"), 10e-12);
+  EXPECT_DOUBLE_EQ(parse_spice_number("4.7kOhm"), 4700.0);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1MEGHz"), 1e6);
+}
+
+TEST(SpiceNumber, MalformedThrows) {
+  EXPECT_THROW(parse_spice_number(""), std::invalid_argument);
+  EXPECT_THROW(parse_spice_number("abc"), std::invalid_argument);
+  EXPECT_THROW(parse_spice_number("1x"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- parsing --
+
+TEST(Parser, VoltageDividerRoundTrip) {
+  const auto nl = parse_netlist(R"(
+* a comment
+V1 a 0 DC 10
+R1 a b 6k
+R2 b 0 4k
+.end
+)");
+  EXPECT_EQ(nl.resistors().size(), 2u);
+  EXPECT_EQ(nl.vsources().size(), 1u);
+  const auto dc = solve_dc(nl);
+  EXPECT_NEAR(dc.voltage(nl.find_node("b")), 4.0, 1e-6);
+}
+
+TEST(Parser, AllElementKinds) {
+  const auto nl = parse_netlist(R"(
+VS in 0 DC 0 AC 1
+RS in a 50
+C1 a b 10p
+L1 b 0 4n
+IB 0 a 1m
+G1 out 0 a 0 0.02
+RL out 0 1k NOISELESS
+Q1 c a 0 IS=2e-16 BF=80 VAF=50 RB=30 IKF=0.04
+VCC c 0 DC 3
+)");
+  EXPECT_EQ(nl.capacitors().size(), 1u);
+  EXPECT_EQ(nl.inductors().size(), 1u);
+  EXPECT_EQ(nl.isources().size(), 1u);
+  EXPECT_EQ(nl.vccs().size(), 1u);
+  ASSERT_EQ(nl.bjts().size(), 1u);
+  EXPECT_DOUBLE_EQ(nl.bjts()[0].params.bf, 80.0);
+  EXPECT_DOUBLE_EQ(nl.bjts()[0].params.is, 2e-16);
+  EXPECT_DOUBLE_EQ(nl.bjts()[0].params.rb, 30.0);
+  // RL marked noiseless, RS noisy by default.
+  bool rl_noisy = true, rs_noisy = false;
+  for (const auto& r : nl.resistors()) {
+    if (r.name == "RL") rl_noisy = r.noisy;
+    if (r.name == "RS") rs_noisy = r.noisy;
+  }
+  EXPECT_FALSE(rl_noisy);
+  EXPECT_TRUE(rs_noisy);
+  // AC magnitude captured.
+  EXPECT_DOUBLE_EQ(nl.vsources()[0].vac.real(), 1.0);
+}
+
+TEST(Parser, CommentsAndBlankLines) {
+  const auto nl = parse_netlist(
+      "* header\n"
+      "\n"
+      "; another comment style\n"
+      "R1 a 0 100 ; trailing comment\n");
+  EXPECT_EQ(nl.resistors().size(), 1u);
+  EXPECT_DOUBLE_EQ(nl.resistors()[0].r, 100.0);
+}
+
+TEST(Parser, DotEndStopsParsing) {
+  const auto nl = parse_netlist(
+      "R1 a 0 100\n"
+      ".end\n"
+      "R2 b 0 200\n");
+  EXPECT_EQ(nl.resistors().size(), 1u);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse_netlist("R1 a 0 100\nX9 what 0 1\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW(parse_netlist("R1 a 0\n"), std::invalid_argument);
+  EXPECT_THROW(parse_netlist("Q1 c b e BF\n"), std::invalid_argument);
+  EXPECT_THROW(parse_netlist("Q1 c b e ZZ=3\n"), std::invalid_argument);
+  EXPECT_THROW(parse_netlist("V1 a 0 DC 1 FOO 2\n"), std::invalid_argument);
+  EXPECT_THROW(parse_netlist(".option reltol=1\n"), std::invalid_argument);
+}
+
+TEST(Parser, ParsedBjtStageMatchesProgrammaticBuild) {
+  // The same CE amplifier written both ways must produce identical DC and
+  // AC results.
+  const auto parsed = parse_netlist(R"(
+VCC vcc 0 DC 3
+VS src 0 DC 0 AC 1
+RS src nin 50
+CC nin b 1u
+RB vcc b 100k
+RC vcc c 200
+Q1 c b 0 IS=1e-16 BF=100 VAF=60 RB=25 IKF=0.05
+)");
+
+  Netlist built;
+  BjtParams p;
+  built.add_vsource("VCC", "vcc", "0", 3.0);
+  built.add_vsource("VS", "src", "0", 0.0, {1.0, 0.0});
+  built.add_resistor("RS", "src", "nin", 50.0);
+  built.add_capacitor("CC", "nin", "b", 1e-6);
+  built.add_resistor("RB", "vcc", "b", 100e3);
+  built.add_resistor("RC", "vcc", "c", 200.0);
+  built.add_bjt("Q1", "c", "b", "0", p);
+
+  const auto dc_a = solve_dc(parsed);
+  const auto dc_b = solve_dc(built);
+  EXPECT_NEAR(dc_a.voltage(parsed.find_node("c")),
+              dc_b.voltage(built.find_node("c")), 1e-9);
+  EXPECT_NEAR(dc_a.bjt_op[0].ic, dc_b.bjt_op[0].ic, 1e-12);
+
+  const AcAnalysis ac_a(parsed, dc_a);
+  const AcAnalysis ac_b(built, dc_b);
+  const auto va = ac_a.solve(10e6);
+  const auto vb = ac_b.solve(10e6);
+  EXPECT_NEAR(std::abs(va[parsed.find_node("c")]),
+              std::abs(vb[built.find_node("c")]), 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,82 @@
+// Robustness sweeps: the headline result must not depend on the particular
+// random population or noise realization baked into the benches.
+#include <gtest/gtest.h>
+
+#include "circuit/lna900.hpp"
+#include "rf/population.hpp"
+#include "sigtest/optimizer.hpp"
+#include "sigtest/runtime.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace stf;
+
+// One shared optimized stimulus (the expensive part).
+class SeedRobustness : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static void SetUpTestSuite() {
+    const auto cfg = sigtest::SignatureTestConfig::simulation_study();
+    sigtest::PerturbationSet perturb(sigtest::lna900_factory(),
+                                     circuit::Lna900::nominal(), 0.05);
+    sigtest::SignatureAcquirer acq(cfg, 16);
+    sigtest::StimulusOptimizerConfig oc;
+    oc.encoding.n_breakpoints = 16;
+    oc.encoding.duration_s = cfg.capture_s;
+    oc.encoding.v_min = -0.45;
+    oc.encoding.v_max = 0.45;
+    oc.ga.population = 20;
+    oc.ga.generations = 10;
+    oc.ga.seed = 3;
+    stimulus_ = new dsp::PwlWaveform(
+        sigtest::optimize_stimulus(perturb, acq, oc).waveform);
+  }
+  static void TearDownTestSuite() { delete stimulus_; }
+  static dsp::PwlWaveform* stimulus_;
+};
+
+dsp::PwlWaveform* SeedRobustness::stimulus_ = nullptr;
+
+TEST_P(SeedRobustness, SimStudyQualityHoldsAcrossPopulations) {
+  const std::uint64_t seed = GetParam();
+  const auto cfg = sigtest::SignatureTestConfig::simulation_study();
+  const auto devices = rf::make_lna_population(90, 0.2, seed);
+  const auto split = rf::split_population(devices, 70);
+  sigtest::FastestRuntime runtime(cfg, *stimulus_,
+                                  circuit::LnaSpecs::names());
+  stats::Rng rng(seed + 1);
+  runtime.calibrate(split.calibration, rng);
+  const auto report = runtime.validate(split.validation, rng);
+  // Core claims, at every seed: gain & IIP3 strongly predicted, NF worst.
+  EXPECT_GT(report.specs[0].r_squared, 0.9) << "gain, seed " << seed;
+  EXPECT_GT(report.specs[2].r_squared, 0.9) << "iip3, seed " << seed;
+  EXPECT_LT(report.specs[0].std_error, 0.2) << "gain, seed " << seed;
+  EXPECT_LT(report.specs[1].r_squared, report.specs[2].r_squared)
+      << "NF must stay the hardest spec, seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedRobustness,
+                         ::testing::Values<std::uint64_t>(101, 202, 303));
+
+TEST(SeedRobustness2, HardwareStudyQualityHoldsAcrossPopulations) {
+  for (std::uint64_t seed : {11ull, 29ull, 47ull}) {
+    const auto cfg = sigtest::SignatureTestConfig::hardware_study();
+    const auto devices = rf::make_rf401_population({}, seed);
+    const auto split = rf::split_population(devices, 28);
+    stats::Rng srng(5);
+    std::vector<double> bp(64);
+    for (auto& v : bp) v = srng.uniform(-0.25, 0.25);
+    const auto stim = dsp::PwlWaveform::uniform(cfg.capture_s, bp);
+    sigtest::CalibrationOptions co;
+    co.ridge_lambda = 1e-1;
+    sigtest::FastestRuntime runtime(cfg, stim, circuit::LnaSpecs::names(),
+                                    co, 32);
+    stats::Rng rng(seed + 7);
+    runtime.calibrate(split.calibration, rng);
+    const auto report = runtime.validate(split.validation, rng);
+    EXPECT_GT(report.specs[0].r_squared, 0.85) << "gain, seed " << seed;
+    EXPECT_LT(report.specs[0].rms_error, 0.45) << "gain, seed " << seed;
+  }
+}
+
+}  // namespace

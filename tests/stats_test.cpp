@@ -1,0 +1,196 @@
+// Unit and property tests for the stats substrate.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.hpp"
+#include "stats/metrics.hpp"
+#include "stats/rng.hpp"
+#include "stats/sampling.hpp"
+
+namespace {
+
+using stf::stats::Rng;
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i)
+    any_diff |= a.uniform(0.0, 1.0) != b.uniform(0.0, 1.0);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Rng, UniformSpreadWithinBand) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform_spread(100.0, 0.2);
+    EXPECT_GE(x, 80.0);
+    EXPECT_LE(x, 120.0);
+  }
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect) {
+  Rng rng(11);
+  auto v = rng.normal_vector(20000, 5.0, 2.0);
+  EXPECT_NEAR(stf::stats::mean(v), 5.0, 0.1);
+  EXPECT_NEAR(stf::stats::stddev(v), 2.0, 0.1);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(13);
+  auto p = rng.permutation(50);
+  std::vector<bool> seen(50, false);
+  for (auto i : p) {
+    ASSERT_LT(i, 50u);
+    EXPECT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+}
+
+// ----------------------------------------------------------- descriptive --
+
+TEST(Descriptive, MeanVarianceKnown) {
+  std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(stf::stats::mean(v), 5.0);
+  EXPECT_NEAR(stf::stats::variance(v), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stf::stats::stddev_population(v), 2.0, 1e-12);
+}
+
+TEST(Descriptive, EmptyInputThrows) {
+  std::vector<double> v;
+  EXPECT_THROW(stf::stats::mean(v), std::invalid_argument);
+  EXPECT_THROW(stf::stats::min(v), std::invalid_argument);
+  EXPECT_THROW(stf::stats::max(v), std::invalid_argument);
+}
+
+TEST(Descriptive, MedianEvenAndOdd) {
+  EXPECT_DOUBLE_EQ(stf::stats::median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(stf::stats::median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Descriptive, PercentileEndpoints) {
+  std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(stf::stats::percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(stf::stats::percentile(v, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(stf::stats::percentile(v, 50.0), 25.0);
+  EXPECT_THROW(stf::stats::percentile(v, 101.0), std::invalid_argument);
+}
+
+TEST(Descriptive, PearsonPerfectCorrelation) {
+  std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> b{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(stf::stats::pearson(a, b), 1.0, 1e-12);
+  std::vector<double> c{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(stf::stats::pearson(a, c), -1.0, 1e-12);
+}
+
+TEST(Descriptive, PearsonZeroVarianceThrows) {
+  std::vector<double> a{1.0, 1.0, 1.0};
+  std::vector<double> b{1.0, 2.0, 3.0};
+  EXPECT_THROW(stf::stats::pearson(a, b), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- sampling --
+
+TEST(Sampling, UniformBoxRespectsBounds) {
+  stf::stats::UniformBox box{{100.0, 1e-12, 50.0}, 0.2};
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    auto x = box.sample(rng);
+    ASSERT_EQ(x.size(), 3u);
+    for (std::size_t d = 0; d < 3; ++d) {
+      EXPECT_GE(x[d], box.lo(d));
+      EXPECT_LE(x[d], box.hi(d));
+    }
+  }
+}
+
+TEST(Sampling, SampleMatrixShape) {
+  stf::stats::UniformBox box{{1.0, 2.0}, 0.1};
+  Rng rng(19);
+  auto m = box.sample_matrix(25, rng);
+  EXPECT_EQ(m.rows(), 25u);
+  EXPECT_EQ(m.cols(), 2u);
+}
+
+TEST(Sampling, LatinHypercubeStratification) {
+  stf::stats::UniformBox box{{10.0}, 0.5};  // [5, 15]
+  Rng rng(23);
+  const std::size_t n = 10;
+  auto m = stf::stats::latin_hypercube(box, n, rng);
+  // Exactly one sample per stratum of width 1.0.
+  std::vector<int> counts(n, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double x = m(r, 0);
+    EXPECT_GE(x, 5.0);
+    EXPECT_LE(x, 15.0);
+    auto bin = static_cast<std::size_t>((x - 5.0) / 1.0);
+    if (bin == n) bin = n - 1;
+    counts[bin]++;
+  }
+  for (int c : counts) EXPECT_EQ(c, 1);
+}
+
+TEST(Sampling, LatinHypercubeZeroSamplesThrows) {
+  stf::stats::UniformBox box{{1.0}, 0.1};
+  Rng rng(29);
+  EXPECT_THROW(stf::stats::latin_hypercube(box, 0, rng),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- metrics --
+
+TEST(Metrics, PerfectPredictionHasZeroError) {
+  std::vector<double> t{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(stf::stats::rms_error(t, t), 0.0);
+  EXPECT_DOUBLE_EQ(stf::stats::std_error(t, t), 0.0);
+  EXPECT_DOUBLE_EQ(stf::stats::max_abs_error(t, t), 0.0);
+  EXPECT_DOUBLE_EQ(stf::stats::r_squared(t, t), 1.0);
+}
+
+TEST(Metrics, KnownResiduals) {
+  std::vector<double> t{0.0, 0.0, 0.0, 0.0};
+  std::vector<double> p{1.0, -1.0, 1.0, -1.0};
+  EXPECT_DOUBLE_EQ(stf::stats::rms_error(t, p), 1.0);
+  EXPECT_DOUBLE_EQ(stf::stats::mean_error(t, p), 0.0);
+  EXPECT_DOUBLE_EQ(stf::stats::max_abs_error(t, p), 1.0);
+}
+
+TEST(Metrics, StdErrorIgnoresConstantBias) {
+  std::vector<double> t{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> p{2.0, 3.0, 4.0, 5.0};  // uniform +1 bias
+  EXPECT_NEAR(stf::stats::std_error(t, p), 0.0, 1e-12);
+  EXPECT_NEAR(stf::stats::rms_error(t, p), 1.0, 1e-12);
+  EXPECT_NEAR(stf::stats::mean_error(t, p), 1.0, 1e-12);
+}
+
+TEST(Metrics, RSquaredOfMeanPredictorIsZero) {
+  std::vector<double> t{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> p(4, 2.5);  // predicting the mean
+  EXPECT_NEAR(stf::stats::r_squared(t, p), 0.0, 1e-12);
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  std::vector<double> a{1.0, 2.0};
+  std::vector<double> b{1.0};
+  EXPECT_THROW(stf::stats::rms_error(a, b), std::invalid_argument);
+}
+
+}  // namespace

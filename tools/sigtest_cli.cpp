@@ -1,0 +1,179 @@
+// sigtest_cli: command-line driver for the signature-test framework.
+//
+// Subcommands:
+//   sim-study  [--seed N] [--train N] [--val N]   Section 4.1 reproduction
+//   hw-study   [--seed N]                         Section 4.2 reproduction
+//   characterize [--temp KELVIN]                  nominal LNA datasheet
+//   netlist-op  FILE                              DC operating point
+//   netlist-ac  FILE FREQ_HZ [OUT_NODE]           AC node voltages
+//   analog                                        baseband lineage demo
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "circuit/ac.hpp"
+#include "circuit/dc.hpp"
+#include "circuit/lna900.hpp"
+#include "circuit/parser.hpp"
+#include "circuit/sparams.hpp"
+#include "common.hpp"
+#include "sigtest/analog.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace stf;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: sigtest_cli <command> [options]\n"
+      "  sim-study  [--seed N] [--train N] [--val N]   paper Sec. 4.1 flow\n"
+      "  hw-study   [--seed N]                         paper Sec. 4.2 flow\n"
+      "  characterize [--temp KELVIN]                  nominal LNA specs\n"
+      "  netlist-op  FILE                              DC operating point\n"
+      "  netlist-ac  FILE FREQ_HZ                      AC node voltages\n"
+      "  analog                                        baseband lineage\n");
+  return 2;
+}
+
+// --key value option lookup; returns fallback when absent.
+double opt_num(const std::vector<std::string>& args, const std::string& key,
+               double fallback) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i)
+    if (args[i] == key) return std::stod(args[i + 1]);
+  return fallback;
+}
+
+int cmd_sim_study(const std::vector<std::string>& args) {
+  bench::SimStudyOptions opts;
+  opts.population_seed =
+      static_cast<std::uint64_t>(opt_num(args, "--seed", 42));
+  opts.n_train = static_cast<std::size_t>(opt_num(args, "--train", 100));
+  opts.n_val = static_cast<std::size_t>(opt_num(args, "--val", 25));
+  const auto result = bench::run_simulation_study(opts);
+  std::printf("simulation study: %zu train / %zu validate, GA objective"
+              " %.4e\n",
+              opts.n_train, opts.n_val, result.ga_objective);
+  for (const auto& spec : result.report.specs)
+    bench::print_error_summary(spec, "");
+  return 0;
+}
+
+int cmd_hw_study(const std::vector<std::string>& args) {
+  bench::HwStudyOptions opts;
+  opts.population_seed =
+      static_cast<std::uint64_t>(opt_num(args, "--seed", 17));
+  const auto result = bench::run_hardware_study(opts);
+  std::printf("hardware study: 55 devices (28 cal / 27 val)\n");
+  for (const auto& spec : result.report.specs)
+    bench::print_error_summary(spec, "");
+  return 0;
+}
+
+int cmd_characterize(const std::vector<std::string>& args) {
+  const double kelvin = opt_num(args, "--temp", 290.0);
+  auto nl = circuit::Lna900::build(circuit::Lna900::nominal());
+  nl.set_temperature(kelvin);
+  const auto dc = circuit::solve_dc(nl);
+  const circuit::AcAnalysis ac(nl, dc);
+  const auto port = circuit::Lna900::port();
+  circuit::TwoPortSetup tp;
+  tp.input_node = "nin";
+  tp.output_node = "out";
+  const auto s = circuit::s_parameters(ac, circuit::Lna900::kF0, tp);
+  std::printf("900 MHz LNA at %.0f K:\n", kelvin);
+  std::printf("  Ic    %8.3f mA\n", dc.bjt_op[0].ic * 1e3);
+  std::printf("  gain  %8.2f dB\n",
+              circuit::transducer_gain_db(ac, circuit::Lna900::kF0, port));
+  std::printf("  NF    %8.2f dB\n",
+              circuit::noise_figure_db(ac, circuit::Lna900::kF0, port));
+  std::printf("  IIP3  %8.2f dBm\n",
+              circuit::iip3_dbm(ac, circuit::Lna900::kF0,
+                                circuit::Lna900::kF2, port));
+  std::printf("  S11   %8.2f dB\n", s.s11_db());
+  return 0;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+int cmd_netlist_op(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const auto nl = circuit::parse_netlist(read_file(args[0]));
+  const auto dc = circuit::solve_dc(nl);
+  std::printf("DC operating point (%d Newton iterations):\n", dc.iterations);
+  for (std::size_t n = 1; n <= nl.node_count(); ++n)
+    std::printf("  V(%s) = %.6g V\n",
+                nl.node_name(static_cast<circuit::NodeId>(n)).c_str(),
+                dc.v[n]);
+  for (std::size_t q = 0; q < nl.bjts().size(); ++q)
+    std::printf("  %s: Ic = %.4g A, Ib = %.4g A, gm = %.4g S\n",
+                nl.bjts()[q].name.c_str(), dc.bjt_op[q].ic, dc.bjt_op[q].ib,
+                dc.bjt_op[q].gm);
+  return 0;
+}
+
+int cmd_netlist_ac(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  const auto nl = circuit::parse_netlist(read_file(args[0]));
+  const double freq = circuit::parse_spice_number(args[1]);
+  const auto dc = circuit::solve_dc(nl);
+  const circuit::AcAnalysis ac(nl, dc);
+  const auto v = ac.solve(freq);
+  std::printf("AC node voltages at %g Hz (magnitude / phase deg):\n", freq);
+  for (std::size_t n = 1; n <= nl.node_count(); ++n)
+    std::printf("  V(%s) = %.6g / %.2f\n",
+                nl.node_name(static_cast<circuit::NodeId>(n)).c_str(),
+                std::abs(v[n]), std::arg(v[n]) * 180.0 / M_PI);
+  return 0;
+}
+
+int cmd_analog(const std::vector<std::string>&) {
+  const auto pop = sigtest::make_filter_population(60, 0.2, 3);
+  std::vector<sigtest::AnalogDeviceRecord> train(pop.begin(),
+                                                 pop.begin() + 45);
+  std::vector<sigtest::AnalogDeviceRecord> val(pop.begin() + 45, pop.end());
+  sigtest::AnalogSignatureConfig cfg;
+  const auto stim = dsp::PwlWaveform::uniform(
+      cfg.capture_s,
+      {0.0, 0.8, -0.6, 0.4, -0.9, 0.7, -0.2, 0.9, -0.7, 0.3, -0.4, 0.6, 0.0});
+  sigtest::AnalogSignatureRuntime runtime(cfg, stim);
+  stats::Rng rng(7);
+  runtime.calibrate(train, rng);
+  const auto rep = runtime.validate(val, rng);
+  std::printf("baseband lineage (Sallen-Key filter, transient signature):\n");
+  for (std::size_t s = 0; s < rep.names.size(); ++s)
+    std::printf("  %-12s rms %.4g, R^2 %.4f\n", rep.names[s].c_str(),
+                rep.rms_error[s], rep.r_squared[s]);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "sim-study") return cmd_sim_study(args);
+    if (cmd == "hw-study") return cmd_hw_study(args);
+    if (cmd == "characterize") return cmd_characterize(args);
+    if (cmd == "netlist-op") return cmd_netlist_op(args);
+    if (cmd == "netlist-ac") return cmd_netlist_ac(args);
+    if (cmd == "analog") return cmd_analog(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sigtest_cli: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
