@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_phase_ablation.dir/fig03_phase_ablation.cpp.o"
+  "CMakeFiles/fig03_phase_ablation.dir/fig03_phase_ablation.cpp.o.d"
+  "fig03_phase_ablation"
+  "fig03_phase_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_phase_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

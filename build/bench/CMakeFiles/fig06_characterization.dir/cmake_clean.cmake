@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_characterization.dir/fig06_characterization.cpp.o"
+  "CMakeFiles/fig06_characterization.dir/fig06_characterization.cpp.o.d"
+  "fig06_characterization"
+  "fig06_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_stimulus.dir/fig07_stimulus.cpp.o"
+  "CMakeFiles/fig07_stimulus.dir/fig07_stimulus.cpp.o.d"
+  "fig07_stimulus"
+  "fig07_stimulus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_stimulus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_gain.dir/fig08_gain.cpp.o"
+  "CMakeFiles/fig08_gain.dir/fig08_gain.cpp.o.d"
+  "fig08_gain"
+  "fig08_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_nf.dir/fig10_nf.cpp.o"
+  "CMakeFiles/fig10_nf.dir/fig10_nf.cpp.o.d"
+  "fig10_nf"
+  "fig10_nf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_nf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_meas_gain.dir/fig12_meas_gain.cpp.o"
+  "CMakeFiles/fig12_meas_gain.dir/fig12_meas_gain.cpp.o.d"
+  "fig12_meas_gain"
+  "fig12_meas_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_meas_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

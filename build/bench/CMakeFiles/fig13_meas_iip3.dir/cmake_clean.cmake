@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_meas_iip3.dir/fig13_meas_iip3.cpp.o"
+  "CMakeFiles/fig13_meas_iip3.dir/fig13_meas_iip3.cpp.o.d"
+  "fig13_meas_iip3"
+  "fig13_meas_iip3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_meas_iip3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

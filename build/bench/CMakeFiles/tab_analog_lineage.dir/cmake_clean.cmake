@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_analog_lineage.dir/tab_analog_lineage.cpp.o"
+  "CMakeFiles/tab_analog_lineage.dir/tab_analog_lineage.cpp.o.d"
+  "tab_analog_lineage"
+  "tab_analog_lineage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_analog_lineage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_diagnosis.dir/tab_diagnosis.cpp.o"
+  "CMakeFiles/tab_diagnosis.dir/tab_diagnosis.cpp.o.d"
+  "tab_diagnosis"
+  "tab_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

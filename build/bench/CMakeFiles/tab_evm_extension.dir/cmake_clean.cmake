@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_evm_extension.dir/tab_evm_extension.cpp.o"
+  "CMakeFiles/tab_evm_extension.dir/tab_evm_extension.cpp.o.d"
+  "tab_evm_extension"
+  "tab_evm_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_evm_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_multi_dut.dir/tab_multi_dut.cpp.o"
+  "CMakeFiles/tab_multi_dut.dir/tab_multi_dut.cpp.o.d"
+  "tab_multi_dut"
+  "tab_multi_dut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_multi_dut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

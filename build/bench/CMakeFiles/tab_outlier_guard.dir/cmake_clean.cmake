@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_outlier_guard.dir/tab_outlier_guard.cpp.o"
+  "CMakeFiles/tab_outlier_guard.dir/tab_outlier_guard.cpp.o.d"
+  "tab_outlier_guard"
+  "tab_outlier_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_outlier_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

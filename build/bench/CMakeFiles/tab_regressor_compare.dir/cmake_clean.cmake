@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_regressor_compare.dir/tab_regressor_compare.cpp.o"
+  "CMakeFiles/tab_regressor_compare.dir/tab_regressor_compare.cpp.o.d"
+  "tab_regressor_compare"
+  "tab_regressor_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_regressor_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

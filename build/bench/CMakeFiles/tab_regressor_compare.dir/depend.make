@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_regressor_compare.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_sim_rms.dir/tab_sim_rms.cpp.o"
+  "CMakeFiles/tab_sim_rms.dir/tab_sim_rms.cpp.o.d"
+  "tab_sim_rms"
+  "tab_sim_rms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_sim_rms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_sim_rms.
+# This may be replaced when dependencies are built.

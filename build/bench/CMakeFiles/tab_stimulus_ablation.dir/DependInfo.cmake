@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab_stimulus_ablation.cpp" "bench/CMakeFiles/tab_stimulus_ablation.dir/tab_stimulus_ablation.cpp.o" "gcc" "bench/CMakeFiles/tab_stimulus_ablation.dir/tab_stimulus_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sigtest/CMakeFiles/sigtest.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/testgen/CMakeFiles/testgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ate/CMakeFiles/ate.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_stimulus_ablation.dir/tab_stimulus_ablation.cpp.o"
+  "CMakeFiles/tab_stimulus_ablation.dir/tab_stimulus_ablation.cpp.o.d"
+  "tab_stimulus_ablation"
+  "tab_stimulus_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_stimulus_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_temperature.dir/tab_temperature.cpp.o"
+  "CMakeFiles/tab_temperature.dir/tab_temperature.cpp.o.d"
+  "tab_temperature"
+  "tab_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_test_time.dir/tab_test_time.cpp.o"
+  "CMakeFiles/tab_test_time.dir/tab_test_time.cpp.o.d"
+  "tab_test_time"
+  "tab_test_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_test_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_training_sweep.dir/tab_training_sweep.cpp.o"
+  "CMakeFiles/tab_training_sweep.dir/tab_training_sweep.cpp.o.d"
+  "tab_training_sweep"
+  "tab_training_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_training_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

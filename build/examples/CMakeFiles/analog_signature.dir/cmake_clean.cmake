@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analog_signature.dir/analog_signature.cpp.o"
+  "CMakeFiles/analog_signature.dir/analog_signature.cpp.o.d"
+  "analog_signature"
+  "analog_signature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analog_signature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

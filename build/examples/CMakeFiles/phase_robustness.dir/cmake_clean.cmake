@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_robustness.dir/phase_robustness.cpp.o"
+  "CMakeFiles/phase_robustness.dir/phase_robustness.cpp.o.d"
+  "phase_robustness"
+  "phase_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

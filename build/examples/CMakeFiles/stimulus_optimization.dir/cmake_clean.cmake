@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stimulus_optimization.dir/stimulus_optimization.cpp.o"
+  "CMakeFiles/stimulus_optimization.dir/stimulus_optimization.cpp.o.d"
+  "stimulus_optimization"
+  "stimulus_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stimulus_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ate.dir/cost.cpp.o"
+  "CMakeFiles/ate.dir/cost.cpp.o.d"
+  "CMakeFiles/ate.dir/flow.cpp.o"
+  "CMakeFiles/ate.dir/flow.cpp.o.d"
+  "CMakeFiles/ate.dir/timing.cpp.o"
+  "CMakeFiles/ate.dir/timing.cpp.o.d"
+  "libate.a"
+  "libate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/ac.cpp" "src/circuit/CMakeFiles/circuit.dir/ac.cpp.o" "gcc" "src/circuit/CMakeFiles/circuit.dir/ac.cpp.o.d"
+  "/root/repo/src/circuit/attenuator.cpp" "src/circuit/CMakeFiles/circuit.dir/attenuator.cpp.o" "gcc" "src/circuit/CMakeFiles/circuit.dir/attenuator.cpp.o.d"
+  "/root/repo/src/circuit/bjt.cpp" "src/circuit/CMakeFiles/circuit.dir/bjt.cpp.o" "gcc" "src/circuit/CMakeFiles/circuit.dir/bjt.cpp.o.d"
+  "/root/repo/src/circuit/dc.cpp" "src/circuit/CMakeFiles/circuit.dir/dc.cpp.o" "gcc" "src/circuit/CMakeFiles/circuit.dir/dc.cpp.o.d"
+  "/root/repo/src/circuit/distortion.cpp" "src/circuit/CMakeFiles/circuit.dir/distortion.cpp.o" "gcc" "src/circuit/CMakeFiles/circuit.dir/distortion.cpp.o.d"
+  "/root/repo/src/circuit/lna900.cpp" "src/circuit/CMakeFiles/circuit.dir/lna900.cpp.o" "gcc" "src/circuit/CMakeFiles/circuit.dir/lna900.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/circuit/CMakeFiles/circuit.dir/netlist.cpp.o" "gcc" "src/circuit/CMakeFiles/circuit.dir/netlist.cpp.o.d"
+  "/root/repo/src/circuit/noise.cpp" "src/circuit/CMakeFiles/circuit.dir/noise.cpp.o" "gcc" "src/circuit/CMakeFiles/circuit.dir/noise.cpp.o.d"
+  "/root/repo/src/circuit/pa900.cpp" "src/circuit/CMakeFiles/circuit.dir/pa900.cpp.o" "gcc" "src/circuit/CMakeFiles/circuit.dir/pa900.cpp.o.d"
+  "/root/repo/src/circuit/parser.cpp" "src/circuit/CMakeFiles/circuit.dir/parser.cpp.o" "gcc" "src/circuit/CMakeFiles/circuit.dir/parser.cpp.o.d"
+  "/root/repo/src/circuit/rfmeasure.cpp" "src/circuit/CMakeFiles/circuit.dir/rfmeasure.cpp.o" "gcc" "src/circuit/CMakeFiles/circuit.dir/rfmeasure.cpp.o.d"
+  "/root/repo/src/circuit/sallen_key.cpp" "src/circuit/CMakeFiles/circuit.dir/sallen_key.cpp.o" "gcc" "src/circuit/CMakeFiles/circuit.dir/sallen_key.cpp.o.d"
+  "/root/repo/src/circuit/sparams.cpp" "src/circuit/CMakeFiles/circuit.dir/sparams.cpp.o" "gcc" "src/circuit/CMakeFiles/circuit.dir/sparams.cpp.o.d"
+  "/root/repo/src/circuit/transient.cpp" "src/circuit/CMakeFiles/circuit.dir/transient.cpp.o" "gcc" "src/circuit/CMakeFiles/circuit.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit.dir/ac.cpp.o"
+  "CMakeFiles/circuit.dir/ac.cpp.o.d"
+  "CMakeFiles/circuit.dir/attenuator.cpp.o"
+  "CMakeFiles/circuit.dir/attenuator.cpp.o.d"
+  "CMakeFiles/circuit.dir/bjt.cpp.o"
+  "CMakeFiles/circuit.dir/bjt.cpp.o.d"
+  "CMakeFiles/circuit.dir/dc.cpp.o"
+  "CMakeFiles/circuit.dir/dc.cpp.o.d"
+  "CMakeFiles/circuit.dir/distortion.cpp.o"
+  "CMakeFiles/circuit.dir/distortion.cpp.o.d"
+  "CMakeFiles/circuit.dir/lna900.cpp.o"
+  "CMakeFiles/circuit.dir/lna900.cpp.o.d"
+  "CMakeFiles/circuit.dir/netlist.cpp.o"
+  "CMakeFiles/circuit.dir/netlist.cpp.o.d"
+  "CMakeFiles/circuit.dir/noise.cpp.o"
+  "CMakeFiles/circuit.dir/noise.cpp.o.d"
+  "CMakeFiles/circuit.dir/pa900.cpp.o"
+  "CMakeFiles/circuit.dir/pa900.cpp.o.d"
+  "CMakeFiles/circuit.dir/parser.cpp.o"
+  "CMakeFiles/circuit.dir/parser.cpp.o.d"
+  "CMakeFiles/circuit.dir/rfmeasure.cpp.o"
+  "CMakeFiles/circuit.dir/rfmeasure.cpp.o.d"
+  "CMakeFiles/circuit.dir/sallen_key.cpp.o"
+  "CMakeFiles/circuit.dir/sallen_key.cpp.o.d"
+  "CMakeFiles/circuit.dir/sparams.cpp.o"
+  "CMakeFiles/circuit.dir/sparams.cpp.o.d"
+  "CMakeFiles/circuit.dir/transient.cpp.o"
+  "CMakeFiles/circuit.dir/transient.cpp.o.d"
+  "libcircuit.a"
+  "libcircuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/fir.cpp" "src/dsp/CMakeFiles/dsp.dir/fir.cpp.o" "gcc" "src/dsp/CMakeFiles/dsp.dir/fir.cpp.o.d"
+  "/root/repo/src/dsp/iir.cpp" "src/dsp/CMakeFiles/dsp.dir/iir.cpp.o" "gcc" "src/dsp/CMakeFiles/dsp.dir/iir.cpp.o.d"
+  "/root/repo/src/dsp/pwl.cpp" "src/dsp/CMakeFiles/dsp.dir/pwl.cpp.o" "gcc" "src/dsp/CMakeFiles/dsp.dir/pwl.cpp.o.d"
+  "/root/repo/src/dsp/resample.cpp" "src/dsp/CMakeFiles/dsp.dir/resample.cpp.o" "gcc" "src/dsp/CMakeFiles/dsp.dir/resample.cpp.o.d"
+  "/root/repo/src/dsp/rrc.cpp" "src/dsp/CMakeFiles/dsp.dir/rrc.cpp.o" "gcc" "src/dsp/CMakeFiles/dsp.dir/rrc.cpp.o.d"
+  "/root/repo/src/dsp/spectrum.cpp" "src/dsp/CMakeFiles/dsp.dir/spectrum.cpp.o" "gcc" "src/dsp/CMakeFiles/dsp.dir/spectrum.cpp.o.d"
+  "/root/repo/src/dsp/window.cpp" "src/dsp/CMakeFiles/dsp.dir/window.cpp.o" "gcc" "src/dsp/CMakeFiles/dsp.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp.dir/fft.cpp.o"
+  "CMakeFiles/dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/dsp.dir/fir.cpp.o"
+  "CMakeFiles/dsp.dir/fir.cpp.o.d"
+  "CMakeFiles/dsp.dir/iir.cpp.o"
+  "CMakeFiles/dsp.dir/iir.cpp.o.d"
+  "CMakeFiles/dsp.dir/pwl.cpp.o"
+  "CMakeFiles/dsp.dir/pwl.cpp.o.d"
+  "CMakeFiles/dsp.dir/resample.cpp.o"
+  "CMakeFiles/dsp.dir/resample.cpp.o.d"
+  "CMakeFiles/dsp.dir/rrc.cpp.o"
+  "CMakeFiles/dsp.dir/rrc.cpp.o.d"
+  "CMakeFiles/dsp.dir/spectrum.cpp.o"
+  "CMakeFiles/dsp.dir/spectrum.cpp.o.d"
+  "CMakeFiles/dsp.dir/window.cpp.o"
+  "CMakeFiles/dsp.dir/window.cpp.o.d"
+  "libdsp.a"
+  "libdsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

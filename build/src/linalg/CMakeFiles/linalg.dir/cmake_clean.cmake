@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/linalg.dir/lstsq.cpp.o"
+  "CMakeFiles/linalg.dir/lstsq.cpp.o.d"
+  "CMakeFiles/linalg.dir/qr.cpp.o"
+  "CMakeFiles/linalg.dir/qr.cpp.o.d"
+  "CMakeFiles/linalg.dir/svd.cpp.o"
+  "CMakeFiles/linalg.dir/svd.cpp.o.d"
+  "CMakeFiles/linalg.dir/vector_ops.cpp.o"
+  "CMakeFiles/linalg.dir/vector_ops.cpp.o.d"
+  "liblinalg.a"
+  "liblinalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rf/dut.cpp" "src/rf/CMakeFiles/rf.dir/dut.cpp.o" "gcc" "src/rf/CMakeFiles/rf.dir/dut.cpp.o.d"
+  "/root/repo/src/rf/envelope.cpp" "src/rf/CMakeFiles/rf.dir/envelope.cpp.o" "gcc" "src/rf/CMakeFiles/rf.dir/envelope.cpp.o.d"
+  "/root/repo/src/rf/evm.cpp" "src/rf/CMakeFiles/rf.dir/evm.cpp.o" "gcc" "src/rf/CMakeFiles/rf.dir/evm.cpp.o.d"
+  "/root/repo/src/rf/loadboard.cpp" "src/rf/CMakeFiles/rf.dir/loadboard.cpp.o" "gcc" "src/rf/CMakeFiles/rf.dir/loadboard.cpp.o.d"
+  "/root/repo/src/rf/population.cpp" "src/rf/CMakeFiles/rf.dir/population.cpp.o" "gcc" "src/rf/CMakeFiles/rf.dir/population.cpp.o.d"
+  "/root/repo/src/rf/specmeas.cpp" "src/rf/CMakeFiles/rf.dir/specmeas.cpp.o" "gcc" "src/rf/CMakeFiles/rf.dir/specmeas.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf.dir/dut.cpp.o"
+  "CMakeFiles/rf.dir/dut.cpp.o.d"
+  "CMakeFiles/rf.dir/envelope.cpp.o"
+  "CMakeFiles/rf.dir/envelope.cpp.o.d"
+  "CMakeFiles/rf.dir/evm.cpp.o"
+  "CMakeFiles/rf.dir/evm.cpp.o.d"
+  "CMakeFiles/rf.dir/loadboard.cpp.o"
+  "CMakeFiles/rf.dir/loadboard.cpp.o.d"
+  "CMakeFiles/rf.dir/population.cpp.o"
+  "CMakeFiles/rf.dir/population.cpp.o.d"
+  "CMakeFiles/rf.dir/specmeas.cpp.o"
+  "CMakeFiles/rf.dir/specmeas.cpp.o.d"
+  "librf.a"
+  "librf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sigtest/acquisition.cpp" "src/sigtest/CMakeFiles/sigtest.dir/acquisition.cpp.o" "gcc" "src/sigtest/CMakeFiles/sigtest.dir/acquisition.cpp.o.d"
+  "/root/repo/src/sigtest/analog.cpp" "src/sigtest/CMakeFiles/sigtest.dir/analog.cpp.o" "gcc" "src/sigtest/CMakeFiles/sigtest.dir/analog.cpp.o.d"
+  "/root/repo/src/sigtest/calibration.cpp" "src/sigtest/CMakeFiles/sigtest.dir/calibration.cpp.o" "gcc" "src/sigtest/CMakeFiles/sigtest.dir/calibration.cpp.o.d"
+  "/root/repo/src/sigtest/diagnosis.cpp" "src/sigtest/CMakeFiles/sigtest.dir/diagnosis.cpp.o" "gcc" "src/sigtest/CMakeFiles/sigtest.dir/diagnosis.cpp.o.d"
+  "/root/repo/src/sigtest/knn.cpp" "src/sigtest/CMakeFiles/sigtest.dir/knn.cpp.o" "gcc" "src/sigtest/CMakeFiles/sigtest.dir/knn.cpp.o.d"
+  "/root/repo/src/sigtest/objective.cpp" "src/sigtest/CMakeFiles/sigtest.dir/objective.cpp.o" "gcc" "src/sigtest/CMakeFiles/sigtest.dir/objective.cpp.o.d"
+  "/root/repo/src/sigtest/optimizer.cpp" "src/sigtest/CMakeFiles/sigtest.dir/optimizer.cpp.o" "gcc" "src/sigtest/CMakeFiles/sigtest.dir/optimizer.cpp.o.d"
+  "/root/repo/src/sigtest/outlier.cpp" "src/sigtest/CMakeFiles/sigtest.dir/outlier.cpp.o" "gcc" "src/sigtest/CMakeFiles/sigtest.dir/outlier.cpp.o.d"
+  "/root/repo/src/sigtest/runtime.cpp" "src/sigtest/CMakeFiles/sigtest.dir/runtime.cpp.o" "gcc" "src/sigtest/CMakeFiles/sigtest.dir/runtime.cpp.o.d"
+  "/root/repo/src/sigtest/sensitivity.cpp" "src/sigtest/CMakeFiles/sigtest.dir/sensitivity.cpp.o" "gcc" "src/sigtest/CMakeFiles/sigtest.dir/sensitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rf/CMakeFiles/rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/testgen/CMakeFiles/testgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigtest.dir/acquisition.cpp.o"
+  "CMakeFiles/sigtest.dir/acquisition.cpp.o.d"
+  "CMakeFiles/sigtest.dir/analog.cpp.o"
+  "CMakeFiles/sigtest.dir/analog.cpp.o.d"
+  "CMakeFiles/sigtest.dir/calibration.cpp.o"
+  "CMakeFiles/sigtest.dir/calibration.cpp.o.d"
+  "CMakeFiles/sigtest.dir/diagnosis.cpp.o"
+  "CMakeFiles/sigtest.dir/diagnosis.cpp.o.d"
+  "CMakeFiles/sigtest.dir/knn.cpp.o"
+  "CMakeFiles/sigtest.dir/knn.cpp.o.d"
+  "CMakeFiles/sigtest.dir/objective.cpp.o"
+  "CMakeFiles/sigtest.dir/objective.cpp.o.d"
+  "CMakeFiles/sigtest.dir/optimizer.cpp.o"
+  "CMakeFiles/sigtest.dir/optimizer.cpp.o.d"
+  "CMakeFiles/sigtest.dir/outlier.cpp.o"
+  "CMakeFiles/sigtest.dir/outlier.cpp.o.d"
+  "CMakeFiles/sigtest.dir/runtime.cpp.o"
+  "CMakeFiles/sigtest.dir/runtime.cpp.o.d"
+  "CMakeFiles/sigtest.dir/sensitivity.cpp.o"
+  "CMakeFiles/sigtest.dir/sensitivity.cpp.o.d"
+  "libsigtest.a"
+  "libsigtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

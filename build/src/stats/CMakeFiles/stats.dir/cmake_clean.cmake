@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats.dir/descriptive.cpp.o"
+  "CMakeFiles/stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/stats.dir/metrics.cpp.o"
+  "CMakeFiles/stats.dir/metrics.cpp.o.d"
+  "CMakeFiles/stats.dir/sampling.cpp.o"
+  "CMakeFiles/stats.dir/sampling.cpp.o.d"
+  "libstats.a"
+  "libstats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testgen.dir/ga.cpp.o"
+  "CMakeFiles/testgen.dir/ga.cpp.o.d"
+  "CMakeFiles/testgen.dir/pwl_encoding.cpp.o"
+  "CMakeFiles/testgen.dir/pwl_encoding.cpp.o.d"
+  "libtestgen.a"
+  "libtestgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ate_test.dir/ate_test.cpp.o"
+  "CMakeFiles/ate_test.dir/ate_test.cpp.o.d"
+  "ate_test"
+  "ate_test.pdb"
+  "ate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

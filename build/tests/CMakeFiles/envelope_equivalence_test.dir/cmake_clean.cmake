@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envelope_equivalence_test.dir/envelope_equivalence_test.cpp.o"
+  "CMakeFiles/envelope_equivalence_test.dir/envelope_equivalence_test.cpp.o.d"
+  "envelope_equivalence_test"
+  "envelope_equivalence_test.pdb"
+  "envelope_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envelope_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lna900_test.dir/lna900_test.cpp.o"
+  "CMakeFiles/lna900_test.dir/lna900_test.cpp.o.d"
+  "lna900_test"
+  "lna900_test.pdb"
+  "lna900_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lna900_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

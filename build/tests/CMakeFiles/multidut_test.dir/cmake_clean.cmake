@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multidut_test.dir/multidut_test.cpp.o"
+  "CMakeFiles/multidut_test.dir/multidut_test.cpp.o.d"
+  "multidut_test"
+  "multidut_test.pdb"
+  "multidut_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multidut_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigtest_test.dir/sigtest_test.cpp.o"
+  "CMakeFiles/sigtest_test.dir/sigtest_test.cpp.o.d"
+  "sigtest_test"
+  "sigtest_test.pdb"
+  "sigtest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigtest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

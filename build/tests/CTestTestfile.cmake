@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/linalg_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/dsp_fft_test[1]_include.cmake")
+include("/root/repo/build/tests/dsp_filter_test[1]_include.cmake")
+include("/root/repo/build/tests/circuit_test[1]_include.cmake")
+include("/root/repo/build/tests/lna900_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/transient_test[1]_include.cmake")
+include("/root/repo/build/tests/analog_test[1]_include.cmake")
+include("/root/repo/build/tests/rf_test[1]_include.cmake")
+include("/root/repo/build/tests/testgen_test[1]_include.cmake")
+include("/root/repo/build/tests/sigtest_test[1]_include.cmake")
+include("/root/repo/build/tests/ate_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions2_test[1]_include.cmake")
+include("/root/repo/build/tests/envelope_equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/multidut_test[1]_include.cmake")
+include("/root/repo/build/tests/evm_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

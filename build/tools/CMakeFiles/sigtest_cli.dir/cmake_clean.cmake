@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigtest_cli.dir/sigtest_cli.cpp.o"
+  "CMakeFiles/sigtest_cli.dir/sigtest_cli.cpp.o.d"
+  "sigtest_cli"
+  "sigtest_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigtest_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
