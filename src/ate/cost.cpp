@@ -2,21 +2,21 @@
 
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace stf::ate {
 
 double TesterCostModel::cost_per_second() const {
-  if (capital_usd < 0.0 || depreciation_years <= 0.0 || utilization <= 0.0 ||
-      utilization > 1.0)
-    throw std::invalid_argument("TesterCostModel: invalid parameters");
+  STF_REQUIRE(!(capital_usd < 0.0 || depreciation_years <= 0.0 || utilization <= 0.0 || utilization > 1.0),
+              "TesterCostModel: invalid parameters");
   const double annual = capital_usd / depreciation_years + annual_opex_usd;
   const double productive_seconds = 365.25 * 24.0 * 3600.0 * utilization;
   return annual / productive_seconds;
 }
 
 double TesterCostModel::cost_per_part(double total_time_s, int sites) const {
-  if (total_time_s <= 0.0)
-    throw std::invalid_argument("cost_per_part: time must be > 0");
-  if (sites < 1) throw std::invalid_argument("cost_per_part: sites < 1");
+  STF_REQUIRE(total_time_s > 0.0, "cost_per_part: time must be > 0");
+  STF_REQUIRE(sites >= 1, "cost_per_part: sites < 1");
   return cost_per_second() * total_time_s / sites;
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace stf::ate {
 
 double FlowResult::escape_rate() const {
@@ -18,16 +20,14 @@ FlowResult run_production_flow(
     const std::vector<std::vector<double>>& truth,
     const std::vector<std::vector<double>>& predicted,
     const std::vector<SpecLimit>& limits, double guard_band) {
-  if (truth.size() != predicted.size())
-    throw std::invalid_argument("run_production_flow: device count mismatch");
-  if (limits.empty())
-    throw std::invalid_argument("run_production_flow: no limits");
-  if (guard_band < 0.0)
-    throw std::invalid_argument("run_production_flow: negative guard band");
+  STF_REQUIRE(truth.size() == predicted.size(),
+              "run_production_flow: device count mismatch");
+  STF_REQUIRE(!limits.empty(), "run_production_flow: no limits");
+  STF_REQUIRE(guard_band >= 0.0, "run_production_flow: negative guard band");
 
   auto passes_all = [&](const std::vector<double>& specs, double guard) {
-    if (specs.size() != limits.size())
-      throw std::invalid_argument("run_production_flow: spec size mismatch");
+    STF_REQUIRE(specs.size() == limits.size(),
+                "run_production_flow: spec size mismatch");
     for (std::size_t s = 0; s < limits.size(); ++s) {
       SpecLimit l = limits[s];
       l.lower += guard;
@@ -59,17 +59,15 @@ TwoStageResult run_two_stage_flow(
     const std::vector<std::vector<double>>& final_predicted,
     const std::vector<SpecLimit>& limits, const TwoStageCosts& costs,
     double wafer_guard, double final_guard) {
-  if (truth.size() != wafer_predicted.size() ||
-      truth.size() != final_predicted.size())
-    throw std::invalid_argument("run_two_stage_flow: device count mismatch");
-  if (limits.empty())
-    throw std::invalid_argument("run_two_stage_flow: no limits");
-  if (wafer_guard < 0.0 || final_guard < 0.0)
-    throw std::invalid_argument("run_two_stage_flow: negative guard band");
+  STF_REQUIRE(!(truth.size() != wafer_predicted.size() || truth.size() != final_predicted.size()),
+              "run_two_stage_flow: device count mismatch");
+  STF_REQUIRE(!limits.empty(), "run_two_stage_flow: no limits");
+  STF_REQUIRE(!(wafer_guard < 0.0 || final_guard < 0.0),
+              "run_two_stage_flow: negative guard band");
 
   auto passes_all = [&](const std::vector<double>& specs, double guard) {
-    if (specs.size() != limits.size())
-      throw std::invalid_argument("run_two_stage_flow: spec size mismatch");
+    STF_REQUIRE(specs.size() == limits.size(),
+                "run_two_stage_flow: spec size mismatch");
     for (std::size_t s = 0; s < limits.size(); ++s) {
       SpecLimit l = limits[s];
       l.lower += guard;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace stf::ate {
 
 double ConventionalTestPlan::test_time_s() const {
@@ -33,9 +35,8 @@ SignatureTestPlan SignatureTestPlan::paper_hardware_study() {
 }
 
 double parts_per_hour(double total_time_s, int sites) {
-  if (total_time_s <= 0.0)
-    throw std::invalid_argument("parts_per_hour: time must be > 0");
-  if (sites < 1) throw std::invalid_argument("parts_per_hour: sites < 1");
+  STF_REQUIRE(total_time_s > 0.0, "parts_per_hour: time must be > 0");
+  STF_REQUIRE(sites >= 1, "parts_per_hour: sites < 1");
   return 3600.0 / total_time_s * sites;
 }
 

@@ -4,6 +4,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/matrix.hpp"
 
@@ -42,9 +43,8 @@ void stamp_transconductance(stf::la::CMatrix& y, NodeId op, NodeId on,
 
 AcAnalysis::AcAnalysis(const Netlist& nl, const DcSolution& dc)
     : nl_(&nl), dc_(&dc) {
-  if (dc.bjt_op.size() != nl.bjts().size())
-    throw std::invalid_argument(
-        "AcAnalysis: DC solution does not match netlist");
+  STF_REQUIRE(dc.bjt_op.size() == nl.bjts().size(),
+              "AcAnalysis: DC solution does not match netlist");
 }
 
 std::vector<Phasor> AcAnalysis::solve(double freq_hz) const {

@@ -6,6 +6,7 @@
 #include "circuit/ac.hpp"
 #include "circuit/dc.hpp"
 #include "circuit/sparams.hpp"
+#include "core/contracts.hpp"
 
 namespace stf::circuit {
 
@@ -28,13 +29,10 @@ std::vector<double> AttenuatorPad::nominal() {
 }
 
 Netlist AttenuatorPad::build(const std::vector<double>& process) {
-  if (process.size() != kNumParams)
-    throw std::invalid_argument(
-        "AttenuatorPad::build: wrong process vector size");
+  STF_REQUIRE(process.size() == kNumParams,
+              "AttenuatorPad::build: wrong process vector size");
   for (double v : process)
-    if (v <= 0.0)
-      throw std::invalid_argument(
-          "AttenuatorPad::build: parameters must be > 0");
+    STF_REQUIRE(v > 0.0, "AttenuatorPad::build: parameters must be > 0");
   Netlist nl;
   nl.add_vsource("VS", "src", "0", 0.0, {1.0, 0.0});
   nl.add_resistor("RS", "src", "nin", kZ0);

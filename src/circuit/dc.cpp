@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "circuit/stamps.hpp"
+#include "core/contracts.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/matrix.hpp"
 
@@ -16,8 +17,7 @@ DcSolution solve_dc(const Netlist& nl, const DcOptions& opts) {
   using detail::stamp_vccs;
 
   const std::size_t n_unknowns = nl.unknown_count();
-  if (n_unknowns == 0)
-    throw std::invalid_argument("solve_dc: empty circuit");
+  STF_REQUIRE(n_unknowns != 0, "solve_dc: empty circuit");
 
   // Unknown vector x: node voltages (1..N), then V-source branch currents,
   // then inductor branch currents. We solve f(x) = 0 where f holds KCL

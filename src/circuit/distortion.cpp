@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/contracts.hpp"
+
 namespace stf::circuit {
 
 namespace {
@@ -24,10 +26,8 @@ Phasor control_voltage(const std::vector<Phasor>& v, const NonlinearBranch& b) {
 }  // namespace
 
 TwoToneResult two_tone_ip3(const AcAnalysis& ac, const TwoToneSetup& setup) {
-  if (setup.f1 >= setup.f2)
-    throw std::invalid_argument("two_tone_ip3: requires f1 < f2");
-  if (setup.out_node <= 0)
-    throw std::invalid_argument("two_tone_ip3: output node must be set");
+  STF_REQUIRE(setup.f1 < setup.f2, "two_tone_ip3: requires f1 < f2");
+  STF_REQUIRE(setup.out_node > 0, "two_tone_ip3: output node must be set");
   const Netlist& nl = ac.netlist();
   // The excitation source must have unit AC amplitude: solutions scale
   // linearly with the tone amplitude A applied below.

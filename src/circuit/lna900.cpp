@@ -4,6 +4,7 @@
 
 #include "circuit/ac.hpp"
 #include "circuit/dc.hpp"
+#include "core/contracts.hpp"
 
 namespace stf::circuit {
 
@@ -54,11 +55,10 @@ std::vector<double> Lna900::nominal() {
 }
 
 Netlist Lna900::build(const std::vector<double>& process) {
-  if (process.size() != kNumParams)
-    throw std::invalid_argument("Lna900::build: wrong process vector size");
+  STF_REQUIRE(process.size() == kNumParams,
+              "Lna900::build: wrong process vector size");
   for (double v : process)
-    if (v <= 0.0)
-      throw std::invalid_argument("Lna900::build: parameters must be > 0");
+    STF_REQUIRE(v > 0.0, "Lna900::build: parameters must be > 0");
 
   Netlist nl;
   // Supplies and source. The excitation source has unit AC amplitude, which

@@ -4,6 +4,7 @@
 
 #include "circuit/ac.hpp"
 #include "circuit/dc.hpp"
+#include "core/contracts.hpp"
 
 namespace stf::circuit {
 
@@ -51,11 +52,10 @@ std::vector<double> Pa900::nominal() {
 }
 
 Netlist Pa900::build(const std::vector<double>& process) {
-  if (process.size() != kNumParams)
-    throw std::invalid_argument("Pa900::build: wrong process vector size");
+  STF_REQUIRE(process.size() == kNumParams,
+              "Pa900::build: wrong process vector size");
   for (double v : process)
-    if (v <= 0.0)
-      throw std::invalid_argument("Pa900::build: parameters must be > 0");
+    STF_REQUIRE(v > 0.0, "Pa900::build: parameters must be > 0");
 
   Netlist nl;
   nl.add_vsource("VCC", "vcc", "0", kVcc);

@@ -27,7 +27,7 @@ std::vector<std::string> tokenize(const std::string& line) {
   std::istringstream is(line);
   std::string tok;
   while (is >> tok) {
-    // Inline comment starts a ';'.
+    // stf-lint: checked -- operator>> never yields an empty token.
     if (tok.front() == ';') break;
     tokens.push_back(tok);
   }

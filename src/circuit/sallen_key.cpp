@@ -5,6 +5,7 @@
 
 #include "circuit/ac.hpp"
 #include "circuit/dc.hpp"
+#include "core/contracts.hpp"
 
 namespace stf::circuit {
 
@@ -38,13 +39,10 @@ std::vector<double> SallenKeyFilter::nominal() {
 }
 
 Netlist SallenKeyFilter::build(const std::vector<double>& process) {
-  if (process.size() != kNumParams)
-    throw std::invalid_argument(
-        "SallenKeyFilter::build: wrong process vector size");
+  STF_REQUIRE(process.size() == kNumParams,
+              "SallenKeyFilter::build: wrong process vector size");
   for (double v : process)
-    if (v <= 0.0)
-      throw std::invalid_argument(
-          "SallenKeyFilter::build: parameters must be > 0");
+    STF_REQUIRE(v > 0.0, "SallenKeyFilter::build: parameters must be > 0");
 
   Netlist nl;
   nl.add_vsource("VS", "in", "0", 0.0, {1.0, 0.0});

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace stf::circuit {
 
 double SParameters::s11_db() const {
@@ -19,8 +21,7 @@ double SParameters::s21_db() const {
 
 SParameters s_parameters(const AcAnalysis& ac, double freq_hz,
                          const TwoPortSetup& setup) {
-  if (setup.z0 <= 0.0)
-    throw std::invalid_argument("s_parameters: z0 must be > 0");
+  STF_REQUIRE(setup.z0 > 0.0, "s_parameters: z0 must be > 0");
   const Netlist& nl = ac.netlist();
   const NodeId p1 = nl.find_node(setup.input_node);
   const NodeId p2 = nl.find_node(setup.output_node);

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "circuit/stamps.hpp"
+#include "core/contracts.hpp"
 #include "linalg/lu.hpp"
 
 namespace stf::circuit {
@@ -47,11 +48,10 @@ TransientResult simulate_transient(const Netlist& nl,
   using detail::stamp_conductance;
   using detail::stamp_vccs;
 
-  if (options.dt <= 0.0 || options.t_stop <= options.dt)
-    throw std::invalid_argument("simulate_transient: bad time grid");
+  STF_REQUIRE(!(options.dt <= 0.0 || options.t_stop <= options.dt),
+              "simulate_transient: bad time grid");
   const std::size_t n_unknowns = nl.unknown_count();
-  if (n_unknowns == 0)
-    throw std::invalid_argument("simulate_transient: empty circuit");
+  STF_REQUIRE(n_unknowns != 0, "simulate_transient: empty circuit");
   for (const auto& [name, wf] : waveforms) {
     nl.vsource_index(name);  // throws for unknown source names
     if (!wf)

@@ -1,0 +1,36 @@
+#include "core/contracts.hpp"
+
+#include <sstream>
+
+namespace stf {
+
+namespace {
+
+std::string format_message(const char* kind, const char* condition,
+                           const char* what, const char* file, int line) {
+  std::ostringstream os;
+  os << "contract violation (" << kind << "): " << what << " [" << condition
+     << "] at " << file << ':' << line;
+  return os.str();
+}
+
+}  // namespace
+
+ContractViolation::ContractViolation(const char* kind, const char* condition,
+                                     const char* what, const char* file,
+                                     int line)
+    : std::invalid_argument(format_message(kind, condition, what, file, line)),
+      kind_(kind),
+      condition_(condition),
+      file_(file),
+      line_(line) {}
+
+namespace contracts {
+
+void violation(const char* kind, const char* condition, const char* what,
+               const char* file, int line) {
+  throw ContractViolation(kind, condition, what, file, line);
+}
+
+}  // namespace contracts
+}  // namespace stf

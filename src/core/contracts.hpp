@@ -1,0 +1,126 @@
+// Contract-checking macros for the numeric core.
+//
+// The framework's whole output is a set of regression *predictions* standing
+// in for direct spec measurements, so silent numeric corruption (an
+// out-of-bounds index in the SVD path, a NaN leaking through the FFT/envelope
+// chain, mismatched sensitivity-matrix shapes) invalidates every figure it
+// reproduces. These macros make such corruption loud in checked builds and
+// cost exactly nothing in unchecked ones.
+//
+// Usage:
+//   STF_REQUIRE(a.cols() == b.rows(), "matmul: inner dimension mismatch");
+//   STF_ENSURE(finite(result), "fft: produced non-finite output");
+//   STF_ASSERT(k < n, "index within factor rank");
+//   STF_ASSERT_FINITE("objective: sigma", sigma);            // scalar
+//   STF_ASSERT_FINITE("acquire: signature", signature);      // vector
+//   STF_ASSERT_FINITE("svd: input", a.data(), a.size());     // (ptr, count)
+//
+// Checked builds throw stf::ContractViolation. It derives from
+// std::invalid_argument (hence std::logic_error) so call sites that
+// historically threw those types keep their documented exception contract.
+//
+// Gating: the build defines STF_CONTRACTS=0/1 (CMake option SIGTEST_CHECKED,
+// ON by default). Without an explicit definition the checks follow the
+// assert() convention and compile out under NDEBUG. When disabled, the
+// condition is only named inside sizeof() -- never evaluated, no codegen --
+// so contracts are zero-cost in Release and never hide unused-variable
+// warnings behind the build mode.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#if !defined(STF_CONTRACTS)
+#if defined(NDEBUG)
+#define STF_CONTRACTS 0
+#else
+#define STF_CONTRACTS 1
+#endif
+#endif
+
+namespace stf {
+
+/// Thrown by STF_REQUIRE / STF_ENSURE / STF_ASSERT* in checked builds.
+class ContractViolation : public std::invalid_argument {
+ public:
+  ContractViolation(const char* kind, const char* condition, const char* what,
+                    const char* file, int line);
+
+  /// "precondition", "postcondition", "assertion" or "finite".
+  const char* kind() const noexcept { return kind_; }
+  /// Stringized condition that failed.
+  const char* condition() const noexcept { return condition_; }
+  const char* file() const noexcept { return file_; }
+  int line() const noexcept { return line_; }
+
+ private:
+  const char* kind_;
+  const char* condition_;
+  const char* file_;
+  int line_;
+};
+
+namespace contracts {
+
+/// Whether contract checks are compiled into this translation unit.
+constexpr bool enabled() noexcept { return STF_CONTRACTS != 0; }
+
+/// Out-of-line throw keeps the cold path off the caller's hot path.
+[[noreturn]] void violation(const char* kind, const char* condition,
+                            const char* what, const char* file, int line);
+
+inline bool finite(double x) noexcept { return std::isfinite(x); }
+inline bool finite(const std::complex<double>& x) noexcept {
+  return std::isfinite(x.real()) && std::isfinite(x.imag());
+}
+template <class T>
+bool finite(const T* p, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i)
+    if (!finite(p[i])) return false;
+  return true;
+}
+template <class T>
+bool finite(const std::vector<T>& v) noexcept {
+  return finite(v.data(), v.size());
+}
+
+/// Never called: gives disabled contract macros an unevaluated context that
+/// still names their operands (keeps variables "used" under -Werror).
+template <class... Args>
+bool unevaluated_use(Args&&...) noexcept;
+
+}  // namespace contracts
+}  // namespace stf
+
+#if STF_CONTRACTS
+
+#define STF_CONTRACT_CHECK_(kind, cond, what)                             \
+  (static_cast<bool>(cond)                                                \
+       ? static_cast<void>(0)                                             \
+       : ::stf::contracts::violation(kind, #cond, what, __FILE__, __LINE__))
+
+#define STF_REQUIRE(cond, what) STF_CONTRACT_CHECK_("precondition", cond, what)
+#define STF_ENSURE(cond, what) STF_CONTRACT_CHECK_("postcondition", cond, what)
+#define STF_ASSERT(cond, what) STF_CONTRACT_CHECK_("assertion", cond, what)
+/// Scalar, std::vector, or (pointer, count): all elements must be finite.
+#define STF_ASSERT_FINITE(what, ...)                                 \
+  (::stf::contracts::finite(__VA_ARGS__)                             \
+       ? static_cast<void>(0)                                        \
+       : ::stf::contracts::violation("finite", #__VA_ARGS__, what,   \
+                                     __FILE__, __LINE__))
+
+#else  // STF_CONTRACTS == 0: name the operands unevaluated, emit nothing.
+
+#define STF_CONTRACT_IGNORE_(...) \
+  static_cast<void>(sizeof(::stf::contracts::unevaluated_use(__VA_ARGS__)))
+
+#define STF_REQUIRE(cond, what) STF_CONTRACT_IGNORE_(cond)
+#define STF_ENSURE(cond, what) STF_CONTRACT_IGNORE_(cond)
+#define STF_ASSERT(cond, what) STF_CONTRACT_IGNORE_(cond)
+#define STF_ASSERT_FINITE(what, ...) STF_CONTRACT_IGNORE_(__VA_ARGS__)
+
+#endif  // STF_CONTRACTS

@@ -4,6 +4,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace stf::dsp {
 
 namespace {
@@ -71,7 +73,7 @@ std::vector<cplx> bluestein(const std::vector<cplx>& x, int sign) {
 }
 
 std::vector<cplx> transform(const std::vector<cplx>& x, int sign) {
-  if (x.empty()) throw std::invalid_argument("fft: empty input");
+  STF_REQUIRE(!x.empty(), "fft: empty input");
   if (is_pow2(x.size())) {
     std::vector<cplx> a = x;
     fft_radix2(a, sign);

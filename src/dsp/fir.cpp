@@ -4,15 +4,15 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace stf::dsp {
 
 std::vector<double> design_fir_lowpass(double cutoff_hz, double fs,
                                        std::size_t n_taps, WindowType window) {
-  if (n_taps % 2 == 0)
-    throw std::invalid_argument("design_fir_lowpass: n_taps must be odd");
-  if (cutoff_hz <= 0.0 || cutoff_hz >= fs / 2.0)
-    throw std::invalid_argument(
-        "design_fir_lowpass: cutoff must be in (0, fs/2)");
+  STF_REQUIRE(n_taps % 2 != 0, "design_fir_lowpass: n_taps must be odd");
+  STF_REQUIRE(!(cutoff_hz <= 0.0 || cutoff_hz >= fs / 2.0),
+              "design_fir_lowpass: cutoff must be in (0, fs/2)");
   const double fc = cutoff_hz / fs;  // Normalized cutoff (cycles/sample).
   const auto mid = static_cast<double>(n_taps - 1) / 2.0;
   // Symmetric window: taps must be exactly symmetric for linear phase.
@@ -37,8 +37,8 @@ namespace {
 template <class T>
 std::vector<T> convolve_same(const std::vector<double>& taps,
                              const std::vector<T>& x) {
-  if (taps.empty()) throw std::invalid_argument("fir_filter: empty taps");
-  if (x.empty()) throw std::invalid_argument("fir_filter: empty signal");
+  STF_REQUIRE(!taps.empty(), "fir_filter: empty taps");
+  STF_REQUIRE(!x.empty(), "fir_filter: empty signal");
   const std::size_t delay = (taps.size() - 1) / 2;
   std::vector<T> y(x.size(), T{});
   for (std::size_t n = 0; n < x.size(); ++n) {

@@ -4,6 +4,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace stf::dsp {
 
 std::complex<double> Biquad::response(double freq, double fs) const {
@@ -15,8 +17,7 @@ std::complex<double> Biquad::response(double freq, double fs) const {
 
 BiquadCascade::BiquadCascade(std::vector<Biquad> sections)
     : sections_(std::move(sections)) {
-  if (sections_.empty())
-    throw std::invalid_argument("BiquadCascade: no sections");
+  STF_REQUIRE(!sections_.empty(), "BiquadCascade: no sections");
 }
 
 namespace {
@@ -58,10 +59,9 @@ std::complex<double> BiquadCascade::response(double freq, double fs) const {
 
 BiquadCascade butterworth_lowpass(std::size_t order, double cutoff_hz,
                                   double fs) {
-  if (order == 0) throw std::invalid_argument("butterworth_lowpass: order 0");
-  if (cutoff_hz <= 0.0 || cutoff_hz >= fs / 2.0)
-    throw std::invalid_argument(
-        "butterworth_lowpass: cutoff must be in (0, fs/2)");
+  STF_REQUIRE(order != 0, "butterworth_lowpass: order 0");
+  STF_REQUIRE(!(cutoff_hz <= 0.0 || cutoff_hz >= fs / 2.0),
+              "butterworth_lowpass: cutoff must be in (0, fs/2)");
 
   // Prewarped analog cutoff so the -3 dB point lands exactly at cutoff_hz
   // after the bilinear transform.

@@ -5,24 +5,23 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace stf::dsp {
 
 PwlWaveform::PwlWaveform(std::vector<PwlPoint> points)
     : points_(std::move(points)) {
-  if (points_.size() < 2)
-    throw std::invalid_argument("PwlWaveform: need at least two breakpoints");
+  STF_REQUIRE(points_.size() >= 2,
+              "PwlWaveform: need at least two breakpoints");
   for (std::size_t i = 1; i < points_.size(); ++i)
-    if (points_[i].t <= points_[i - 1].t)
-      throw std::invalid_argument(
-          "PwlWaveform: breakpoint times must be strictly increasing");
+    STF_REQUIRE(points_[i].t > points_[i - 1].t,
+                "PwlWaveform: breakpoint times must be strictly increasing");
 }
 
 PwlWaveform PwlWaveform::uniform(double duration,
                                  const std::vector<double>& values) {
-  if (duration <= 0.0)
-    throw std::invalid_argument("PwlWaveform::uniform: duration must be > 0");
-  if (values.size() < 2)
-    throw std::invalid_argument("PwlWaveform::uniform: need >= 2 values");
+  STF_REQUIRE(duration > 0.0, "PwlWaveform::uniform: duration must be > 0");
+  STF_REQUIRE(values.size() >= 2, "PwlWaveform::uniform: need >= 2 values");
   std::vector<PwlPoint> pts(values.size());
   const double dt = duration / static_cast<double>(values.size() - 1);
   for (std::size_t i = 0; i < values.size(); ++i)
@@ -31,7 +30,9 @@ PwlWaveform PwlWaveform::uniform(double duration,
 }
 
 double PwlWaveform::sample(double t) const {
+  // stf-lint: checked -- ctor enforces >= 2 breakpoints.
   if (t <= points_.front().t) return points_.front().v;
+  // stf-lint: checked -- ctor enforces >= 2 breakpoints.
   if (t >= points_.back().t) return points_.back().v;
   // Binary search for the segment containing t.
   const auto it = std::upper_bound(
@@ -49,7 +50,7 @@ std::vector<double> PwlWaveform::render(double fs) const {
 }
 
 std::vector<double> PwlWaveform::render(double fs, std::size_t n) const {
-  if (fs <= 0.0) throw std::invalid_argument("PwlWaveform::render: fs <= 0");
+  STF_REQUIRE(fs > 0.0, "PwlWaveform::render: fs <= 0");
   std::vector<double> out(n);
   for (std::size_t i = 0; i < n; ++i)
     out[i] = sample(static_cast<double>(i) / fs);
@@ -57,6 +58,7 @@ std::vector<double> PwlWaveform::render(double fs, std::size_t n) const {
 }
 
 double PwlWaveform::duration() const {
+  // stf-lint: checked -- ctor enforces >= 2 breakpoints.
   return points_.back().t - points_.front().t;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "dsp/fir.hpp"
 
 namespace stf::dsp {
@@ -12,10 +13,9 @@ namespace {
 template <class T>
 std::vector<T> resample_impl(const std::vector<T>& x, double fs_in,
                              double fs_out) {
-  if (x.size() < 2)
-    throw std::invalid_argument("resample_linear: need >= 2 samples");
-  if (fs_in <= 0.0 || fs_out <= 0.0)
-    throw std::invalid_argument("resample_linear: rates must be > 0");
+  STF_REQUIRE(x.size() >= 2, "resample_linear: need >= 2 samples");
+  STF_REQUIRE(!(fs_in <= 0.0 || fs_out <= 0.0),
+              "resample_linear: rates must be > 0");
   const double duration = static_cast<double>(x.size() - 1) / fs_in;
   const auto n_out =
       static_cast<std::size_t>(std::floor(duration * fs_out)) + 1;
@@ -44,7 +44,7 @@ std::vector<std::complex<double>> resample_linear(
 }
 
 std::vector<double> decimate(const std::vector<double>& x, std::size_t factor) {
-  if (factor == 0) throw std::invalid_argument("decimate: factor must be > 0");
+  STF_REQUIRE(factor != 0, "decimate: factor must be > 0");
   if (factor == 1) return x;
   // Anti-alias filter relative to the notional input rate of 1.0.
   const auto taps = design_fir_lowpass(0.45 / static_cast<double>(factor), 1.0,

@@ -4,14 +4,16 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace stf::dsp {
 
 std::vector<double> design_rrc(double beta, std::size_t sps,
                                std::size_t span) {
-  if (beta < 0.0 || beta > 1.0)
-    throw std::invalid_argument("design_rrc: beta must be in [0, 1]");
-  if (sps < 2) throw std::invalid_argument("design_rrc: sps must be >= 2");
-  if (span == 0) throw std::invalid_argument("design_rrc: span must be > 0");
+  STF_REQUIRE(!(beta < 0.0 || beta > 1.0),
+              "design_rrc: beta must be in [0, 1]");
+  STF_REQUIRE(sps >= 2, "design_rrc: sps must be >= 2");
+  STF_REQUIRE(span != 0, "design_rrc: span must be > 0");
 
   const std::size_t n_taps = 2 * span * sps + 1;
   const auto mid = static_cast<double>(span * sps);

@@ -5,6 +5,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "dsp/fft.hpp"
 
 namespace stf::dsp {
@@ -15,7 +16,7 @@ namespace {
 template <class T>
 std::complex<double> windowed_correlation(const std::vector<T>& x, double freq,
                                           double fs, WindowType window) {
-  if (x.empty()) throw std::invalid_argument("tone_amplitude: empty signal");
+  STF_REQUIRE(!x.empty(), "tone_amplitude: empty signal");
   const auto w = make_window(window, x.size());
   const double dphi = -2.0 * std::numbers::pi * freq / fs;
   std::complex<double> acc{};
@@ -32,7 +33,7 @@ std::complex<double> windowed_correlation(const std::vector<T>& x, double freq,
 
 std::complex<double> goertzel(const std::vector<double>& x, double freq,
                               double fs) {
-  if (x.empty()) throw std::invalid_argument("goertzel: empty signal");
+  STF_REQUIRE(!x.empty(), "goertzel: empty signal");
   const double omega = 2.0 * std::numbers::pi * freq / fs;
   const double coeff = 2.0 * std::cos(omega);
   double s0 = 0.0, s1 = 0.0, s2 = 0.0;
@@ -51,7 +52,7 @@ std::complex<double> goertzel(const std::vector<double>& x, double freq,
 
 std::complex<double> goertzel(const std::vector<std::complex<double>>& x,
                               double freq, double fs) {
-  if (x.empty()) throw std::invalid_argument("goertzel: empty signal");
+  STF_REQUIRE(!x.empty(), "goertzel: empty signal");
   const double dphi = -2.0 * std::numbers::pi * freq / fs;
   std::complex<double> acc{};
   for (std::size_t n = 0; n < x.size(); ++n) {
@@ -79,8 +80,8 @@ double tone_amplitude(const std::vector<std::complex<double>>& x, double freq,
 }
 
 double amplitude_to_dbm(double amplitude, double r_ohms) {
-  if (amplitude <= 0.0 || r_ohms <= 0.0)
-    throw std::invalid_argument("amplitude_to_dbm: non-positive input");
+  STF_REQUIRE(!(amplitude <= 0.0 || r_ohms <= 0.0),
+              "amplitude_to_dbm: non-positive input");
   const double p_watts = amplitude * amplitude / (2.0 * r_ohms);
   return 10.0 * std::log10(p_watts / 1e-3);
 }
@@ -91,14 +92,14 @@ double dbm_to_amplitude(double dbm, double r_ohms) {
 }
 
 double signal_power(const std::vector<double>& x) {
-  if (x.empty()) throw std::invalid_argument("signal_power: empty signal");
+  STF_REQUIRE(!x.empty(), "signal_power: empty signal");
   double s = 0.0;
   for (double v : x) s += v * v;
   return s / static_cast<double>(x.size());
 }
 
 double signal_power(const std::vector<std::complex<double>>& x) {
-  if (x.empty()) throw std::invalid_argument("signal_power: empty signal");
+  STF_REQUIRE(!x.empty(), "signal_power: empty signal");
   double s = 0.0;
   for (const auto& v : x) s += std::norm(v);
   return s / static_cast<double>(x.size());
@@ -107,11 +108,11 @@ double signal_power(const std::vector<std::complex<double>>& x) {
 std::vector<double> welch_psd(const std::vector<double>& x, double fs,
                               std::size_t segment, double overlap,
                               WindowType window) {
-  if (segment < 2 || x.size() < segment)
-    throw std::invalid_argument("welch_psd: signal shorter than segment");
-  if (fs <= 0.0) throw std::invalid_argument("welch_psd: fs must be > 0");
-  if (overlap < 0.0 || overlap >= 1.0)
-    throw std::invalid_argument("welch_psd: overlap must be in [0, 1)");
+  STF_REQUIRE(!(segment < 2 || x.size() < segment),
+              "welch_psd: signal shorter than segment");
+  STF_REQUIRE(fs > 0.0, "welch_psd: fs must be > 0");
+  STF_REQUIRE(!(overlap < 0.0 || overlap >= 1.0),
+              "welch_psd: overlap must be in [0, 1)");
 
   const auto w = make_window(window, segment);
   double w_power = 0.0;  // sum of squared window coefficients

@@ -4,6 +4,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace stf::dsp {
 
 namespace {
@@ -45,13 +47,12 @@ std::vector<double> window_impl(WindowType type, std::size_t n,
 }  // namespace
 
 std::vector<double> make_window(WindowType type, std::size_t n) {
-  if (n == 0) throw std::invalid_argument("make_window: n must be > 0");
+  STF_REQUIRE(n != 0, "make_window: n must be > 0");
   return window_impl(type, n, static_cast<double>(n));
 }
 
 std::vector<double> make_window_symmetric(WindowType type, std::size_t n) {
-  if (n == 0)
-    throw std::invalid_argument("make_window_symmetric: n must be > 0");
+  STF_REQUIRE(n != 0, "make_window_symmetric: n must be > 0");
   if (n == 1) return {1.0};
   return window_impl(type, n, static_cast<double>(n - 1));
 }
@@ -64,8 +65,7 @@ double window_gain(const std::vector<double>& w) {
 
 std::vector<double> apply_window(const std::vector<double>& x,
                                  const std::vector<double>& w) {
-  if (x.size() != w.size())
-    throw std::invalid_argument("apply_window: size mismatch");
+  STF_REQUIRE(x.size() == w.size(), "apply_window: size mismatch");
   std::vector<double> y(x.size());
   for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] * w[i];
   return y;

@@ -3,11 +3,13 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace stf::la {
 
 Cholesky::Cholesky(const Matrix& a) : l_(a.rows(), a.cols()) {
-  if (a.rows() != a.cols())
-    throw std::invalid_argument("Cholesky: matrix must be square");
+  STF_REQUIRE(a.rows() == a.cols(), "Cholesky: matrix must be square");
+  STF_ASSERT_FINITE("Cholesky: non-finite input matrix", a.data(), a.size());
   const std::size_t n = a.rows();
   for (std::size_t j = 0; j < n; ++j) {
     double diag = a(j, j);
@@ -25,8 +27,7 @@ Cholesky::Cholesky(const Matrix& a) : l_(a.rows(), a.cols()) {
 
 std::vector<double> Cholesky::solve(const std::vector<double>& b) const {
   const std::size_t n = l_.rows();
-  if (b.size() != n)
-    throw std::invalid_argument("Cholesky::solve: size mismatch");
+  STF_REQUIRE(b.size() == n, "Cholesky::solve: size mismatch");
   // Forward substitution: L y = b.
   std::vector<double> y(n);
   for (std::size_t i = 0; i < n; ++i) {

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/qr.hpp"
 #include "linalg/svd.hpp"
@@ -23,8 +24,7 @@ Matrix gram(const Matrix& a) {
 }
 
 std::vector<double> at_b(const Matrix& a, const std::vector<double>& b) {
-  if (b.size() != a.rows())
-    throw std::invalid_argument("at_b: size mismatch");
+  STF_REQUIRE(b.size() == a.rows(), "at_b: size mismatch");
   std::vector<double> r(a.cols(), 0.0);
   for (std::size_t k = 0; k < a.rows(); ++k) {
     const double bk = b[k];
@@ -34,6 +34,10 @@ std::vector<double> at_b(const Matrix& a, const std::vector<double>& b) {
 }
 
 std::vector<double> lstsq(const Matrix& a, const std::vector<double>& b) {
+  STF_REQUIRE(!a.empty(), "lstsq: empty matrix");
+  STF_REQUIRE(b.size() == a.rows(),
+              "lstsq: rhs length must match matrix rows");
+  STF_ASSERT_FINITE("lstsq: non-finite rhs", b);
   if (a.rows() >= a.cols()) {
     QrDecomposition qr(a);
     if (qr.full_rank()) return qr.solve(b);
@@ -43,7 +47,7 @@ std::vector<double> lstsq(const Matrix& a, const std::vector<double>& b) {
 
 std::vector<double> ridge(const Matrix& a, const std::vector<double>& b,
                           double lambda) {
-  if (lambda < 0.0) throw std::invalid_argument("ridge: lambda must be >= 0");
+  STF_REQUIRE(lambda >= 0.0, "ridge: lambda must be >= 0");
   if (lambda == 0.0) return lstsq(a, b);
   Matrix g = gram(a);
   for (std::size_t i = 0; i < g.rows(); ++i) g(i, i) += lambda;

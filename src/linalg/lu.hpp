@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/contracts.hpp"
 #include "linalg/matrix.hpp"
 
 namespace stf::la {
@@ -29,8 +30,8 @@ class LuDecomposition {
  public:
   /// Factorize a square matrix. The input is copied.
   explicit LuDecomposition(const MatrixT<T>& a) : lu_(a), piv_(a.rows()) {
-    if (a.rows() != a.cols())
-      throw std::invalid_argument("LuDecomposition: matrix must be square");
+    STF_REQUIRE(a.rows() == a.cols(), "LuDecomposition: matrix must be square");
+    STF_REQUIRE(!a.empty(), "LuDecomposition: empty matrix");
     const std::size_t n = a.rows();
     for (std::size_t i = 0; i < n; ++i) piv_[i] = i;
 
@@ -65,8 +66,7 @@ class LuDecomposition {
   /// Solve A x = b for one right-hand side.
   std::vector<T> solve(const std::vector<T>& b) const {
     const std::size_t n = lu_.rows();
-    if (b.size() != n)
-      throw std::invalid_argument("LuDecomposition::solve: size mismatch");
+    STF_REQUIRE(b.size() == n, "LuDecomposition::solve: size mismatch");
     std::vector<T> x(n);
     // Apply permutation, then forward-substitute L (unit diagonal).
     for (std::size_t i = 0; i < n; ++i) {
@@ -85,6 +85,8 @@ class LuDecomposition {
 
   /// Solve A X = B column by column.
   MatrixT<T> solve(const MatrixT<T>& b) const {
+    STF_REQUIRE(b.rows() == lu_.rows(),
+                "LuDecomposition::solve: row mismatch");
     MatrixT<T> x(b.rows(), b.cols());
     for (std::size_t c = 0; c < b.cols(); ++c)
       x.set_col(c, solve(b.col(c)));

@@ -12,6 +12,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/contracts.hpp"
+
 namespace stf::la {
 
 /// Dense row-major matrix over T (double or std::complex<double>).
@@ -37,8 +39,7 @@ class MatrixT {
     cols_ = rows_ ? init.begin()->size() : 0;
     data_.reserve(rows_ * cols_);
     for (const auto& row : init) {
-      if (row.size() != cols_)
-        throw std::invalid_argument("MatrixT: ragged initializer list");
+      STF_REQUIRE(row.size() == cols_, "MatrixT: ragged initializer list");
       data_.insert(data_.end(), row.begin(), row.end());
     }
   }
@@ -48,8 +49,12 @@ class MatrixT {
   std::size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
-  T& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  T& operator()(std::size_t r, std::size_t c) {
+    STF_ASSERT(r < rows_ && c < cols_, "MatrixT: index out of range");
+    return data_[r * cols_ + c];
+  }
   const T& operator()(std::size_t r, std::size_t c) const {
+    STF_ASSERT(r < rows_ && c < cols_, "MatrixT: index out of range");
     return data_[r * cols_ + c];
   }
 
@@ -67,16 +72,26 @@ class MatrixT {
   const T* data() const { return data_.data(); }
 
   /// Pointer to the start of row r (rows are contiguous).
-  T* row_ptr(std::size_t r) { return data_.data() + r * cols_; }
-  const T* row_ptr(std::size_t r) const { return data_.data() + r * cols_; }
+  T* row_ptr(std::size_t r) {
+    STF_ASSERT(r < rows_ || (r == 0 && rows_ == 0),
+               "MatrixT::row_ptr: row out of range");
+    return data_.data() + r * cols_;
+  }
+  const T* row_ptr(std::size_t r) const {
+    STF_ASSERT(r < rows_ || (r == 0 && rows_ == 0),
+               "MatrixT::row_ptr: row out of range");
+    return data_.data() + r * cols_;
+  }
 
   /// Copy of row r as a vector.
   std::vector<T> row(std::size_t r) const {
-    return {row_ptr(r), row_ptr(r) + cols_};
+    const T* first = row_ptr(r);
+    return {first, first + cols_};
   }
 
   /// Copy of column c as a vector.
   std::vector<T> col(std::size_t c) const {
+    STF_REQUIRE(c < cols_, "MatrixT::col: column out of range");
     std::vector<T> out(rows_);
     for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
     return out;
@@ -84,13 +99,15 @@ class MatrixT {
 
   /// Overwrite row r with v (v.size() must equal cols()).
   void set_row(std::size_t r, const std::vector<T>& v) {
-    if (v.size() != cols_) throw std::invalid_argument("set_row: size mismatch");
+    STF_REQUIRE(r < rows_, "set_row: row out of range");
+    STF_REQUIRE(v.size() == cols_, "set_row: size mismatch");
     for (std::size_t c = 0; c < cols_; ++c) (*this)(r, c) = v[c];
   }
 
   /// Overwrite column c with v (v.size() must equal rows()).
   void set_col(std::size_t c, const std::vector<T>& v) {
-    if (v.size() != rows_) throw std::invalid_argument("set_col: size mismatch");
+    STF_REQUIRE(c < cols_, "set_col: column out of range");
+    STF_REQUIRE(v.size() == rows_, "set_col: size mismatch");
     for (std::size_t r = 0; r < rows_; ++r) (*this)(r, c) = v[r];
   }
 
@@ -112,8 +129,7 @@ class MatrixT {
   /// Build from a flat row-major buffer.
   static MatrixT from_flat(std::size_t rows, std::size_t cols,
                            std::vector<T> flat) {
-    if (flat.size() != rows * cols)
-      throw std::invalid_argument("from_flat: size mismatch");
+    STF_REQUIRE(flat.size() == rows * cols, "from_flat: size mismatch");
     MatrixT m;
     m.rows_ = rows;
     m.cols_ = cols;
@@ -143,8 +159,7 @@ class MatrixT {
 
   /// Matrix product (naive triple loop; matrices here are small).
   friend MatrixT operator*(const MatrixT& a, const MatrixT& b) {
-    if (a.cols_ != b.rows_)
-      throw std::invalid_argument("matmul: inner dimension mismatch");
+    STF_REQUIRE(a.cols_ == b.rows_, "matmul: inner dimension mismatch");
     MatrixT c(a.rows_, b.cols_);
     for (std::size_t i = 0; i < a.rows_; ++i) {
       for (std::size_t k = 0; k < a.cols_; ++k) {
@@ -160,8 +175,7 @@ class MatrixT {
 
   /// Matrix-vector product.
   friend std::vector<T> operator*(const MatrixT& a, const std::vector<T>& x) {
-    if (a.cols_ != x.size())
-      throw std::invalid_argument("matvec: dimension mismatch");
+    STF_REQUIRE(a.cols_ == x.size(), "matvec: dimension mismatch");
     std::vector<T> y(a.rows_, T{});
     for (std::size_t i = 0; i < a.rows_; ++i) {
       const T* row = a.row_ptr(i);
@@ -182,8 +196,8 @@ class MatrixT {
       throw std::out_of_range("MatrixT: index out of range");
   }
   void check_same_shape(const MatrixT& o) const {
-    if (rows_ != o.rows_ || cols_ != o.cols_)
-      throw std::invalid_argument("MatrixT: shape mismatch");
+    STF_REQUIRE(rows_ == o.rows_ && cols_ == o.cols_,
+                "MatrixT: elementwise op shape mismatch");
   }
 
   std::size_t rows_ = 0;

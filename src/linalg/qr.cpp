@@ -3,13 +3,16 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace stf::la {
 
 QrDecomposition::QrDecomposition(const Matrix& a) : qr_(a) {
   const std::size_t m = a.rows();
   const std::size_t n = a.cols();
-  if (m < n)
-    throw std::invalid_argument("QrDecomposition: requires rows >= cols");
+  STF_REQUIRE(m >= n, "QrDecomposition: requires rows >= cols");
+  STF_ASSERT_FINITE("QrDecomposition: non-finite input matrix", a.data(),
+                    a.size());
   beta_.assign(n, 0.0);
 
   for (std::size_t k = 0; k < n; ++k) {
@@ -79,8 +82,7 @@ bool QrDecomposition::full_rank(double tol) const {
 std::vector<double> QrDecomposition::solve(const std::vector<double>& b) const {
   const std::size_t m = qr_.rows();
   const std::size_t n = qr_.cols();
-  if (b.size() != m)
-    throw std::invalid_argument("QrDecomposition::solve: size mismatch");
+  STF_REQUIRE(b.size() == m, "QrDecomposition::solve: size mismatch");
   if (!full_rank())
     throw std::runtime_error("QrDecomposition::solve: rank-deficient matrix");
 

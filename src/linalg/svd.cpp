@@ -6,6 +6,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace stf::la {
 
 std::size_t SvdResult::rank(double tol) const {
@@ -109,7 +111,8 @@ SvdResult svd_tall(const Matrix& a) {
 }  // namespace
 
 SvdResult svd(const Matrix& a) {
-  if (a.empty()) throw std::invalid_argument("svd: empty matrix");
+  STF_REQUIRE(!a.empty(), "svd: empty matrix");
+  STF_ASSERT_FINITE("svd: non-finite input matrix", a.data(), a.size());
   if (a.rows() >= a.cols()) return svd_tall(a);
   // Wide matrix: factor the transpose and swap U <-> V.
   SvdResult t = svd_tall(a.transposed());
@@ -134,8 +137,8 @@ Matrix pinv(const Matrix& a, double rcond) {
 
 std::vector<double> svd_lstsq(const Matrix& a, const std::vector<double>& b,
                               double rcond) {
-  if (b.size() != a.rows())
-    throw std::invalid_argument("svd_lstsq: size mismatch");
+  STF_REQUIRE(b.size() == a.rows(),
+              "svd_lstsq: rhs length must match matrix rows");
   const SvdResult d = svd(a);
   const double cutoff = d.s.empty() ? 0.0 : rcond * d.s.front();
   // x = V * Sigma^+ * U^T b.

@@ -3,12 +3,14 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace stf::la {
 
 namespace {
 void check_same_size(const std::vector<double>& a,
                      const std::vector<double>& b, const char* what) {
-  if (a.size() != b.size()) throw std::invalid_argument(what);
+  STF_REQUIRE(a.size() == b.size(), what);
 }
 }  // namespace
 

@@ -6,16 +6,15 @@
 #include "circuit/ac.hpp"
 #include "circuit/constants.hpp"
 #include "circuit/dc.hpp"
+#include "core/contracts.hpp"
 
 namespace stf::rf {
 
 BehavioralLna::BehavioralLna(Cplx gain, double iip3_v, double nf_db,
                              double rs_ohms)
     : gain_(gain), iip3_v_(iip3_v), nf_db_(nf_db), rs_ohms_(rs_ohms) {
-  if (iip3_v <= 0.0)
-    throw std::invalid_argument("BehavioralLna: iip3_v must be > 0");
-  if (rs_ohms <= 0.0)
-    throw std::invalid_argument("BehavioralLna: rs_ohms must be > 0");
+  STF_REQUIRE(iip3_v > 0.0, "BehavioralLna: iip3_v must be > 0");
+  STF_REQUIRE(rs_ohms > 0.0, "BehavioralLna: rs_ohms must be > 0");
 }
 
 EnvelopeSignal BehavioralLna::process(const EnvelopeSignal& in,

@@ -4,12 +4,13 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace stf::rf {
 
 EnvelopeSignal EnvelopeSignal::from_real(const std::vector<double>& samples,
                                          double fs, double fc) {
-  if (fs <= 0.0)
-    throw std::invalid_argument("EnvelopeSignal::from_real: fs must be > 0");
+  STF_REQUIRE(fs > 0.0, "EnvelopeSignal::from_real: fs must be > 0");
   EnvelopeSignal s;
   s.fs = fs;
   s.fc = fc;
@@ -31,8 +32,7 @@ std::vector<double> EnvelopeSignal::to_real(double f_offset_hz,
 }
 
 double envelope_power(const EnvelopeSignal& s) {
-  if (s.x.empty())
-    throw std::invalid_argument("envelope_power: empty signal");
+  STF_REQUIRE(!s.x.empty(), "envelope_power: empty signal");
   double p = 0.0;
   for (const auto& v : s.x) p += std::norm(v);
   return p / static_cast<double>(s.x.size());

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "dsp/fir.hpp"
 #include "dsp/rrc.hpp"
 #include "stats/rng.hpp"
@@ -11,8 +12,8 @@ namespace stf::rf {
 
 double measure_evm_percent(const RfDut& dut, const EvmConfig& config,
                            stf::stats::Rng* rng) {
-  if (config.n_symbols < 16)
-    throw std::invalid_argument("measure_evm_percent: need >= 16 symbols");
+  STF_REQUIRE(config.n_symbols >= 16,
+              "measure_evm_percent: need >= 16 symbols");
   const std::size_t sps = config.sps;
   const double fs = config.symbol_rate_hz * static_cast<double>(sps);
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "dsp/resample.hpp"
 
 namespace stf::rf {
@@ -20,20 +21,17 @@ void MixerModel::apply(EnvelopeSignal& s) const {
 }
 
 LoadBoard::LoadBoard(const LoadBoardConfig& config) : config_(config) {
-  if (config_.lpf_cutoff_hz <= 0.0)
-    throw std::invalid_argument("LoadBoard: lpf_cutoff_hz must be > 0");
-  if (config_.lpf_order == 0)
-    throw std::invalid_argument("LoadBoard: lpf_order must be > 0");
+  STF_REQUIRE(config_.lpf_cutoff_hz > 0.0,
+              "LoadBoard: lpf_cutoff_hz must be > 0");
+  STF_REQUIRE(config_.lpf_order != 0, "LoadBoard: lpf_order must be > 0");
 }
 
 std::vector<double> LoadBoard::run(const std::vector<double>& stimulus,
                                    double fs_sim, const RfDut& dut,
                                    stf::stats::Rng* rng) const {
-  if (stimulus.empty())
-    throw std::invalid_argument("LoadBoard::run: empty stimulus");
-  if (fs_sim <= 2.0 * config_.lpf_cutoff_hz)
-    throw std::invalid_argument(
-        "LoadBoard::run: fs_sim must exceed twice the LPF cutoff");
+  STF_REQUIRE(!stimulus.empty(), "LoadBoard::run: empty stimulus");
+  STF_REQUIRE(fs_sim > 2.0 * config_.lpf_cutoff_hz,
+              "LoadBoard::run: fs_sim must exceed twice the LPF cutoff");
 
   // Mixer 1: x_t(t) * sin(w1 t) -- in envelope terms the stimulus *is* the
   // envelope at the carrier; the mixer contributes gain/compression.
@@ -62,8 +60,7 @@ std::vector<double> LoadBoard::run(const std::vector<double>& stimulus,
 std::vector<double> Digitizer::capture(const std::vector<double>& analog,
                                        double fs_in,
                                        stf::stats::Rng* rng) const {
-  if (fs_hz <= 0.0)
-    throw std::invalid_argument("Digitizer: fs_hz must be > 0");
+  STF_REQUIRE(fs_hz > 0.0, "Digitizer: fs_hz must be > 0");
   std::vector<double> samples =
       stf::dsp::resample_linear(analog, fs_in, fs_hz);
   if (rng != nullptr && noise_rms_v > 0.0)

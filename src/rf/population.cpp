@@ -4,6 +4,7 @@
 #include <complex>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "rf/specmeas.hpp"
 #include "stats/rng.hpp"
 #include "stats/sampling.hpp"
@@ -12,7 +13,7 @@ namespace stf::rf {
 
 std::vector<DeviceRecord> make_lna_population(std::size_t n, double spread,
                                               std::uint64_t seed) {
-  if (n == 0) throw std::invalid_argument("make_lna_population: n == 0");
+  STF_REQUIRE(n != 0, "make_lna_population: n == 0");
   stf::stats::UniformBox box{stf::circuit::Lna900::nominal(), spread};
   stf::stats::Rng rng(seed);
   std::vector<DeviceRecord> devices;
@@ -30,7 +31,7 @@ std::vector<DeviceRecord> make_lna_population(std::size_t n, double spread,
 
 std::vector<DeviceRecord> make_rf401_population(const Rf401Options& opts,
                                                 std::uint64_t seed) {
-  if (opts.n == 0) throw std::invalid_argument("make_rf401_population: n == 0");
+  STF_REQUIRE(opts.n != 0, "make_rf401_population: n == 0");
   stf::stats::Rng rng(seed);
   std::vector<DeviceRecord> devices;
   devices.reserve(opts.n);
@@ -63,9 +64,8 @@ std::vector<DeviceRecord> make_rf401_population(const Rf401Options& opts,
 
 PopulationSplit split_population(const std::vector<DeviceRecord>& devices,
                                  std::size_t n_cal) {
-  if (n_cal == 0 || n_cal >= devices.size())
-    throw std::invalid_argument(
-        "split_population: n_cal must be in (0, devices.size())");
+  STF_REQUIRE(!(n_cal == 0 || n_cal >= devices.size()),
+              "split_population: n_cal must be in (0, devices.size())");
   PopulationSplit s;
   s.calibration.assign(devices.begin(),
                        devices.begin() + static_cast<std::ptrdiff_t>(n_cal));

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "circuit/constants.hpp"
+#include "core/contracts.hpp"
 #include "dsp/spectrum.hpp"
 
 namespace stf::rf {
@@ -34,8 +35,7 @@ double dbm_to_emf_amplitude(double dbm, double rs) {
 
 double transducer_gain_db_from_h(double h_mag, double rs_ohms,
                                  double rl_ohms) {
-  if (h_mag <= 0.0)
-    throw std::invalid_argument("transducer_gain_db_from_h: h_mag <= 0");
+  STF_REQUIRE(h_mag > 0.0, "transducer_gain_db_from_h: h_mag <= 0");
   return 10.0 * std::log10(h_mag * h_mag * 4.0 * rs_ohms / rl_ohms);
 }
 
@@ -76,7 +76,7 @@ double measure_iip3_dbm(const RfDut& dut, const MeasureConfig& cfg) {
 
 double measure_nf_db(const RfDut& dut, const MeasureConfig& cfg,
                      stf::stats::Rng& rng, int n_avg) {
-  if (n_avg < 1) throw std::invalid_argument("measure_nf_db: n_avg < 1");
+  STF_REQUIRE(n_avg >= 1, "measure_nf_db: n_avg < 1");
   // Gain from a clean tone run.
   const double amp = dbm_to_emf_amplitude(cfg.level_dbm, cfg.rs_ohms);
   const EnvelopeSignal tone = make_tone(amp, cfg.tone_offset_hz, cfg);

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "dsp/fft.hpp"
 #include "rf/loadboard.hpp"
 
@@ -39,10 +40,9 @@ SignatureTestConfig SignatureTestConfig::hardware_study() {
 SignatureAcquirer::SignatureAcquirer(const SignatureTestConfig& config,
                                      std::size_t max_bins)
     : config_(config), max_bins_(max_bins) {
-  if (max_bins_ == 0)
-    throw std::invalid_argument("SignatureAcquirer: max_bins must be > 0");
-  if (config_.capture_s <= 0.0)
-    throw std::invalid_argument("SignatureAcquirer: capture_s must be > 0");
+  STF_REQUIRE(max_bins_ != 0, "SignatureAcquirer: max_bins must be > 0");
+  STF_REQUIRE(config_.capture_s > 0.0,
+              "SignatureAcquirer: capture_s must be > 0");
 }
 
 std::vector<double> SignatureAcquirer::raw_capture(
@@ -110,7 +110,11 @@ Signature SignatureAcquirer::to_signature(
 Signature SignatureAcquirer::acquire(const stf::rf::RfDut& dut,
                                      const stf::dsp::PwlWaveform& stimulus,
                                      stf::stats::Rng* rng) const {
-  return to_signature(raw_capture(dut, stimulus, rng));
+  Signature s = to_signature(raw_capture(dut, stimulus, rng));
+  STF_ENSURE(stf::contracts::finite(s),
+             "SignatureAcquirer::acquire: non-finite signature bin (NaN/Inf "
+             "leaked through the stimulus/envelope/FFT chain)");
+  return s;
 }
 
 std::size_t SignatureAcquirer::signature_length() const {

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "circuit/transient.hpp"
+#include "core/contracts.hpp"
 #include "dsp/resample.hpp"
 #include "stats/metrics.hpp"
 #include "stats/sampling.hpp"
@@ -13,10 +14,10 @@ Signature acquire_analog_signature(const stf::circuit::Netlist& netlist,
                                    const stf::dsp::PwlWaveform& stimulus,
                                    const AnalogSignatureConfig& config,
                                    stf::stats::Rng* rng) {
-  if (config.sim_dt <= 0.0 || config.capture_s <= config.sim_dt)
-    throw std::invalid_argument("acquire_analog_signature: bad time grid");
-  if (config.fs_capture_hz <= 0.0)
-    throw std::invalid_argument("acquire_analog_signature: bad capture rate");
+  STF_REQUIRE(!(config.sim_dt <= 0.0 || config.capture_s <= config.sim_dt),
+              "acquire_analog_signature: bad time grid");
+  STF_REQUIRE(config.fs_capture_hz > 0.0,
+              "acquire_analog_signature: bad capture rate");
 
   stf::circuit::TransientOptions topts;
   topts.t_stop = config.capture_s;
@@ -39,7 +40,7 @@ Signature acquire_analog_signature(const stf::circuit::Netlist& netlist,
 std::vector<AnalogDeviceRecord> make_filter_population(std::size_t n,
                                                        double spread,
                                                        std::uint64_t seed) {
-  if (n == 0) throw std::invalid_argument("make_filter_population: n == 0");
+  STF_REQUIRE(n != 0, "make_filter_population: n == 0");
   stf::stats::UniformBox box{stf::circuit::SallenKeyFilter::nominal(),
                              spread};
   stf::stats::Rng rng(seed);
@@ -76,8 +77,7 @@ void AnalogSignatureRuntime::calibrate(
 
 std::vector<double> AnalogSignatureRuntime::test_device(
     const std::vector<double>& process, stf::stats::Rng& rng) const {
-  if (!model_.fitted())
-    throw std::logic_error("AnalogSignatureRuntime: not calibrated");
+  STF_REQUIRE(model_.fitted(), "AnalogSignatureRuntime: not calibrated");
   const auto nl = stf::circuit::SallenKeyFilter::build(process);
   return model_.predict(
       acquire_analog_signature(nl, stimulus_, config_, &rng));
@@ -86,8 +86,7 @@ std::vector<double> AnalogSignatureRuntime::test_device(
 AnalogValidationReport AnalogSignatureRuntime::validate(
     const std::vector<AnalogDeviceRecord>& devices,
     stf::stats::Rng& rng) const {
-  if (devices.empty())
-    throw std::invalid_argument("AnalogSignatureRuntime: no devices");
+  STF_REQUIRE(!devices.empty(), "AnalogSignatureRuntime: no devices");
   AnalogValidationReport report;
   report.names = stf::circuit::FilterSpecs::names();
   const std::size_t n_specs = report.names.size();

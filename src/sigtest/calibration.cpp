@@ -5,24 +5,23 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "linalg/lstsq.hpp"
 
 namespace stf::sigtest {
 
 CalibrationModel::CalibrationModel(CalibrationOptions options)
     : options_(options) {
-  if (options_.poly_degree < 1 || options_.poly_degree > 3)
-    throw std::invalid_argument(
-        "CalibrationModel: poly_degree must be 1, 2 or 3");
-  if (options_.ridge_lambda < 0.0)
-    throw std::invalid_argument("CalibrationModel: ridge_lambda < 0");
+  STF_REQUIRE(!(options_.poly_degree < 1 || options_.poly_degree > 3),
+              "CalibrationModel: poly_degree must be 1, 2 or 3");
+  STF_REQUIRE(options_.ridge_lambda >= 0.0,
+              "CalibrationModel: ridge_lambda < 0");
 }
 
 std::vector<double> CalibrationModel::features(
     const Signature& signature) const {
-  if (signature.size() != bin_mean_.size())
-    throw std::invalid_argument(
-        "CalibrationModel: signature length does not match training");
+  STF_REQUIRE(signature.size() == bin_mean_.size(),
+              "CalibrationModel: signature length does not match training");
   const std::size_t m = signature.size();
   std::vector<double> f;
   f.reserve(1 + m * options_.poly_degree);
@@ -40,15 +39,18 @@ void CalibrationModel::fit(const stf::la::Matrix& signatures,
                            const std::vector<double>& noise_var) {
   const std::size_t n = signatures.rows();
   const std::size_t m = signatures.cols();
-  if (n < 2) throw std::invalid_argument("CalibrationModel::fit: n < 2");
-  if (specs.rows() != n)
-    throw std::invalid_argument("CalibrationModel::fit: row mismatch");
-  if (!noise_var.empty() && noise_var.size() != m)
-    throw std::invalid_argument(
-        "CalibrationModel::fit: noise_var length mismatch");
+  STF_REQUIRE(n >= 2, "CalibrationModel::fit: n < 2");
+  STF_REQUIRE(specs.rows() == n, "CalibrationModel::fit: row mismatch");
+  STF_REQUIRE(!(!noise_var.empty() && noise_var.size() != m),
+              "CalibrationModel::fit: noise_var length mismatch");
   const std::size_t n_specs = specs.cols();
-  if (n_specs == 0)
-    throw std::invalid_argument("CalibrationModel::fit: no specs");
+  STF_REQUIRE(n_specs != 0, "CalibrationModel::fit: no specs");
+  STF_ASSERT_FINITE("CalibrationModel::fit: non-finite signature matrix",
+                    signatures.data(), signatures.size());
+  STF_ASSERT_FINITE("CalibrationModel::fit: non-finite spec matrix",
+                    specs.data(), specs.size());
+  STF_ASSERT_FINITE("CalibrationModel::fit: non-finite noise variances",
+                    noise_var);
 
   // Per-bin normalization: center on the training mean, scale by the
   // combined device variation + single-capture noise floor. Constant
@@ -120,19 +122,17 @@ void CalibrationModel::fit(const stf::la::Matrix& signatures,
 void fit_from_captures(CalibrationModel& model, std::size_t n_devices,
                        const CaptureFn& capture, const SpecsFn& specs,
                        int n_avg) {
-  if (n_devices < 2)
-    throw std::invalid_argument("fit_from_captures: need >= 2 devices");
-  if (n_avg < 1) throw std::invalid_argument("fit_from_captures: n_avg < 1");
-  if (!capture || !specs)
-    throw std::invalid_argument("fit_from_captures: null callback");
+  STF_REQUIRE(n_devices >= 2, "fit_from_captures: need >= 2 devices");
+  STF_REQUIRE(n_avg >= 1, "fit_from_captures: n_avg < 1");
+  STF_REQUIRE(!(!capture || !specs), "fit_from_captures: null callback");
 
   // Probe device 0 once to size the matrices.
   const Signature first = capture(0);
   const std::size_t m = first.size();
   const std::vector<double> first_specs = specs(0);
   const std::size_t n_specs = first_specs.size();
-  if (m == 0 || n_specs == 0)
-    throw std::invalid_argument("fit_from_captures: empty capture or specs");
+  STF_REQUIRE(!(m == 0 || n_specs == 0),
+              "fit_from_captures: empty capture or specs");
 
   stf::la::Matrix signatures(n_devices, m);
   stf::la::Matrix spec_matrix(n_devices, n_specs);
@@ -146,8 +146,9 @@ void fit_from_captures(CalibrationModel& model, std::size_t n_devices,
     if (i == 0) captures.push_back(first);
     while (captures.size() < static_cast<std::size_t>(n_avg)) {
       Signature s = capture(i);
-      if (s.size() != m)
-        throw std::runtime_error("fit_from_captures: capture size changed");
+      STF_REQUIRE(s.size() == m,
+                  "fit_from_captures: ragged training set (capture size "
+                  "changed between devices)");
       captures.push_back(std::move(s));
     }
     Signature mean(m, 0.0);
@@ -164,8 +165,9 @@ void fit_from_captures(CalibrationModel& model, std::size_t n_devices,
       noise_dof += captures.size() - 1;
     }
     const std::vector<double> p = specs(i);
-    if (p.size() != n_specs)
-      throw std::runtime_error("fit_from_captures: spec size changed");
+    STF_REQUIRE(p.size() == n_specs,
+                "fit_from_captures: ragged training set (spec size changed "
+                "between devices)");
     spec_matrix.set_row(i, p);
   }
 
@@ -179,8 +181,7 @@ void fit_from_captures(CalibrationModel& model, std::size_t n_devices,
 
 std::vector<double> CalibrationModel::predict(
     const Signature& signature) const {
-  if (!fitted_)
-    throw std::logic_error("CalibrationModel::predict: model not fitted");
+  STF_REQUIRE(fitted_, "CalibrationModel::predict: model not fitted");
   const std::vector<double> f = features(signature);
   std::vector<double> out(weights_.rows());
   for (std::size_t s = 0; s < weights_.rows(); ++s) {
@@ -192,8 +193,7 @@ std::vector<double> CalibrationModel::predict(
 }
 
 std::string CalibrationModel::serialize() const {
-  if (!fitted_)
-    throw std::logic_error("CalibrationModel::serialize: model not fitted");
+  STF_REQUIRE(fitted_, "CalibrationModel::serialize: model not fitted");
   std::ostringstream os;
   os.precision(17);
   os << "sigtest-calibration v1\n";
@@ -308,10 +308,9 @@ CalibrationOptions select_ridge_by_cv(const stf::la::Matrix& signatures,
                                       const std::vector<double>& lambdas,
                                       std::size_t k_folds) {
   const std::size_t n = signatures.rows();
-  if (lambdas.empty())
-    throw std::invalid_argument("select_ridge_by_cv: empty lambda grid");
-  if (k_folds < 2 || n < 2 * k_folds)
-    throw std::invalid_argument("select_ridge_by_cv: too few rows for folds");
+  STF_REQUIRE(!lambdas.empty(), "select_ridge_by_cv: empty lambda grid");
+  STF_REQUIRE(!(k_folds < 2 || n < 2 * k_folds),
+              "select_ridge_by_cv: too few rows for folds");
   const std::size_t n_specs = specs.cols();
 
   // Per-spec normalization so specs with different units weigh equally.
@@ -330,10 +329,10 @@ CalibrationOptions select_ridge_by_cv(const stf::la::Matrix& signatures,
   }
 
   double best_score = std::numeric_limits<double>::infinity();
+  // stf-lint: checked -- non-empty grid enforced by REQUIRE at entry.
   double best_lambda = lambdas.front();
   for (const double lambda : lambdas) {
-    if (lambda < 0.0)
-      throw std::invalid_argument("select_ridge_by_cv: negative lambda");
+    STF_REQUIRE(lambda >= 0.0, "select_ridge_by_cv: negative lambda");
     double score = 0.0;
     std::size_t count = 0;
     for (std::size_t fold = 0; fold < k_folds; ++fold) {

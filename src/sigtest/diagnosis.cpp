@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "stats/metrics.hpp"
 
 namespace stf::sigtest {
@@ -16,15 +17,13 @@ ParametricDiagnoser::ParametricDiagnoser(const SignatureTestConfig& config,
       stimulus_(std::move(stimulus)),
       param_names_(std::move(param_names)),
       model_(cal_options) {
-  if (param_names_.empty())
-    throw std::invalid_argument("ParametricDiagnoser: no parameter names");
+  STF_REQUIRE(!param_names_.empty(), "ParametricDiagnoser: no parameter names");
 }
 
 void ParametricDiagnoser::calibrate(
     const std::vector<stf::rf::DeviceRecord>& training, stf::stats::Rng& rng,
     int n_avg) {
-  if (training.size() < 2)
-    throw std::invalid_argument("ParametricDiagnoser: need >= 2 devices");
+  STF_REQUIRE(training.size() >= 2, "ParametricDiagnoser: need >= 2 devices");
   const std::size_t k = param_names_.size();
   fit_from_captures(
       model_, training.size(),
@@ -42,19 +41,17 @@ void ParametricDiagnoser::calibrate(
 
 std::vector<double> ParametricDiagnoser::diagnose(
     const stf::rf::RfDut& dut, stf::stats::Rng& rng) const {
-  if (!model_.fitted())
-    throw std::logic_error("ParametricDiagnoser: not calibrated");
+  STF_REQUIRE(model_.fitted(), "ParametricDiagnoser: not calibrated");
   return model_.predict(acquirer_.acquire(dut, stimulus_, &rng));
 }
 
 DiagnosisReport ParametricDiagnoser::validate(
     const std::vector<stf::rf::DeviceRecord>& devices,
     const std::vector<double>& nominal, stf::stats::Rng& rng) const {
-  if (devices.empty())
-    throw std::invalid_argument("ParametricDiagnoser: no devices");
+  STF_REQUIRE(!devices.empty(), "ParametricDiagnoser: no devices");
   const std::size_t k = param_names_.size();
-  if (nominal.size() != k)
-    throw std::invalid_argument("ParametricDiagnoser: nominal size mismatch");
+  STF_REQUIRE(nominal.size() == k,
+              "ParametricDiagnoser: nominal size mismatch");
 
   std::vector<std::vector<double>> truth(k), predicted(k);
   for (const auto& dev : devices) {

@@ -5,10 +5,12 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace stf::sigtest {
 
 KnnRegressor::KnnRegressor(std::size_t k) : k_(k) {
-  if (k_ == 0) throw std::invalid_argument("KnnRegressor: k must be > 0");
+  STF_REQUIRE(k_ != 0, "KnnRegressor: k must be > 0");
 }
 
 void KnnRegressor::fit(const stf::la::Matrix& signatures,
@@ -16,11 +18,10 @@ void KnnRegressor::fit(const stf::la::Matrix& signatures,
                        const std::vector<double>& noise_var) {
   const std::size_t n = signatures.rows();
   const std::size_t m = signatures.cols();
-  if (n < k_) throw std::invalid_argument("KnnRegressor::fit: rows < k");
-  if (specs.rows() != n)
-    throw std::invalid_argument("KnnRegressor::fit: row mismatch");
-  if (!noise_var.empty() && noise_var.size() != m)
-    throw std::invalid_argument("KnnRegressor::fit: noise_var mismatch");
+  STF_REQUIRE(n >= k_, "KnnRegressor::fit: rows < k");
+  STF_REQUIRE(specs.rows() == n, "KnnRegressor::fit: row mismatch");
+  STF_REQUIRE(!(!noise_var.empty() && noise_var.size() != m),
+              "KnnRegressor::fit: noise_var mismatch");
 
   bin_mean_.assign(m, 0.0);
   bin_scale_.assign(m, 1.0);
@@ -48,11 +49,9 @@ void KnnRegressor::fit(const stf::la::Matrix& signatures,
 }
 
 std::vector<double> KnnRegressor::predict(const Signature& signature) const {
-  if (!fitted_)
-    throw std::logic_error("KnnRegressor::predict: not fitted");
+  STF_REQUIRE(fitted_, "KnnRegressor::predict: not fitted");
   const std::size_t m = bin_mean_.size();
-  if (signature.size() != m)
-    throw std::invalid_argument("KnnRegressor::predict: length mismatch");
+  STF_REQUIRE(signature.size() == m, "KnnRegressor::predict: length mismatch");
 
   std::vector<double> z(m);
   for (std::size_t j = 0; j < m; ++j)

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "linalg/svd.hpp"
 
 namespace stf::sigtest {
@@ -10,13 +11,15 @@ namespace stf::sigtest {
 ObjectiveBreakdown signature_objective(const stf::la::Matrix& a_p,
                                        const stf::la::Matrix& a_s,
                                        double sigma_m) {
-  if (a_p.empty() || a_s.empty())
-    throw std::invalid_argument("signature_objective: empty sensitivity");
-  if (a_p.cols() != a_s.cols())
-    throw std::invalid_argument(
-        "signature_objective: A_p and A_s must share the parameter axis");
-  if (sigma_m < 0.0)
-    throw std::invalid_argument("signature_objective: sigma_m < 0");
+  STF_REQUIRE(!(a_p.empty() || a_s.empty()),
+              "signature_objective: empty sensitivity");
+  STF_REQUIRE(a_p.cols() == a_s.cols(),
+              "signature_objective: A_p and A_s must share the parameter axis");
+  STF_REQUIRE(sigma_m >= 0.0, "signature_objective: sigma_m < 0");
+  STF_ASSERT_FINITE("signature_objective: non-finite A_p", a_p.data(),
+                    a_p.size());
+  STF_ASSERT_FINITE("signature_objective: non-finite A_s", a_s.data(),
+                    a_s.size());
 
   const std::size_t n = a_p.rows();  // specs
   const std::size_t m = a_s.rows();  // signature bins
@@ -50,6 +53,8 @@ ObjectiveBreakdown signature_objective(const stf::la::Matrix& a_p,
     acc += sigma2;
   }
   out.f = acc / static_cast<double>(n);
+  STF_ENSURE(stf::contracts::finite(out.f),
+             "signature_objective: non-finite objective value");
   return out;
 }
 

@@ -3,15 +3,17 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace stf::sigtest {
 
 void OutlierScreen::fit(const stf::la::Matrix& signatures,
                         const std::vector<double>& noise_var) {
   const std::size_t n = signatures.rows();
   const std::size_t m = signatures.cols();
-  if (n < 2) throw std::invalid_argument("OutlierScreen::fit: n < 2");
-  if (!noise_var.empty() && noise_var.size() != m)
-    throw std::invalid_argument("OutlierScreen::fit: noise_var mismatch");
+  STF_REQUIRE(n >= 2, "OutlierScreen::fit: n < 2");
+  STF_REQUIRE(!(!noise_var.empty() && noise_var.size() != m),
+              "OutlierScreen::fit: noise_var mismatch");
 
   mean_.assign(m, 0.0);
   scale_.assign(m, 1.0);
@@ -33,10 +35,9 @@ void OutlierScreen::fit(const stf::la::Matrix& signatures,
 }
 
 double OutlierScreen::score(const Signature& signature) const {
-  if (!fitted_)
-    throw std::logic_error("OutlierScreen::score: not fitted");
-  if (signature.size() != mean_.size())
-    throw std::invalid_argument("OutlierScreen::score: length mismatch");
+  STF_REQUIRE(fitted_, "OutlierScreen::score: not fitted");
+  STF_REQUIRE(signature.size() == mean_.size(),
+              "OutlierScreen::score: length mismatch");
   double acc = 0.0;
   for (std::size_t j = 0; j < signature.size(); ++j) {
     const double z = (signature[j] - mean_[j]) / scale_[j];
@@ -47,8 +48,7 @@ double OutlierScreen::score(const Signature& signature) const {
 
 bool OutlierScreen::is_outlier(const Signature& signature,
                                double threshold) const {
-  if (threshold <= 0.0)
-    throw std::invalid_argument("OutlierScreen::is_outlier: bad threshold");
+  STF_REQUIRE(threshold > 0.0, "OutlierScreen::is_outlier: bad threshold");
   return score(signature) > threshold;
 }
 

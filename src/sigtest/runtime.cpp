@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "stats/metrics.hpp"
 
 namespace stf::sigtest {
@@ -15,17 +16,15 @@ FastestRuntime::FastestRuntime(const SignatureTestConfig& config,
       stimulus_(std::move(stimulus)),
       spec_names_(std::move(spec_names)),
       model_(cal_options) {
-  if (spec_names_.empty())
-    throw std::invalid_argument("FastestRuntime: no spec names");
+  STF_REQUIRE(!spec_names_.empty(), "FastestRuntime: no spec names");
 }
 
 void FastestRuntime::calibrate(
     const std::vector<stf::rf::DeviceRecord>& training,
     stf::stats::Rng& rng, int n_avg) {
-  if (training.size() < 2)
-    throw std::invalid_argument("FastestRuntime::calibrate: need >= 2 devices");
-  if (n_avg < 1)
-    throw std::invalid_argument("FastestRuntime::calibrate: n_avg < 1");
+  STF_REQUIRE(training.size() >= 2,
+              "FastestRuntime::calibrate: need >= 2 devices");
+  STF_REQUIRE(n_avg >= 1, "FastestRuntime::calibrate: n_avg < 1");
   const std::size_t m = acquirer_.signature_length();
   const std::size_t n_specs = spec_names_.size();
 
@@ -34,15 +33,13 @@ void FastestRuntime::calibrate(
       [&](std::size_t i) {
         const Signature s =
             acquirer_.acquire(*training[i].dut, stimulus_, &rng);
-        if (s.size() != m)
-          throw std::runtime_error(
-              "FastestRuntime: signature length mismatch");
+        STF_REQUIRE(s.size() == m, "FastestRuntime: signature length mismatch");
         return s;
       },
       [&](std::size_t i) {
         const std::vector<double> p = training[i].specs.to_vector();
-        if (p.size() != n_specs)
-          throw std::runtime_error("FastestRuntime: spec vector mismatch");
+        STF_REQUIRE(p.size() == n_specs,
+                    "FastestRuntime: spec vector mismatch");
         return p;
       },
       n_avg);
@@ -50,16 +47,14 @@ void FastestRuntime::calibrate(
 
 std::vector<double> FastestRuntime::test_device(const stf::rf::RfDut& dut,
                                                 stf::stats::Rng& rng) const {
-  if (!model_.fitted())
-    throw std::logic_error("FastestRuntime::test_device: not calibrated");
+  STF_REQUIRE(model_.fitted(), "FastestRuntime::test_device: not calibrated");
   return model_.predict(acquirer_.acquire(dut, stimulus_, &rng));
 }
 
 ValidationReport FastestRuntime::validate(
     const std::vector<stf::rf::DeviceRecord>& devices,
     stf::stats::Rng& rng) const {
-  if (devices.empty())
-    throw std::invalid_argument("FastestRuntime::validate: no devices");
+  STF_REQUIRE(!devices.empty(), "FastestRuntime::validate: no devices");
   const std::size_t n_specs = spec_names_.size();
 
   ValidationReport report;

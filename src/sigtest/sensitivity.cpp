@@ -3,21 +3,21 @@
 #include <stdexcept>
 
 #include "circuit/lna900.hpp"
+#include "core/contracts.hpp"
 
 namespace stf::sigtest {
 
 PerturbationSet::PerturbationSet(const DeviceFactory& factory,
                                  std::vector<double> x0, double rel_step)
     : x0_(std::move(x0)), rel_step_(rel_step) {
-  if (!factory) throw std::invalid_argument("PerturbationSet: null factory");
-  if (x0_.empty()) throw std::invalid_argument("PerturbationSet: empty x0");
-  if (rel_step_ <= 0.0 || rel_step_ >= 1.0)
-    throw std::invalid_argument("PerturbationSet: rel_step must be in (0,1)");
+  STF_REQUIRE(factory, "PerturbationSet: null factory");
+  STF_REQUIRE(!x0_.empty(), "PerturbationSet: empty x0");
+  STF_REQUIRE(!(rel_step_ <= 0.0 || rel_step_ >= 1.0),
+              "PerturbationSet: rel_step must be in (0,1)");
 
   nominal_ = factory(x0_);
-  if (nominal_.specs.empty() || nominal_.dut == nullptr)
-    throw std::invalid_argument(
-        "PerturbationSet: factory returned empty characterization");
+  STF_REQUIRE(!(nominal_.specs.empty() || nominal_.dut == nullptr),
+              "PerturbationSet: factory returned empty characterization");
 
   pairs_.reserve(x0_.size());
   for (std::size_t j = 0; j < x0_.size(); ++j) {
@@ -27,10 +27,9 @@ PerturbationSet::PerturbationSet(const DeviceFactory& factory,
     Pair pr;
     pr.plus = factory(xp);
     pr.minus = factory(xm);
-    if (pr.plus.specs.size() != nominal_.specs.size() ||
-        pr.minus.specs.size() != nominal_.specs.size())
-      throw std::runtime_error(
-          "PerturbationSet: inconsistent spec vector sizes");
+    STF_REQUIRE(pr.plus.specs.size() == nominal_.specs.size() &&
+                    pr.minus.specs.size() == nominal_.specs.size(),
+                "PerturbationSet: factory returned inconsistent spec sizes");
     pairs_.push_back(std::move(pr));
   }
 }
@@ -46,6 +45,8 @@ stf::la::Matrix PerturbationSet::spec_sensitivity() const {
                   (2.0 * rel_step_);
     }
   }
+  STF_ENSURE(stf::contracts::finite(a_p.data(), a_p.size()),
+             "spec_sensitivity: non-finite sensitivity entry");
   return a_p;
 }
 
@@ -60,12 +61,13 @@ stf::la::Matrix PerturbationSet::signature_sensitivity(
         acquirer.acquire(*pairs_[j].plus.dut, stimulus, nullptr);
     const Signature sm =
         acquirer.acquire(*pairs_[j].minus.dut, stimulus, nullptr);
-    if (sp.size() != m || sm.size() != m)
-      throw std::runtime_error(
-          "signature_sensitivity: signature length mismatch");
+    STF_REQUIRE(sp.size() == m && sm.size() == m,
+                "signature_sensitivity: signature length mismatch");
     for (std::size_t i = 0; i < m; ++i)
       a_s(i, j) = (sp[i] - sm[i]) / (2.0 * rel_step_);
   }
+  STF_ENSURE(stf::contracts::finite(a_s.data(), a_s.size()),
+             "signature_sensitivity: non-finite sensitivity entry");
   return a_s;
 }
 

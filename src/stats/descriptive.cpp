@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace stf::stats {
 
 namespace {
@@ -20,7 +22,7 @@ double mean(const std::vector<double>& v) {
 }
 
 double variance(const std::vector<double>& v) {
-  if (v.size() < 2) throw std::invalid_argument("variance: need >= 2 samples");
+  STF_REQUIRE(v.size() >= 2, "variance: need >= 2 samples");
   const double m = mean(v);
   double s = 0.0;
   for (double x : v) s += (x - m) * (x - m);
@@ -51,8 +53,7 @@ double median(std::vector<double> v) { return percentile(std::move(v), 50.0); }
 
 double percentile(std::vector<double> v, double p) {
   require_nonempty(v, "percentile: empty input");
-  if (p < 0.0 || p > 100.0)
-    throw std::invalid_argument("percentile: p outside [0, 100]");
+  STF_REQUIRE(!(p < 0.0 || p > 100.0), "percentile: p outside [0, 100]");
   std::sort(v.begin(), v.end());
   const double pos = p / 100.0 * static_cast<double>(v.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(pos);
@@ -62,9 +63,8 @@ double percentile(std::vector<double> v, double p) {
 }
 
 double covariance(const std::vector<double>& a, const std::vector<double>& b) {
-  if (a.size() != b.size())
-    throw std::invalid_argument("covariance: size mismatch");
-  if (a.size() < 2) throw std::invalid_argument("covariance: need >= 2");
+  STF_REQUIRE(a.size() == b.size(), "covariance: size mismatch");
+  STF_REQUIRE(a.size() >= 2, "covariance: need >= 2");
   const double ma = mean(a), mb = mean(b);
   double s = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) s += (a[i] - ma) * (b[i] - mb);
@@ -74,8 +74,7 @@ double covariance(const std::vector<double>& a, const std::vector<double>& b) {
 double pearson(const std::vector<double>& a, const std::vector<double>& b) {
   const double c = covariance(a, b);
   const double sa = stddev(a), sb = stddev(b);
-  if (sa == 0.0 || sb == 0.0)
-    throw std::invalid_argument("pearson: zero-variance input");
+  STF_REQUIRE(!(sa == 0.0 || sb == 0.0), "pearson: zero-variance input");
   return c / (sa * sb);
 }
 

@@ -3,14 +3,14 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "stats/descriptive.hpp"
 
 namespace stf::stats {
 
 std::vector<double> residuals(const std::vector<double>& truth,
                               const std::vector<double>& predicted) {
-  if (truth.size() != predicted.size())
-    throw std::invalid_argument("residuals: size mismatch");
+  STF_REQUIRE(truth.size() == predicted.size(), "residuals: size mismatch");
   std::vector<double> r(truth.size());
   for (std::size_t i = 0; i < truth.size(); ++i) r[i] = predicted[i] - truth[i];
   return r;
@@ -19,7 +19,7 @@ std::vector<double> residuals(const std::vector<double>& truth,
 double rms_error(const std::vector<double>& truth,
                  const std::vector<double>& predicted) {
   const auto r = residuals(truth, predicted);
-  if (r.empty()) throw std::invalid_argument("rms_error: empty input");
+  STF_REQUIRE(!r.empty(), "rms_error: empty input");
   double s = 0.0;
   for (double x : r) s += x * x;
   return std::sqrt(s / static_cast<double>(r.size()));
@@ -38,7 +38,7 @@ double mean_error(const std::vector<double>& truth,
 double max_abs_error(const std::vector<double>& truth,
                      const std::vector<double>& predicted) {
   const auto r = residuals(truth, predicted);
-  if (r.empty()) throw std::invalid_argument("max_abs_error: empty input");
+  STF_REQUIRE(!r.empty(), "max_abs_error: empty input");
   double m = 0.0;
   for (double x : r) m = std::max(m, std::abs(x));
   return m;
@@ -47,15 +47,14 @@ double max_abs_error(const std::vector<double>& truth,
 double r_squared(const std::vector<double>& truth,
                  const std::vector<double>& predicted) {
   const auto r = residuals(truth, predicted);
-  if (r.size() < 2) throw std::invalid_argument("r_squared: need >= 2 samples");
+  STF_REQUIRE(r.size() >= 2, "r_squared: need >= 2 samples");
   const double m = mean(truth);
   double ss_res = 0.0, ss_tot = 0.0;
   for (std::size_t i = 0; i < truth.size(); ++i) {
     ss_res += r[i] * r[i];
     ss_tot += (truth[i] - m) * (truth[i] - m);
   }
-  if (ss_tot == 0.0)
-    throw std::invalid_argument("r_squared: zero-variance truth");
+  STF_REQUIRE(ss_tot != 0.0, "r_squared: zero-variance truth");
   return 1.0 - ss_res / ss_tot;
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace stf::stats {
 
 std::vector<double> UniformBox::sample(Rng& rng) const {
@@ -18,7 +20,7 @@ la::Matrix UniformBox::sample_matrix(std::size_t n, Rng& rng) const {
 }
 
 la::Matrix latin_hypercube(const UniformBox& box, std::size_t n, Rng& rng) {
-  if (n == 0) throw std::invalid_argument("latin_hypercube: n must be > 0");
+  STF_REQUIRE(n != 0, "latin_hypercube: n must be > 0");
   const std::size_t k = box.nominal.size();
   la::Matrix m(n, k);
   for (std::size_t d = 0; d < k; ++d) {

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "stats/rng.hpp"
 
 namespace stf::testgen {
@@ -20,18 +21,15 @@ struct Individual {
 GaResult ga_minimize(const Objective& objective, const std::vector<double>& lo,
                      const std::vector<double>& hi,
                      const GaOptions& options) {
-  if (!objective) throw std::invalid_argument("ga_minimize: null objective");
-  if (lo.empty() || lo.size() != hi.size())
-    throw std::invalid_argument("ga_minimize: malformed bounds");
+  STF_REQUIRE(objective, "ga_minimize: null objective");
+  STF_REQUIRE(!(lo.empty() || lo.size() != hi.size()),
+              "ga_minimize: malformed bounds");
   for (std::size_t i = 0; i < lo.size(); ++i)
-    if (lo[i] >= hi[i])
-      throw std::invalid_argument("ga_minimize: lo must be < hi");
-  if (options.population < 2)
-    throw std::invalid_argument("ga_minimize: population < 2");
-  if (options.elite >= options.population)
-    throw std::invalid_argument("ga_minimize: elite >= population");
-  if (options.tournament_k == 0)
-    throw std::invalid_argument("ga_minimize: tournament_k == 0");
+    STF_REQUIRE(lo[i] < hi[i], "ga_minimize: lo must be < hi");
+  STF_REQUIRE(options.population >= 2, "ga_minimize: population < 2");
+  STF_REQUIRE(options.elite < options.population,
+              "ga_minimize: elite >= population");
+  STF_REQUIRE(options.tournament_k != 0, "ga_minimize: tournament_k == 0");
 
   const std::size_t k = lo.size();
   stf::stats::Rng rng(options.seed);
@@ -99,6 +97,7 @@ GaResult ga_minimize(const Objective& objective, const std::vector<double>& lo,
     }
     pop = std::move(next);
     std::sort(pop.begin(), pop.end(), by_fitness);
+    STF_ASSERT(!pop.empty(), "ga_minimize: population must stay non-empty");
     result.history.push_back(pop.front().fitness);
   }
 

@@ -2,21 +2,22 @@
 
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace stf::testgen {
 
 stf::dsp::PwlWaveform PwlEncoding::decode(
     const std::vector<double>& genes) const {
-  if (genes.size() != n_breakpoints)
-    throw std::invalid_argument("PwlEncoding::decode: wrong genome length");
-  if (n_breakpoints < 2)
-    throw std::invalid_argument("PwlEncoding::decode: need >= 2 breakpoints");
+  STF_REQUIRE(genes.size() == n_breakpoints,
+              "PwlEncoding::decode: wrong genome length");
+  STF_REQUIRE(n_breakpoints >= 2, "PwlEncoding::decode: need >= 2 breakpoints");
   return stf::dsp::PwlWaveform::uniform(duration_s, genes);
 }
 
 std::vector<double> PwlEncoding::encode(
     const stf::dsp::PwlWaveform& w) const {
-  if (w.points().size() != n_breakpoints)
-    throw std::invalid_argument("PwlEncoding::encode: breakpoint mismatch");
+  STF_REQUIRE(w.points().size() == n_breakpoints,
+              "PwlEncoding::encode: breakpoint mismatch");
   std::vector<double> genes(n_breakpoints);
   for (std::size_t i = 0; i < n_breakpoints; ++i) genes[i] = w.points()[i].v;
   return genes;

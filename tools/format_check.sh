@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# Verify that all C++ sources match .clang-format. Exits non-zero listing the
+# offending files; exits 0 with a notice when clang-format is unavailable so
+# minimal containers can still run the suite.
+#
+#   tools/format_check.sh          # check
+#   tools/format_check.sh --fix    # reformat in place
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$root"
+
+fmt=
+for candidate in clang-format clang-format-18 clang-format-17 \
+                 clang-format-16 clang-format-15; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    fmt=$candidate
+    break
+  fi
+done
+if [ -z "$fmt" ]; then
+  echo "format_check: clang-format not found; skipping (install it to check)"
+  exit 0
+fi
+
+files=$(find src tests bench examples tools \
+          \( -name '*.cpp' -o -name '*.hpp' \) -print | sort)
+
+if [ "${1:-}" = "--fix" ]; then
+  # shellcheck disable=SC2086
+  $fmt -i $files
+  echo "format_check: reformatted $(echo "$files" | wc -l) files"
+  exit 0
+fi
+
+bad=0
+for f in $files; do
+  if ! $fmt --dry-run -Werror "$f" >/dev/null 2>&1; then
+    echo "format_check: needs formatting: $f"
+    bad=1
+  fi
+done
+if [ "$bad" -ne 0 ]; then
+  echo "format_check: run tools/format_check.sh --fix"
+  exit 1
+fi
+echo "format_check: OK ($(echo "$files" | wc -l) files)"

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Project-convention linter for the signature-test framework.
+
+Runs as a CTest test (see the stf_lint entry in the top-level CMakeLists) and
+standalone:
+
+    python3 tools/stf_lint.py [repo-root]
+
+Rules, all scoped to src/:
+
+  pragma-once      every header starts with #pragma once (after comments)
+  include-order    every .cpp includes its own header first
+  no-rand          no rand()/srand() -- use stf::stats::Rng (seeded,
+                   reproducible); no printf-family -- use iostreams
+  checked-access   .front()/.back() only near an emptiness guard or an
+                   explicit "// stf-lint: checked" escape comment
+  test-coverage    every src/<mod>/<name>.cpp has <mod>/<name>.hpp
+                   referenced somewhere under tests/
+
+The checked-access rule is a heuristic: a call is accepted when "empty(" or
+the escape comment appears on the same line or in the 15 lines above it.
+That window is deliberate -- a guard far from the access is worth re-stating
+with STF_ASSERT anyway.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+GUARD_WINDOW = 15
+GUARD_RE = re.compile(r"empty\s*\(|stf-lint:\s*checked")
+ACCESS_RE = re.compile(r"\.\s*(?:front|back)\s*\(\s*\)")
+BANNED_CALL_RE = re.compile(r"\b(rand|srand|printf|fprintf|sprintf)\s*\(")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+
+
+def strip_line_comment(line: str) -> str:
+    # Good enough for this codebase: no multi-line comment spans code lines.
+    return line.split("//", 1)[0]
+
+
+def check_pragma_once(path: Path, lines: list[str], errors: list[str]) -> None:
+    in_block_comment = False
+    for line in lines:
+        text = line.strip()
+        if in_block_comment:
+            if "*/" in text:
+                in_block_comment = False
+            continue
+        if not text or text.startswith("//"):
+            continue
+        if text.startswith("/*"):
+            in_block_comment = "*/" not in text
+            continue
+        if text.startswith("#pragma once"):
+            return
+        break
+    errors.append(f"{path}: pragma-once: header must start with #pragma once")
+
+
+def check_include_order(path: Path, lines: list[str],
+                        errors: list[str]) -> None:
+    own_header = path.with_suffix(".hpp")
+    if not own_header.exists():
+        return  # e.g. a main-only translation unit
+    expected = f"{path.parent.name}/{own_header.name}"
+    for idx, line in enumerate(lines):
+        m = INCLUDE_RE.match(line)
+        if not m:
+            continue
+        if m.group(1) != expected:
+            errors.append(
+                f"{path}:{idx + 1}: include-order: first include must be the "
+                f'unit\'s own header "{expected}", found "{m.group(1)}"')
+        return
+    errors.append(f"{path}: include-order: no quoted include found; expected "
+                  f'"{expected}" first')
+
+
+def check_banned_calls(path: Path, lines: list[str],
+                       errors: list[str]) -> None:
+    for idx, line in enumerate(lines):
+        code = strip_line_comment(line)
+        m = BANNED_CALL_RE.search(code)
+        if m:
+            hint = ("use stf::stats::Rng" if m.group(1) in ("rand", "srand")
+                    else "use iostreams")
+            errors.append(f"{path}:{idx + 1}: no-rand: call to {m.group(1)}() "
+                          f"in src/ ({hint})")
+
+
+def check_front_back(path: Path, lines: list[str], errors: list[str]) -> None:
+    for idx, line in enumerate(lines):
+        if not ACCESS_RE.search(strip_line_comment(line)):
+            continue
+        lo = max(0, idx - GUARD_WINDOW)
+        window = lines[lo:idx + 1]
+        if any(GUARD_RE.search(w) for w in window):
+            continue
+        errors.append(
+            f"{path}:{idx + 1}: checked-access: .front()/.back() without a "
+            "nearby emptiness guard; add a check or an STF_REQUIRE/STF_ASSERT "
+            "(or '// stf-lint: checked' with a justification)")
+
+
+def check_test_coverage(root: Path, errors: list[str]) -> None:
+    tests_dir = root / "tests"
+    blob = "\n".join(
+        p.read_text(errors="replace")
+        for p in sorted(tests_dir.rglob("*.cpp")))
+    for cpp in sorted((root / "src").rglob("*.cpp")):
+        header = f"{cpp.parent.name}/{cpp.stem}.hpp"
+        if header not in blob:
+            errors.append(
+                f"{cpp}: test-coverage: no file under tests/ references "
+                f"{header}")
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path.cwd()
+    src = root / "src"
+    if not src.is_dir():
+        print(f"stf_lint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    errors: list[str] = []
+    for path in sorted(src.rglob("*.hpp")):
+        lines = path.read_text(errors="replace").splitlines()
+        check_pragma_once(path, lines, errors)
+        check_banned_calls(path, lines, errors)
+        check_front_back(path, lines, errors)
+    for path in sorted(src.rglob("*.cpp")):
+        lines = path.read_text(errors="replace").splitlines()
+        check_include_order(path, lines, errors)
+        check_banned_calls(path, lines, errors)
+        check_front_back(path, lines, errors)
+    check_test_coverage(root, errors)
+
+    for e in errors:
+        print(e)
+    n_files = len(list(src.rglob("*.hpp"))) + len(list(src.rglob("*.cpp")))
+    if errors:
+        print(f"stf_lint: {len(errors)} violation(s) in {n_files} files")
+        return 1
+    print(f"stf_lint: OK ({n_files} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
