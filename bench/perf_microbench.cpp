@@ -6,31 +6,63 @@
 
 #include "circuit/dc.hpp"
 #include "circuit/lna900.hpp"
+#include "core/parallel.hpp"
 #include "dsp/fft.hpp"
 #include "rf/dut.hpp"
 #include "sigtest/acquisition.hpp"
 #include "sigtest/calibration.hpp"
+#include "sigtest/optimizer.hpp"
+#include "sigtest/sensitivity.hpp"
 #include "stats/rng.hpp"
 
 namespace {
 
 using namespace stf;
 
+// Cached transforms reuse the process-wide plan (twiddles, bit-reversal,
+// Bluestein chirp/kernel spectra); the *_Uncached variants drop the cache
+// every iteration to price the cold path the seed code paid on every call.
+// The cached/uncached ratio is the plan cache's speedup on repeated
+// same-size transforms.
 void BM_Fft1024(benchmark::State& state) {
   stats::Rng rng(1);
   std::vector<dsp::cplx> x(1024);
   for (auto& v : x) v = dsp::cplx(rng.normal(), rng.normal());
+  dsp::fft_plan_cache_clear();
   for (auto _ : state) benchmark::DoNotOptimize(dsp::fft(x));
 }
 BENCHMARK(BM_Fft1024);
+
+void BM_Fft1024Uncached(benchmark::State& state) {
+  stats::Rng rng(1);
+  std::vector<dsp::cplx> x(1024);
+  for (auto& v : x) v = dsp::cplx(rng.normal(), rng.normal());
+  for (auto _ : state) {
+    dsp::fft_plan_cache_clear();
+    benchmark::DoNotOptimize(dsp::fft(x));
+  }
+}
+BENCHMARK(BM_Fft1024Uncached);
 
 void BM_FftBluestein1000(benchmark::State& state) {
   stats::Rng rng(1);
   std::vector<dsp::cplx> x(1000);
   for (auto& v : x) v = dsp::cplx(rng.normal(), rng.normal());
+  dsp::fft_plan_cache_clear();
   for (auto _ : state) benchmark::DoNotOptimize(dsp::fft(x));
 }
 BENCHMARK(BM_FftBluestein1000);
+
+void BM_FftBluestein1000Uncached(benchmark::State& state) {
+  stats::Rng rng(1);
+  std::vector<dsp::cplx> x(1000);
+  for (auto& v : x) v = dsp::cplx(rng.normal(), rng.normal());
+  for (auto _ : state) {
+    dsp::fft_plan_cache_clear();
+    benchmark::DoNotOptimize(dsp::fft(x));
+  }
+}
+BENCHMARK(BM_FftBluestein1000Uncached);
 
 void BM_LnaDcSolve(benchmark::State& state) {
   const auto nl = circuit::Lna900::build(circuit::Lna900::nominal());
@@ -80,6 +112,83 @@ void BM_CalibrationPredict(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(model.predict(one));
 }
 BENCHMARK(BM_CalibrationPredict);
+
+void BM_CalibrationFit(benchmark::State& state) {
+  // Training-time cost: the per-spec ridge solves fan out over the pool.
+  stats::Rng rng(7);
+  const std::size_t n = 100, m = 32, n_specs = 6;
+  la::Matrix sig(n, m), specs(n, n_specs);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) sig(i, j) = rng.uniform(0.0, 1.0);
+    for (std::size_t s = 0; s < n_specs; ++s) specs(i, s) = rng.normal();
+  }
+  sigtest::CalibrationOptions opts;
+  opts.poly_degree = 2;
+  for (auto _ : state) {
+    sigtest::CalibrationModel model(opts);
+    model.fit(sig, specs);
+    benchmark::DoNotOptimize(model.fitted());
+  }
+}
+BENCHMARK(BM_CalibrationFit)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// The one-time LNA900 perturbation study (21 circuit characterizations)
+// shared by the GA benchmarks below. Built on first use so binaries that
+// filter these benchmarks out never pay for it.
+const sigtest::PerturbationSet& lna_perturbation_set() {
+  static const sigtest::PerturbationSet perturb(
+      sigtest::lna900_factory(), circuit::Lna900::nominal(), 0.05);
+  return perturb;
+}
+
+sigtest::StimulusOptimizerConfig small_ga_config(std::size_t generations) {
+  const auto config = sigtest::SignatureTestConfig::simulation_study();
+  sigtest::StimulusOptimizerConfig oc;
+  oc.encoding.n_breakpoints = 8;
+  oc.encoding.duration_s = config.capture_s;
+  oc.encoding.v_min = -0.45;
+  oc.encoding.v_max = 0.45;
+  oc.ga.population = 8;
+  oc.ga.generations = generations;
+  oc.ga.seed = 5;
+  return oc;
+}
+
+void BM_GaGeneration(benchmark::State& state) {
+  // One GA generation end-to-end on the LNA900 study: init population plus
+  // one breeding/evaluation round, every objective evaluation acquiring a
+  // full perturbation set of signatures.
+  const auto& perturb = lna_perturbation_set();
+  const sigtest::SignatureAcquirer acquirer(
+      sigtest::SignatureTestConfig::simulation_study(), 16);
+  const auto oc = small_ga_config(1);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        sigtest::optimize_stimulus(perturb, acquirer, oc));
+}
+BENCHMARK(BM_GaGeneration)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_OptimizeStimulusThreads(benchmark::State& state) {
+  // Thread-scaling of the full optimize_stimulus hot path; Arg is the
+  // worker count. The 8-vs-1 wall-clock ratio is the headline speedup
+  // tracked in BENCH_*.json (meaningful on a machine with >= 8 cores).
+  const auto& perturb = lna_perturbation_set();
+  const sigtest::SignatureAcquirer acquirer(
+      sigtest::SignatureTestConfig::simulation_study(), 16);
+  const auto oc = small_ga_config(2);
+  core::set_thread_count(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        sigtest::optimize_stimulus(perturb, acquirer, oc));
+  core::set_thread_count(0);
+}
+BENCHMARK(BM_OptimizeStimulusThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

@@ -1,0 +1,269 @@
+#include "core/parallel.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <condition_variable>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace stf::core {
+
+namespace {
+
+thread_local bool t_in_parallel_region = false;
+
+/// One parallel_for invocation. Workers claim chunks with an atomic cursor;
+/// completion is a count of finished chunks so the caller can wait without
+/// joining threads. Held by shared_ptr: a late worker may still poke the
+/// cursor after the caller has been released.
+struct Job {
+  std::size_t end = 0;
+  std::size_t grain = 1;
+  std::size_t chunks_total = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> chunks_done{0};
+  std::atomic<bool> cancelled{false};
+
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  std::size_t error_chunk = std::numeric_limits<std::size_t>::max();
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+};
+
+/// Record the exception thrown by the chunk starting at chunk_begin, keeping
+/// only the lowest-indexed one so the rethrown error does not depend on
+/// thread scheduling.
+void record_error(Job& job, std::size_t chunk_begin) {
+  const std::lock_guard<std::mutex> lock(job.error_mutex);
+  if (chunk_begin < job.error_chunk) {
+    job.error_chunk = chunk_begin;
+    job.error = std::current_exception();
+  }
+}
+
+/// Claim and execute chunks until the job is drained. Runs on workers and on
+/// the caller; every claimed chunk is counted even when skipped after a
+/// failure, so chunks_done converges to chunks_total exactly once.
+void work_on(Job& job) {
+  while (true) {
+    const std::size_t lo =
+        job.cursor.fetch_add(job.grain, std::memory_order_relaxed);
+    if (lo >= job.end) return;
+    const std::size_t hi = std::min(lo + job.grain, job.end);
+    if (!job.cancelled.load(std::memory_order_relaxed)) {
+      try {
+        for (std::size_t i = lo; i < hi; ++i) (*job.body)(i);
+      } catch (...) {
+        record_error(job, lo);
+        job.cancelled.store(true, std::memory_order_relaxed);
+      }
+    }
+    const std::size_t done =
+        job.chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (done == job.chunks_total) {
+      // Empty critical section pairs with the caller's predicate read: the
+      // notify cannot slot between the caller's check and its wait.
+      { const std::lock_guard<std::mutex> lock(job.done_mutex); }
+      job.done_cv.notify_all();
+    }
+  }
+}
+
+/// Persistent worker pool. One job runs at a time (run() serializes callers);
+/// workers sleep between jobs. Sized at thread_count() - 1: the caller is
+/// always the remaining participant.
+class Pool {
+ public:
+  explicit Pool(std::size_t n_workers) {
+    workers_.reserve(n_workers);
+    for (std::size_t i = 0; i < n_workers; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ~Pool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  void run(const std::shared_ptr<Job>& job) {
+    const std::lock_guard<std::mutex> serialize(run_mutex_);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      current_ = job;
+      ++seq_;
+    }
+    cv_.notify_all();
+
+    // The caller works the job too; flag the region so nested loops inline.
+    t_in_parallel_region = true;
+    work_on(*job);
+    t_in_parallel_region = false;
+
+    std::unique_lock<std::mutex> done_lock(job->done_mutex);
+    job->done_cv.wait(done_lock, [&] {
+      return job->chunks_done.load(std::memory_order_acquire) ==
+             job->chunks_total;
+    });
+    done_lock.unlock();
+
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (current_ == job) current_.reset();
+    }
+  }
+
+ private:
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    t_in_parallel_region = true;
+    while (true) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] {
+          return stop_ || (current_ != nullptr && seq_ != seen);
+        });
+        if (stop_) return;
+        job = current_;
+        seen = seq_;
+      }
+      work_on(*job);
+    }
+  }
+
+  std::mutex run_mutex_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::shared_ptr<Job> current_;
+  std::uint64_t seq_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+std::mutex g_config_mutex;
+std::unique_ptr<Pool> g_pool;       // guarded by g_config_mutex
+std::size_t g_thread_count = 0;     // 0 = not yet resolved
+
+std::size_t resolve_from_environment() {
+  if (const char* env = std::getenv("STF_THREADS"); env != nullptr)
+    return parse_thread_count(env);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? static_cast<std::size_t>(hw) : 1;
+}
+
+std::size_t thread_count_locked() {
+  if (g_thread_count == 0) g_thread_count = resolve_from_environment();
+  return g_thread_count;
+}
+
+}  // namespace
+
+std::size_t parse_thread_count(const std::string& text) {
+  std::size_t begin = 0, end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin])) != 0)
+    ++begin;
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1])) != 0)
+    --end;
+  if (begin == end)
+    throw std::invalid_argument("STF_THREADS: empty value");
+  std::size_t value = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9')
+      throw std::invalid_argument(
+          "STF_THREADS: expected a positive integer, got \"" + text + "\"");
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+    if (value > kMaxThreads)
+      throw std::invalid_argument(
+          "STF_THREADS: value out of range [1, " +
+          std::to_string(kMaxThreads) + "]: \"" + text + "\"");
+  }
+  if (value == 0)
+    throw std::invalid_argument("STF_THREADS: must be >= 1, got \"" + text +
+                                "\"");
+  return value;
+}
+
+std::size_t thread_count() {
+  const std::lock_guard<std::mutex> lock(g_config_mutex);
+  return thread_count_locked();
+}
+
+void set_thread_count(std::size_t n) {
+  if (n > kMaxThreads) n = kMaxThreads;
+  // Resolve outside the critical section: parse_thread_count may throw and
+  // must leave the current configuration untouched.
+  const std::size_t resolved = n != 0 ? n : resolve_from_environment();
+  const std::lock_guard<std::mutex> lock(g_config_mutex);
+  if (resolved == g_thread_count) return;
+  g_pool.reset();  // joins workers; rebuilt lazily at the new size
+  g_thread_count = resolved;
+}
+
+bool in_parallel_region() noexcept { return t_in_parallel_region; }
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+
+  std::size_t threads = 1;
+  Pool* pool = nullptr;
+  if (!t_in_parallel_region) {
+    const std::lock_guard<std::mutex> lock(g_config_mutex);
+    threads = thread_count_locked();
+    if (threads > 1 && n > 1) {
+      if (!g_pool) g_pool = std::make_unique<Pool>(threads - 1);
+      pool = g_pool.get();
+    }
+  }
+
+  if (grain == 0) {
+    // ~4 chunks per participant balances load without drowning cheap bodies
+    // in dispatch overhead.
+    grain = std::max<std::size_t>(1, n / (threads * 4));
+  }
+
+  if (pool == nullptr || n <= grain) {
+    // Serial fallback: 1 thread configured, nested call, or a range too
+    // small to split. Runs inline; exceptions propagate naturally.
+    const bool was_in_region = t_in_parallel_region;
+    t_in_parallel_region = true;
+    try {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    } catch (...) {
+      t_in_parallel_region = was_in_region;
+      throw;
+    }
+    t_in_parallel_region = was_in_region;
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->end = end;
+  job->grain = grain;
+  job->chunks_total = (n + grain - 1) / grain;
+  job->body = &body;
+  job->cursor.store(begin, std::memory_order_relaxed);
+
+  pool->run(job);
+
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+}  // namespace stf::core

@@ -1,8 +1,12 @@
 #include "dsp/fft.hpp"
 
 #include <cmath>
+#include <memory>
+#include <mutex>
 #include <numbers>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
 
 #include "core/contracts.hpp"
 
@@ -12,71 +16,208 @@ namespace {
 
 constexpr double kTwoPi = 2.0 * std::numbers::pi;
 
-// In-place iterative radix-2 Cooley-Tukey; sign = -1 forward, +1 inverse
-// (without normalization).
-void fft_radix2(std::vector<cplx>& a, int sign) {
-  const std::size_t n = a.size();
-  // Bit-reversal permutation.
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
+// ---------------------------------------------------------------------------
+// Plans: per-size precomputes shared by every transform of that size. A GA
+// run acquires thousands of same-length signatures, so the twiddle tables,
+// bit-reversal permutation and Bluestein chirp/convolution spectra are
+// computed once and cached process-wide (see plan_cache below). Plans are
+// immutable after construction and therefore safe to share across threads.
+// ---------------------------------------------------------------------------
+
+// Radix-2 precomputes: bit-reversal permutation and forward twiddles packed
+// per stage -- stage `len` owns the len/2 entries w[j] = exp(-j 2 pi j /
+// len) starting at offset len/2 - 1 (n - 1 entries total), so every
+// butterfly loop walks its twiddles at unit stride. The inverse transform
+// conjugates on the fly.
+struct Radix2Plan {
+  explicit Radix2Plan(std::size_t n) : n(n), bitrev(n), packed(n - 1) {
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+      std::size_t bit = n >> 1;
+      for (; j & bit; bit >>= 1) j ^= bit;
+      j ^= bit;
+      bitrev[i] = j;
+    }
+    // One master table of exp(-j 2 pi j / n); each stage subsamples it, so
+    // packed entries stay bit-identical to the direct per-stage formula.
+    std::vector<cplx> master(n / 2);
+    for (std::size_t j = 0; j < n / 2; ++j) {
+      const double ang = -kTwoPi * static_cast<double>(j) /
+                         static_cast<double>(n);
+      master[j] = cplx(std::cos(ang), std::sin(ang));
+    }
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      const std::size_t half = len / 2;
+      const std::size_t stride = n / len;
+      for (std::size_t j = 0; j < half; ++j)
+        packed[half - 1 + j] = master[j * stride];
+    }
+  }
+
+  std::size_t n;
+  std::vector<std::size_t> bitrev;
+  std::vector<cplx> packed;
+};
+
+// In-place iterative Cooley-Tukey over a precomputed plan. The direction is
+// a template parameter so the conjugation choice is hoisted out of the
+// butterfly, and the twiddle product is written out in real arithmetic to
+// avoid the library complex-multiply (whose NaN-recovery guard the
+// butterfly can never need: twiddles are finite by construction).
+template <bool Inverse>
+void fft_radix2_impl(std::vector<cplx>& a, const Radix2Plan& plan) {
+  const std::size_t n = plan.n;
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t j = plan.bitrev[i];
     if (i < j) std::swap(a[i], a[j]);
   }
   for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double ang = static_cast<double>(sign) * kTwoPi /
-                       static_cast<double>(len);
-    const cplx wlen(std::cos(ang), std::sin(ang));
+    const std::size_t half = len / 2;
+    const cplx* w = plan.packed.data() + (half - 1);
     for (std::size_t i = 0; i < n; i += len) {
-      cplx w(1.0, 0.0);
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const cplx u = a[i + k];
-        const cplx v = a[i + k + len / 2] * w;
-        a[i + k] = u + v;
-        a[i + k + len / 2] = u - v;
-        w *= wlen;
+      cplx* lo = a.data() + i;
+      cplx* hi = lo + half;
+      for (std::size_t k = 0; k < half; ++k) {
+        const double wr = w[k].real();
+        const double wi = Inverse ? -w[k].imag() : w[k].imag();
+        const double xr = hi[k].real();
+        const double xi = hi[k].imag();
+        const cplx v(xr * wr - xi * wi, xr * wi + xi * wr);
+        const cplx u = lo[k];
+        lo[k] = u + v;
+        hi[k] = u - v;
       }
     }
   }
 }
 
+// sign = -1 forward, +1 inverse (without normalization).
+void fft_radix2(std::vector<cplx>& a, const Radix2Plan& plan, int sign) {
+  if (sign < 0)
+    fft_radix2_impl<false>(a, plan);
+  else
+    fft_radix2_impl<true>(a, plan);
+}
+
+// Bluestein precomputes for one (n, sign): the chirp w[k] = exp(sign * j *
+// pi * k^2 / n) and the forward spectrum of the chirp-conjugate convolution
+// kernel, ready to multiply into each transform.
+struct BluesteinPlan {
+  BluesteinPlan(std::size_t n, int sign,
+                std::shared_ptr<const Radix2Plan> radix2)
+      : n(n),
+        m(radix2->n),
+        inv_m(1.0 / static_cast<double>(radix2->n)),
+        chirp(n),
+        kernel_spectrum(radix2->n, cplx{}),
+        conv_plan(std::move(radix2)) {
+    for (std::size_t k = 0; k < n; ++k) {
+      // k^2 mod 2n avoids precision loss for large k.
+      const double kk = static_cast<double>((k * k) % (2 * n));
+      const double ang = static_cast<double>(sign) * std::numbers::pi * kk /
+                         static_cast<double>(n);
+      chirp[k] = cplx(std::cos(ang), std::sin(ang));
+    }
+    kernel_spectrum[0] = std::conj(chirp[0]);
+    for (std::size_t k = 1; k < n; ++k)
+      kernel_spectrum[k] = kernel_spectrum[m - k] = std::conj(chirp[k]);
+    fft_radix2(kernel_spectrum, *conv_plan, -1);
+  }
+
+  std::size_t n;
+  std::size_t m;
+  double inv_m;
+  std::vector<cplx> chirp;
+  std::vector<cplx> kernel_spectrum;
+  std::shared_ptr<const Radix2Plan> conv_plan;
+};
+
+// ---------------------------------------------------------------------------
+// Process-wide plan cache. Lookups take a mutex (cheap next to any FFT);
+// plans are handed out as shared_ptr-to-const so a concurrent clear() cannot
+// pull a plan out from under a running transform.
+// ---------------------------------------------------------------------------
+class PlanCache {
+ public:
+  std::shared_ptr<const Radix2Plan> radix2(std::size_t n) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return radix2_locked(n);
+  }
+
+  std::shared_ptr<const BluesteinPlan> bluestein(std::size_t n, int sign) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t key = n * 2 + (sign > 0 ? 1 : 0);
+    auto it = bluestein_.find(key);
+    if (it == bluestein_.end()) {
+      auto plan = std::make_shared<const BluesteinPlan>(
+          n, sign, radix2_locked(next_pow2(2 * n + 1)));
+      it = bluestein_.emplace(key, std::move(plan)).first;
+    }
+    return it->second;
+  }
+
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return radix2_.size() + bluestein_.size();
+  }
+
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    radix2_.clear();
+    bluestein_.clear();
+  }
+
+ private:
+  std::shared_ptr<const Radix2Plan> radix2_locked(std::size_t n) {
+    auto it = radix2_.find(n);
+    if (it == radix2_.end())
+      it = radix2_.emplace(n, std::make_shared<const Radix2Plan>(n)).first;
+    return it->second;
+  }
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::size_t, std::shared_ptr<const Radix2Plan>> radix2_;
+  std::unordered_map<std::size_t, std::shared_ptr<const BluesteinPlan>>
+      bluestein_;
+};
+
+PlanCache& plan_cache() {
+  static PlanCache cache;
+  return cache;
+}
+
+// Per-thread scratch for the Bluestein convolution buffer: reused across
+// calls so the hot loop's only allocation is the returned spectrum.
+std::vector<cplx>& bluestein_scratch() {
+  thread_local std::vector<cplx> scratch;
+  return scratch;
+}
+
 // Bluestein chirp-z transform for arbitrary N, built on the radix-2 kernel.
 std::vector<cplx> bluestein(const std::vector<cplx>& x, int sign) {
   const std::size_t n = x.size();
-  const std::size_t m = next_pow2(2 * n + 1);
+  const auto plan = plan_cache().bluestein(n, sign);
+  const std::size_t m = plan->m;
 
-  // Chirp: w[k] = exp(sign * j * pi * k^2 / n).
-  std::vector<cplx> chirp(n);
-  for (std::size_t k = 0; k < n; ++k) {
-    // k^2 mod 2n avoids precision loss for large k.
-    const double kk = static_cast<double>((k * k) % (2 * n));
-    const double ang = static_cast<double>(sign) * std::numbers::pi * kk /
-                       static_cast<double>(n);
-    chirp[k] = cplx(std::cos(ang), std::sin(ang));
-  }
+  std::vector<cplx>& a = bluestein_scratch();
+  a.assign(m, cplx{});
+  for (std::size_t k = 0; k < n; ++k) a[k] = x[k] * plan->chirp[k];
 
-  std::vector<cplx> a(m, cplx{}), b(m, cplx{});
-  for (std::size_t k = 0; k < n; ++k) a[k] = x[k] * chirp[k];
-  b[0] = std::conj(chirp[0]);
-  for (std::size_t k = 1; k < n; ++k)
-    b[k] = b[m - k] = std::conj(chirp[k]);
-
-  fft_radix2(a, -1);
-  fft_radix2(b, -1);
-  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
-  fft_radix2(a, +1);
-  const double inv_m = 1.0 / static_cast<double>(m);
+  fft_radix2(a, *plan->conv_plan, -1);
+  for (std::size_t k = 0; k < m; ++k) a[k] *= plan->kernel_spectrum[k];
+  fft_radix2(a, *plan->conv_plan, +1);
 
   std::vector<cplx> out(n);
-  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * inv_m * chirp[k];
+  for (std::size_t k = 0; k < n; ++k)
+    out[k] = a[k] * plan->inv_m * plan->chirp[k];
   return out;
 }
 
 std::vector<cplx> transform(const std::vector<cplx>& x, int sign) {
   STF_REQUIRE(!x.empty(), "fft: empty input");
   if (is_pow2(x.size())) {
+    const auto plan = plan_cache().radix2(x.size());
     std::vector<cplx> a = x;
-    fft_radix2(a, sign);
+    fft_radix2(a, *plan, sign);
     return a;
   }
   return bluestein(x, sign);
@@ -91,6 +232,10 @@ std::size_t next_pow2(std::size_t n) {
   while (p < n) p <<= 1;
   return p;
 }
+
+std::size_t fft_plan_cache_size() { return plan_cache().size(); }
+
+void fft_plan_cache_clear() { plan_cache().clear(); }
 
 std::vector<cplx> fft(const std::vector<cplx>& x) { return transform(x, -1); }
 

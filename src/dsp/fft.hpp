@@ -6,6 +6,11 @@
 // Cooley-Tukey kernel handles power-of-two sizes; Bluestein's chirp-z
 // algorithm extends it to arbitrary lengths so capture windows need not be
 // padded.
+//
+// Per-size precomputes (twiddle tables, bit-reversal permutations, Bluestein
+// chirp and convolution spectra) live in a process-wide, thread-safe plan
+// cache: production runs transform the same capture length thousands of
+// times, so the setup cost is paid once per size, not per call.
 #pragma once
 
 #include <complex>
@@ -41,5 +46,14 @@ std::vector<double> fft_frequencies(std::size_t n, double fs);
 
 /// Brute-force O(N^2) DFT, used as the test oracle for the fast paths.
 std::vector<cplx> dft_reference(const std::vector<cplx>& x);
+
+/// Number of cached FFT plans (radix-2 sizes + Bluestein (size, direction)
+/// entries). Observability hook for tests and benchmarks.
+std::size_t fft_plan_cache_size();
+
+/// Drop every cached plan. Exists so benchmarks can measure the cold
+/// (plan-building) path; in-flight transforms keep their plan alive, but do
+/// not call concurrently with transforms you want to stay warm.
+void fft_plan_cache_clear();
 
 }  // namespace stf::dsp

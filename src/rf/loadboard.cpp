@@ -20,10 +20,17 @@ void MixerModel::apply(EnvelopeSignal& s) const {
   }
 }
 
-LoadBoard::LoadBoard(const LoadBoardConfig& config) : config_(config) {
+LoadBoard::LoadBoard(const LoadBoardConfig& config, double planned_fs_hz)
+    : config_(config), planned_fs_hz_(planned_fs_hz) {
   STF_REQUIRE(config_.lpf_cutoff_hz > 0.0,
               "LoadBoard: lpf_cutoff_hz must be > 0");
   STF_REQUIRE(config_.lpf_order != 0, "LoadBoard: lpf_order must be > 0");
+  // Only precompute for a usable rate; an invalid planned rate is not an
+  // error here -- run() still rejects it exactly as it always has, so
+  // misconfiguration surfaces at the same place as before.
+  if (planned_fs_hz_ > 2.0 * config_.lpf_cutoff_hz)
+    planned_lpf_ = stf::dsp::butterworth_lowpass(
+        config_.lpf_order, config_.lpf_cutoff_hz, planned_fs_hz_);
 }
 
 std::vector<double> LoadBoard::run(const std::vector<double>& stimulus,
@@ -51,7 +58,10 @@ std::vector<double> LoadBoard::run(const std::vector<double>& stimulus,
   // DC offset from LO self-mixing appears at the demodulator output.
   for (auto& v : mixed) v += config_.down_mixer.lo_feedthrough_v;
 
-  // Post-mixer anti-alias lowpass.
+  // Post-mixer anti-alias lowpass: the planned design when the rate
+  // matches, an identical on-the-fly design otherwise.
+  if (planned_lpf_ && fs_sim == planned_fs_hz_)
+    return planned_lpf_->filter(mixed);
   const auto lpf = stf::dsp::butterworth_lowpass(
       config_.lpf_order, config_.lpf_cutoff_hz, fs_sim);
   return lpf.filter(mixed);

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "dsp/iir.hpp"
@@ -44,9 +45,17 @@ struct LoadBoardConfig {
 };
 
 /// The analog signature path: stimulus -> mixer1 -> DUT -> mixer2 -> LPF.
+///
+/// Immutable after construction; run() is const and thread-safe, so one
+/// board instance serves concurrent acquisitions (the parallel GA objective
+/// evaluates many candidate stimuli against a shared acquirer).
 class LoadBoard {
  public:
-  explicit LoadBoard(const LoadBoardConfig& config);
+  /// planned_fs_hz > 0 designs the anti-alias lowpass once, up front, for
+  /// that simulation rate; run() calls at the planned rate reuse it instead
+  /// of re-running the Butterworth design per acquisition. Other rates fall
+  /// back to an on-the-fly design with identical output.
+  explicit LoadBoard(const LoadBoardConfig& config, double planned_fs_hz = 0.0);
 
   /// Run a rendered baseband stimulus (at simulation rate fs_sim) through
   /// the board and DUT. Returns the analog signature x_s(t) at fs_sim.
@@ -58,6 +67,8 @@ class LoadBoard {
 
  private:
   LoadBoardConfig config_;
+  double planned_fs_hz_ = 0.0;
+  std::optional<stf::dsp::BiquadCascade> planned_lpf_;
 };
 
 /// Baseband digitizer: linear resampling to the capture rate, additive

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/contracts.hpp"
+#include "core/parallel.hpp"
 #include "rf/specmeas.hpp"
 #include "stats/rng.hpp"
 #include "stats/sampling.hpp"
@@ -16,16 +17,21 @@ std::vector<DeviceRecord> make_lna_population(std::size_t n, double spread,
   STF_REQUIRE(n != 0, "make_lna_population: n == 0");
   stf::stats::UniformBox box{stf::circuit::Lna900::nominal(), spread};
   stf::stats::Rng rng(seed);
-  std::vector<DeviceRecord> devices;
-  devices.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    DeviceRecord d;
-    d.process = box.sample(rng);
-    LnaCharacterization ch = extract_lna_dut(d.process);
-    d.specs = ch.specs;
-    d.dut = std::move(ch.dut);
-    devices.push_back(std::move(d));
-  }
+  std::vector<DeviceRecord> devices(n);
+  // Two phases keep Monte-Carlo results bit-identical at any thread count:
+  // process draws consume the seeded RNG stream serially (the exact sequence
+  // the original single-loop code used -- characterization never touched the
+  // RNG), then the expensive circuit-engine characterizations fan out, each
+  // a pure function of its own process vector.
+  for (std::size_t i = 0; i < n; ++i) devices[i].process = box.sample(rng);
+  stf::core::parallel_for(
+      0, n,
+      [&devices](std::size_t i) {
+        LnaCharacterization ch = extract_lna_dut(devices[i].process);
+        devices[i].specs = ch.specs;
+        devices[i].dut = std::move(ch.dut);
+      },
+      1);
   return devices;
 }
 

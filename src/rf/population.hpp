@@ -31,6 +31,10 @@ struct DeviceRecord {
 };
 
 /// Monte Carlo LNA population over the paper's +/-20% uniform process box.
+/// Process points are drawn serially from the seed (stable across releases
+/// and thread counts); the circuit-engine characterizations run through
+/// stf::core::parallel_for, so the result is bit-identical at any
+/// STF_THREADS setting.
 std::vector<DeviceRecord> make_lna_population(std::size_t n, double spread,
                                               std::uint64_t seed);
 

@@ -39,7 +39,12 @@ SignatureTestConfig SignatureTestConfig::hardware_study() {
 
 SignatureAcquirer::SignatureAcquirer(const SignatureTestConfig& config,
                                      std::size_t max_bins)
-    : config_(config), max_bins_(max_bins) {
+    : config_(config),
+      max_bins_(max_bins),
+      // The board (and its Butterworth LPF design) is fixed by the config,
+      // so it is built once here instead of once per acquisition -- the
+      // optimizer acquires thousands of signatures through one acquirer.
+      board_(config.board, config.fs_sim_hz) {
   STF_REQUIRE(max_bins_ != 0, "SignatureAcquirer: max_bins must be > 0");
   STF_REQUIRE(config_.capture_s > 0.0,
               "SignatureAcquirer: capture_s must be > 0");
@@ -53,9 +58,8 @@ std::vector<double> SignatureAcquirer::raw_capture(
                      1;
   const std::vector<double> rendered =
       stimulus.render(config_.fs_sim_hz, n_sim);
-  const stf::rf::LoadBoard board(config_.board);
   const std::vector<double> analog =
-      board.run(rendered, config_.fs_sim_hz, dut, rng);
+      board_.run(rendered, config_.fs_sim_hz, dut, rng);
   return config_.digitizer.capture(analog, config_.fs_sim_hz, rng);
 }
 
@@ -87,9 +91,12 @@ Signature SignatureAcquirer::to_signature(
 
   // Zero-pad to a power of two, take the normalized magnitude spectrum and
   // keep the in-band bins: the magnitude step is what removes the Eq. 5
-  // phase term from the signature.
+  // phase term from the signature. The pad buffer is per-thread scratch:
+  // acquisitions run concurrently under the parallel core, and reusing it
+  // removes an n_fft-sized allocation from every capture.
   const std::size_t n_fft = stf::dsp::next_pow2(capture.size());
-  std::vector<stf::dsp::cplx> padded(n_fft, stf::dsp::cplx{});
+  thread_local std::vector<stf::dsp::cplx> padded;
+  padded.assign(n_fft, stf::dsp::cplx{});
   for (std::size_t i = 0; i < capture.size(); ++i)
     padded[i] = stf::dsp::cplx(capture[i], 0.0);
   const auto spec = stf::dsp::fft(padded);

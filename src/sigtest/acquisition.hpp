@@ -7,6 +7,7 @@
 
 #include "dsp/pwl.hpp"
 #include "rf/dut.hpp"
+#include "rf/loadboard.hpp"
 #include "sigtest/config.hpp"
 #include "stats/rng.hpp"
 
@@ -17,6 +18,11 @@ namespace stf::sigtest {
 using Signature = std::vector<double>;
 
 /// Runs the full signature pipeline for one DUT and one stimulus.
+///
+/// Immutable after construction: acquire() is const and thread-safe, so a
+/// single acquirer is shared by the parallel sensitivity/optimizer loops.
+/// The load board and its LPF design are hoisted into the constructor and
+/// reused across every acquisition.
 class SignatureAcquirer {
  public:
   /// max_bins caps the signature dimension; longer captures are
@@ -50,6 +56,7 @@ class SignatureAcquirer {
 
   SignatureTestConfig config_;
   std::size_t max_bins_;
+  stf::rf::LoadBoard board_;
 };
 
 }  // namespace stf::sigtest

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/contracts.hpp"
+#include "core/parallel.hpp"
 #include "linalg/lstsq.hpp"
 
 namespace stf::sigtest {
@@ -108,14 +109,20 @@ void CalibrationModel::fit(const stf::la::Matrix& signatures,
     design.set_row(i, features(row));
   }
 
+  // Per-spec ridge solves share the design matrix read-only and each write
+  // a distinct weight row, so they fan out over the thread pool with
+  // bit-identical results.
   weights_ = stf::la::Matrix(n_specs, n_features);
-  for (std::size_t s = 0; s < n_specs; ++s) {
-    std::vector<double> target(n);
-    for (std::size_t i = 0; i < n; ++i)
-      target[i] = (specs(i, s) - spec_mean_[s]) / spec_scale_[s];
-    weights_.set_row(s,
-                     stf::la::ridge(design, target, options_.ridge_lambda));
-  }
+  stf::core::parallel_for(
+      0, n_specs,
+      [&](std::size_t s) {
+        std::vector<double> target(n);
+        for (std::size_t i = 0; i < n; ++i)
+          target[i] = (specs(i, s) - spec_mean_[s]) / spec_scale_[s];
+        weights_.set_row(
+            s, stf::la::ridge(design, target, options_.ridge_lambda));
+      },
+      1);
   fitted_ = true;
 }
 
@@ -328,10 +335,12 @@ CalibrationOptions select_ridge_by_cv(const stf::la::Matrix& signatures,
     spec_scale[s] = var > 1e-30 ? std::sqrt(var) : 1.0;
   }
 
-  double best_score = std::numeric_limits<double>::infinity();
-  // stf-lint: checked -- non-empty grid enforced by REQUIRE at entry.
-  double best_lambda = lambdas.front();
-  for (const double lambda : lambdas) {
+  // Every (lambda, fold) fit is independent; parallelize across the lambda
+  // grid (the outer, coarser axis) and keep the serial first-minimum
+  // tie-break below so the selected lambda never depends on thread count.
+  std::vector<double> cv_scores(lambdas.size());
+  stf::core::parallel_for(0, lambdas.size(), [&](std::size_t li) {
+    const double lambda = lambdas[li];
     STF_REQUIRE(lambda >= 0.0, "select_ridge_by_cv: negative lambda");
     double score = 0.0;
     std::size_t count = 0;
@@ -361,10 +370,16 @@ CalibrationOptions select_ridge_by_cv(const stf::la::Matrix& signatures,
         }
       }
     }
-    score /= static_cast<double>(count);
-    if (score < best_score) {
-      best_score = score;
-      best_lambda = lambda;
+    cv_scores[li] = score / static_cast<double>(count);
+  });
+
+  double best_score = std::numeric_limits<double>::infinity();
+  // stf-lint: checked -- non-empty grid enforced by REQUIRE at entry.
+  double best_lambda = lambdas.front();
+  for (std::size_t li = 0; li < lambdas.size(); ++li) {
+    if (cv_scores[li] < best_score) {
+      best_score = cv_scores[li];
+      best_lambda = lambdas[li];
     }
   }
   base.ridge_lambda = best_lambda;

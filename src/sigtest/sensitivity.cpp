@@ -4,6 +4,7 @@
 
 #include "circuit/lna900.hpp"
 #include "core/contracts.hpp"
+#include "core/parallel.hpp"
 
 namespace stf::sigtest {
 
@@ -19,19 +20,26 @@ PerturbationSet::PerturbationSet(const DeviceFactory& factory,
   STF_REQUIRE(!(nominal_.specs.empty() || nominal_.dut == nullptr),
               "PerturbationSet: factory returned empty characterization");
 
-  pairs_.reserve(x0_.size());
-  for (std::size_t j = 0; j < x0_.size(); ++j) {
-    std::vector<double> xp = x0_, xm = x0_;
-    xp[j] = x0_[j] * (1.0 + rel_step_);
-    xm[j] = x0_[j] * (1.0 - rel_step_);
-    Pair pr;
-    pr.plus = factory(xp);
-    pr.minus = factory(xm);
-    STF_REQUIRE(pr.plus.specs.size() == nominal_.specs.size() &&
-                    pr.minus.specs.size() == nominal_.specs.size(),
-                "PerturbationSet: factory returned inconsistent spec sizes");
-    pairs_.push_back(std::move(pr));
-  }
+  // Each perturbed characterization is a pair of full circuit solves --
+  // the dominant setup cost -- and parameter j touches only pairs_[j], so
+  // the 2k characterizations fan out over the thread pool.
+  pairs_.resize(x0_.size());
+  stf::core::parallel_for(
+      0, x0_.size(),
+      [this, &factory](std::size_t j) {
+        std::vector<double> xp = x0_, xm = x0_;
+        xp[j] = x0_[j] * (1.0 + rel_step_);
+        xm[j] = x0_[j] * (1.0 - rel_step_);
+        Pair pr;
+        pr.plus = factory(xp);
+        pr.minus = factory(xm);
+        STF_REQUIRE(pr.plus.specs.size() == nominal_.specs.size() &&
+                        pr.minus.specs.size() == nominal_.specs.size(),
+                    "PerturbationSet: factory returned inconsistent spec "
+                    "sizes");
+        pairs_[j] = std::move(pr);
+      },
+      1);
 }
 
 stf::la::Matrix PerturbationSet::spec_sensitivity() const {
@@ -56,16 +64,22 @@ stf::la::Matrix PerturbationSet::signature_sensitivity(
   const std::size_t k = n_params();
   const std::size_t m = acquirer.signature_length();
   stf::la::Matrix a_s(m, k);
-  for (std::size_t j = 0; j < k; ++j) {
-    const Signature sp =
-        acquirer.acquire(*pairs_[j].plus.dut, stimulus, nullptr);
-    const Signature sm =
-        acquirer.acquire(*pairs_[j].minus.dut, stimulus, nullptr);
-    STF_REQUIRE(sp.size() == m && sm.size() == m,
-                "signature_sensitivity: signature length mismatch");
-    for (std::size_t i = 0; i < m; ++i)
-      a_s(i, j) = (sp[i] - sm[i]) / (2.0 * rel_step_);
-  }
+  // 2k noiseless acquisitions per candidate stimulus; column j belongs to
+  // parameter j alone, so the loop parallelizes with bit-identical output.
+  // Runs inline when already inside a parallel GA objective evaluation.
+  stf::core::parallel_for(
+      0, k,
+      [&](std::size_t j) {
+        const Signature sp =
+            acquirer.acquire(*pairs_[j].plus.dut, stimulus, nullptr);
+        const Signature sm =
+            acquirer.acquire(*pairs_[j].minus.dut, stimulus, nullptr);
+        STF_REQUIRE(sp.size() == m && sm.size() == m,
+                    "signature_sensitivity: signature length mismatch");
+        for (std::size_t i = 0; i < m; ++i)
+          a_s(i, j) = (sp[i] - sm[i]) / (2.0 * rel_step_);
+      },
+      1);
   STF_ENSURE(stf::contracts::finite(a_s.data(), a_s.size()),
              "signature_sensitivity: non-finite sensitivity entry");
   return a_s;

@@ -23,6 +23,12 @@ namespace stf::sigtest {
 
 /// Characterizes one process point: returns the spec vector ("performances"
 /// p) and the behavioral DUT used by the signature path.
+///
+/// Thread-safety: PerturbationSet construction and signature_sensitivity()
+/// fan their per-parameter work out over stf::core::parallel_for, so the
+/// factory is invoked concurrently and the DUTs it returns are processed
+/// concurrently (read-only). Both must be thread-safe; pure functions of
+/// the process vector (like lna900_factory) qualify.
 struct DeviceCharacterization {
   std::vector<double> specs;
   std::shared_ptr<stf::rf::RfDut> dut;

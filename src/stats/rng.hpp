@@ -15,7 +15,29 @@ namespace stf::stats {
 /// Seedable random source wrapping std::mt19937_64.
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed = 0x5161746573ULL) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed = 0x5161746573ULL)
+      : seed_(seed), engine_(seed) {}
+
+  /// Deterministic child stream: an Rng seeded from (seed, stream) through a
+  /// splitmix64-style mix. Independent of how much this Rng has been
+  /// consumed, so parallel loops can hand item i the stream derive(i) and
+  /// produce results bit-identical to any serial or parallel schedule.
+  /// Distinct stream indices give statistically independent sequences.
+  Rng derive(std::uint64_t stream) const {
+    // Two splitmix64 rounds over seed ^ f(stream): full avalanche, so
+    // neighboring streams share no low-bit structure.
+    std::uint64_t z = seed_ + 0x9E3779B97F4A7C15ULL * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    z += 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return Rng(z ^ (z >> 31));
+  }
+
+  /// The seed this Rng was constructed with (derive() keys off it).
+  std::uint64_t seed() const { return seed_; }
 
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi) {
@@ -74,6 +96,7 @@ class Rng {
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  std::uint64_t seed_;
   std::mt19937_64 engine_;
 };
 

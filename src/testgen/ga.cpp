@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/contracts.hpp"
+#include "core/parallel.hpp"
 #include "stats/rng.hpp"
 
 namespace stf::testgen {
@@ -39,14 +40,31 @@ GaResult ga_minimize(const Objective& objective, const std::vector<double>& lo,
     return std::min(std::max(v, lo[i]), hi[i]);
   };
 
+  // Fitness evaluation is the hot path (each call re-acquires a full
+  // perturbation set of signatures in the stimulus optimizer), so every
+  // generation is split into two phases: genes are drawn serially -- the RNG
+  // stream is consumed in exactly the order the serial algorithm used -- and
+  // the objective then runs over the pending individuals in parallel. Each
+  // evaluation writes only its own fitness slot, so results are
+  // bit-identical for any thread count.
+  const auto evaluate = [&](std::vector<Individual>& individuals,
+                            std::size_t begin) {
+    stf::core::parallel_for(
+        begin, individuals.size(),
+        [&individuals, &objective](std::size_t i) {
+          individuals[i].fitness = objective(individuals[i].genes);
+        },
+        1);
+    result.evaluations += individuals.size() - begin;
+  };
+
   // Initial population: uniform over the box.
   std::vector<Individual> pop(options.population);
   for (auto& ind : pop) {
     ind.genes.resize(k);
     for (std::size_t i = 0; i < k; ++i) ind.genes[i] = rng.uniform(lo[i], hi[i]);
-    ind.fitness = objective(ind.genes);
-    ++result.evaluations;
   }
+  evaluate(pop, 0);
 
   auto by_fitness = [](const Individual& a, const Individual& b) {
     return a.fitness < b.fitness;
@@ -91,10 +109,10 @@ GaResult ga_minimize(const Objective& objective, const std::vector<double>& lo,
                                       i);
         }
       }
-      child.fitness = objective(child.genes);
-      ++result.evaluations;
       next.push_back(std::move(child));
     }
+    // Elites keep their fitness; only the freshly bred tail is evaluated.
+    evaluate(next, options.elite);
     pop = std::move(next);
     std::sort(pop.begin(), pop.end(), by_fitness);
     STF_ASSERT(!pop.empty(), "ga_minimize: population must stay non-empty");

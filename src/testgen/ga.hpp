@@ -14,6 +14,13 @@
 namespace stf::testgen {
 
 /// Objective to MINIMIZE over a gene vector.
+///
+/// Each generation's pending individuals are evaluated through
+/// stf::core::parallel_for, so the callable is invoked concurrently from
+/// multiple threads (unless STF_THREADS=1): it must be thread-safe. Pure
+/// functions of the gene vector qualify; mutable captured state must be
+/// atomic or locked. Results are bit-identical for any thread count because
+/// all genetic-operator randomness is drawn serially before evaluation.
 using Objective = std::function<double(const std::vector<double>&)>;
 
 struct GaOptions {

@@ -1,4 +1,5 @@
 // Tests for the genetic algorithm and the PWL genome encoding.
+#include <atomic>
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -97,7 +98,9 @@ TEST(Ga, RespectsBounds) {
 }
 
 TEST(Ga, EvaluationBudgetAccounting) {
-  int calls = 0;
+  // Atomic: the GA evaluates each generation's population concurrently
+  // through the parallel core (see testgen/ga.hpp thread-safety note).
+  std::atomic<int> calls{0};
   const auto obj = [&calls](const std::vector<double>& x) {
     ++calls;
     return x[0];
@@ -108,9 +111,9 @@ TEST(Ga, EvaluationBudgetAccounting) {
   opts.elite = 2;
   opts.seed = 41;
   auto r = ga_minimize(obj, {0.0}, {1.0}, opts);
-  EXPECT_EQ(static_cast<int>(r.evaluations), calls);
+  EXPECT_EQ(static_cast<int>(r.evaluations), calls.load());
   // Initial population + (population - elite) per generation.
-  EXPECT_EQ(calls, 8 + 5 * (8 - 2));
+  EXPECT_EQ(calls.load(), 8 + 5 * (8 - 2));
 }
 
 TEST(Ga, InvalidArgumentsThrow) {

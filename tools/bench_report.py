@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Run the perf microbenchmarks and emit a BENCH_*.json report.
+
+Wraps google-benchmark's --benchmark_out plumbing so every run lands in a
+uniform artifact (bench/reports/BENCH_<label>.json by default), prints a
+compact summary with the derived ratios the repo tracks (FFT plan-cache
+speedup, optimize_stimulus thread scaling), and can diff against a committed
+baseline:
+
+    python3 tools/bench_report.py --build build                 # run + report
+    python3 tools/bench_report.py --build build --label ci      # custom name
+    python3 tools/bench_report.py --build build \
+        --compare bench/reports/BENCH_baseline.json             # regression diff
+    python3 tools/bench_report.py --summarize BENCH_foo.json    # no re-run
+
+Exit status is non-zero if the benchmark binary fails, or if --compare finds
+a regression beyond --tolerance (default 1.25x).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+
+def run_benchmarks(build_dir: Path, out_path: Path, min_time: float,
+                   bench_filter: str | None) -> None:
+    binary = build_dir / "bench" / "perf_microbench"
+    if not binary.exists():
+        sys.exit(f"bench_report: {binary} not found (build the repo first)")
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    cmd = [
+        str(binary),
+        f"--benchmark_out={out_path}",
+        "--benchmark_out_format=json",
+        f"--benchmark_min_time={min_time}",
+    ]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    print(f"bench_report: running {' '.join(cmd)}", flush=True)
+    subprocess.run(cmd, check=True)
+
+
+def load_times(path: Path) -> dict[str, float]:
+    """Benchmark name -> real time in nanoseconds."""
+    doc = json.loads(path.read_text())
+    times: dict[str, float] = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(
+            b.get("time_unit", "ns"), 1.0)
+        times[b["name"]] = float(b["real_time"]) * scale
+    return times
+
+
+def fmt_ns(ns: float) -> str:
+    for unit, div in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= div:
+            return f"{ns / div:.3g} {unit}"
+    return f"{ns:.3g} ns"
+
+
+def ratio_line(times: dict[str, float], label: str, slow: str,
+               fast: str) -> str | None:
+    if slow in times and fast in times and times[fast] > 0:
+        return f"  {label}: {times[slow] / times[fast]:.2f}x"
+    return None
+
+
+def summarize(path: Path) -> None:
+    times = load_times(path)
+    if not times:
+        sys.exit(f"bench_report: no benchmarks in {path}")
+    width = max(len(n) for n in times)
+    print(f"\nbench_report: {path} ({len(times)} benchmarks)")
+    for name, ns in times.items():
+        print(f"  {name:<{width}}  {fmt_ns(ns)}")
+
+    print("derived ratios:")
+    derived = [
+        ratio_line(times, "fft plan cache, n=1024 (uncached/cached)",
+                   "BM_Fft1024Uncached", "BM_Fft1024"),
+        ratio_line(times, "fft plan cache, n=1000 Bluestein (uncached/cached)",
+                   "BM_FftBluestein1000Uncached", "BM_FftBluestein1000"),
+        ratio_line(times, "optimize_stimulus 8-thread speedup (1T/8T)",
+                   "BM_OptimizeStimulusThreads/1/real_time",
+                   "BM_OptimizeStimulusThreads/8/real_time"),
+        ratio_line(times, "optimize_stimulus 4-thread speedup (1T/4T)",
+                   "BM_OptimizeStimulusThreads/1/real_time",
+                   "BM_OptimizeStimulusThreads/4/real_time"),
+    ]
+    printed = False
+    for line in derived:
+        if line:
+            print(line)
+            printed = True
+    if not printed:
+        print("  (none: benchmarks filtered out)")
+
+
+def compare(current: Path, baseline: Path, tolerance: float) -> int:
+    cur, base = load_times(current), load_times(baseline)
+    common = sorted(set(cur) & set(base))
+    if not common:
+        print("bench_report: no common benchmarks to compare")
+        return 0
+    regressions = 0
+    width = max(len(n) for n in common)
+    print(f"\ncomparison vs {baseline} (tolerance {tolerance:.2f}x):")
+    for name in common:
+        r = cur[name] / base[name] if base[name] > 0 else float("inf")
+        flag = ""
+        if r > tolerance:
+            flag = "  << REGRESSION"
+            regressions += 1
+        elif r < 1.0 / tolerance:
+            flag = "  (faster)"
+        print(f"  {name:<{width}}  {fmt_ns(base[name])} -> {fmt_ns(cur[name])}"
+              f"  ({r:.2f}x){flag}")
+    if regressions:
+        print(f"bench_report: {regressions} regression(s)")
+    return 1 if regressions else 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build", type=Path, default=Path("build"),
+                    help="CMake build directory (default: build)")
+    ap.add_argument("--label", default="latest",
+                    help="report name suffix: BENCH_<label>.json")
+    ap.add_argument("--out-dir", type=Path, default=Path("bench/reports"),
+                    help="directory for report JSON files")
+    ap.add_argument("--min-time", type=float, default=0.1,
+                    help="google-benchmark min time per benchmark (s)")
+    ap.add_argument("--filter", dest="bench_filter", default=None,
+                    help="--benchmark_filter regex passed through")
+    ap.add_argument("--compare", type=Path, default=None,
+                    help="baseline BENCH_*.json to diff against")
+    ap.add_argument("--tolerance", type=float, default=1.25,
+                    help="slowdown ratio that counts as a regression")
+    ap.add_argument("--summarize", type=Path, default=None,
+                    help="summarize an existing report instead of running")
+    args = ap.parse_args()
+
+    if args.summarize is not None:
+        summarize(args.summarize)
+        if args.compare is not None:
+            return compare(args.summarize, args.compare, args.tolerance)
+        return 0
+
+    out_path = args.out_dir / f"BENCH_{args.label}.json"
+    run_benchmarks(args.build, out_path, args.min_time, args.bench_filter)
+    summarize(out_path)
+    if args.compare is not None:
+        return compare(out_path, args.compare, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,10 @@ Rules, all scoped to src/:
                    explicit "// stf-lint: checked" escape comment
   test-coverage    every src/<mod>/<name>.cpp has <mod>/<name>.hpp
                    referenced somewhere under tests/
+  raw-thread       no std::thread/std::jthread/std::async/pthread_create
+                   outside src/core/ -- use stf::core::parallel_for /
+                   parallel_map so thread counts, determinism and nested
+                   parallelism stay centrally managed
 
 The checked-access rule is a heuristic: a call is accepted when "empty(" or
 the escape comment appears on the same line or in the 15 lines above it.
@@ -33,6 +37,8 @@ GUARD_WINDOW = 15
 GUARD_RE = re.compile(r"empty\s*\(|stf-lint:\s*checked")
 ACCESS_RE = re.compile(r"\.\s*(?:front|back)\s*\(\s*\)")
 BANNED_CALL_RE = re.compile(r"\b(rand|srand|printf|fprintf|sprintf)\s*\(")
+RAW_THREAD_RE = re.compile(
+    r"\bstd\s*::\s*(thread|jthread|async)\b|\bpthread_create\s*\(")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
 
 
@@ -91,6 +97,21 @@ def check_banned_calls(path: Path, lines: list[str],
                           f"in src/ ({hint})")
 
 
+def check_raw_threads(path: Path, lines: list[str],
+                      errors: list[str]) -> None:
+    # The parallel execution core owns every worker thread in the process;
+    # ad-hoc threading elsewhere would bypass STF_THREADS, the nested-region
+    # inlining that prevents pool deadlock, and the determinism contract.
+    if "core" == path.parent.name:
+        return
+    for idx, line in enumerate(lines):
+        m = RAW_THREAD_RE.search(strip_line_comment(line))
+        if m:
+            errors.append(
+                f"{path}:{idx + 1}: raw-thread: {m.group(0).strip()} outside "
+                "src/core/; use stf::core::parallel_for or parallel_map")
+
+
 def check_front_back(path: Path, lines: list[str], errors: list[str]) -> None:
     for idx, line in enumerate(lines):
         if not ACCESS_RE.search(strip_line_comment(line)):
@@ -130,11 +151,13 @@ def main(argv: list[str]) -> int:
         lines = path.read_text(errors="replace").splitlines()
         check_pragma_once(path, lines, errors)
         check_banned_calls(path, lines, errors)
+        check_raw_threads(path, lines, errors)
         check_front_back(path, lines, errors)
     for path in sorted(src.rglob("*.cpp")):
         lines = path.read_text(errors="replace").splitlines()
         check_include_order(path, lines, errors)
         check_banned_calls(path, lines, errors)
+        check_raw_threads(path, lines, errors)
         check_front_back(path, lines, errors)
     check_test_coverage(root, errors)
 
