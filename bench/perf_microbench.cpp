@@ -4,9 +4,14 @@
 // guard against performance regressions.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
 #include "circuit/dc.hpp"
 #include "circuit/lna900.hpp"
 #include "core/parallel.hpp"
+#include "core/telemetry.hpp"
 #include "dsp/fft.hpp"
 #include "rf/dut.hpp"
 #include "sigtest/acquisition.hpp"
@@ -19,6 +24,42 @@ namespace {
 
 using namespace stf;
 
+// Scoped telemetry collection for one benchmark: enables the layer for the
+// timed loop and, on destruction, publishes the named counter deltas as
+// per-iteration google-benchmark counters (so bench_report.py can embed
+// them in BENCH_*.json). No-op when built with SIGTEST_TELEMETRY=OFF.
+class TelemetryCounters {
+ public:
+  TelemetryCounters(benchmark::State& state,
+                    std::initializer_list<const char*> names)
+      : state_(state), names_(names) {
+    if (!core::telemetry::compiled()) return;
+    core::telemetry::set_enabled(true);
+    start_.reserve(names_.size());
+    for (const char* n : names_)
+      start_.push_back(core::telemetry::counter_value(n));
+  }
+
+  TelemetryCounters(const TelemetryCounters&) = delete;
+  TelemetryCounters& operator=(const TelemetryCounters&) = delete;
+
+  ~TelemetryCounters() {
+    if (!core::telemetry::compiled()) return;
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+      const std::uint64_t delta =
+          core::telemetry::counter_value(names_[i]) - start_[i];
+      state_.counters[names_[i]] = benchmark::Counter(
+          static_cast<double>(delta), benchmark::Counter::kAvgIterations);
+    }
+    core::telemetry::set_enabled(false);
+  }
+
+ private:
+  benchmark::State& state_;
+  std::vector<const char*> names_;
+  std::vector<std::uint64_t> start_;
+};
+
 // Cached transforms reuse the process-wide plan (twiddles, bit-reversal,
 // Bluestein chirp/kernel spectra); the *_Uncached variants drop the cache
 // every iteration to price the cold path the seed code paid on every call.
@@ -29,6 +70,8 @@ void BM_Fft1024(benchmark::State& state) {
   std::vector<dsp::cplx> x(1024);
   for (auto& v : x) v = dsp::cplx(rng.normal(), rng.normal());
   dsp::fft_plan_cache_clear();
+  const TelemetryCounters counters(
+      state, {"fft.plan_cache_hit", "fft.plan_cache_miss"});
   for (auto _ : state) benchmark::DoNotOptimize(dsp::fft(x));
 }
 BENCHMARK(BM_Fft1024);
@@ -37,6 +80,8 @@ void BM_Fft1024Uncached(benchmark::State& state) {
   stats::Rng rng(1);
   std::vector<dsp::cplx> x(1024);
   for (auto& v : x) v = dsp::cplx(rng.normal(), rng.normal());
+  const TelemetryCounters counters(
+      state, {"fft.plan_cache_hit", "fft.plan_cache_miss"});
   for (auto _ : state) {
     dsp::fft_plan_cache_clear();
     benchmark::DoNotOptimize(dsp::fft(x));
@@ -49,6 +94,8 @@ void BM_FftBluestein1000(benchmark::State& state) {
   std::vector<dsp::cplx> x(1000);
   for (auto& v : x) v = dsp::cplx(rng.normal(), rng.normal());
   dsp::fft_plan_cache_clear();
+  const TelemetryCounters counters(
+      state, {"fft.plan_cache_hit", "fft.plan_cache_miss"});
   for (auto _ : state) benchmark::DoNotOptimize(dsp::fft(x));
 }
 BENCHMARK(BM_FftBluestein1000);
@@ -57,6 +104,8 @@ void BM_FftBluestein1000Uncached(benchmark::State& state) {
   stats::Rng rng(1);
   std::vector<dsp::cplx> x(1000);
   for (auto& v : x) v = dsp::cplx(rng.normal(), rng.normal());
+  const TelemetryCounters counters(
+      state, {"fft.plan_cache_hit", "fft.plan_cache_miss"});
   for (auto _ : state) {
     dsp::fft_plan_cache_clear();
     benchmark::DoNotOptimize(dsp::fft(x));
@@ -91,6 +140,8 @@ void BM_SignatureAcquisition(benchmark::State& state) {
   const auto stim = dsp::PwlWaveform::uniform(
       cfg.capture_s, {0.0, 0.2, -0.2, 0.1, -0.1, 0.25, -0.25, 0.0});
   stats::Rng rng(3);
+  const TelemetryCounters counters(
+      state, {"fft.transforms", "fft.plan_cache_hit", "fft.plan_cache_miss"});
   for (auto _ : state)
     benchmark::DoNotOptimize(acq.acquire(*ch.dut, stim, &rng));
 }
@@ -189,6 +240,32 @@ BENCHMARK(BM_OptimizeStimulusThreads)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// Overhead of one span with collection active: a timestamp pair plus an
+// event append (the per-thread log caps at ~1M events; past the cap the
+// cost drops to the check itself, which only lowers the average).
+void BM_TelemetrySpanEnabled(benchmark::State& state) {
+  core::telemetry::reset();
+  core::telemetry::set_enabled(true);
+  for (auto _ : state) {
+    STF_TRACE_SPAN("bench.span");
+    benchmark::ClobberMemory();
+  }
+  core::telemetry::set_enabled(false);
+  core::telemetry::reset();
+}
+BENCHMARK(BM_TelemetrySpanEnabled);
+
+// Overhead of the same span with collection off: the acceptance criterion
+// is that this is one relaxed atomic load, i.e. within noise of free.
+void BM_TelemetrySpanDisabled(benchmark::State& state) {
+  core::telemetry::set_enabled(false);
+  for (auto _ : state) {
+    STF_TRACE_SPAN("bench.span");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TelemetrySpanDisabled);
 
 }  // namespace
 

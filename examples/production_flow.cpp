@@ -8,21 +8,45 @@
 // Prints the confusion matrix (test escapes / yield loss), throughput and
 // cost per part for each flow.
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "ate/cost.hpp"
 #include "ate/flow.hpp"
 #include "ate/timing.hpp"
 #include "circuit/lna900.hpp"
+#include "core/telemetry.hpp"
 #include "rf/population.hpp"
 #include "sigtest/optimizer.hpp"
 #include "sigtest/runtime.hpp"
 #include "stats/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace stf;
   constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Optional observability flags (same spelling as sigtest_cli): turn the
+  // telemetry layer on and dump a Chrome trace / summary table of the full
+  // optimize-calibrate-screen flow. CI uploads the trace as an artifact.
+  std::string trace_path;
+  bool stats = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--stats") stats = true;
+    else if (a.rfind("--trace-out=", 0) == 0)
+      trace_path = a.substr(std::strlen("--trace-out="));
+    else if (a == "--trace-out" && i + 1 < argc)
+      trace_path = argv[++i];
+    else {
+      std::fprintf(stderr,
+                   "usage: production_flow [--trace-out FILE] [--stats]\n");
+      return 2;
+    }
+  }
+  if (stats || !trace_path.empty()) core::telemetry::set_enabled(true);
 
   // Datasheet limits sized so the +/-20% process lot has imperfect yield.
   const std::vector<ate::SpecLimit> limits = {
@@ -81,5 +105,18 @@ int main() {
   std::printf("signature:    %6.3f s, %8.0f parts/hour, $%.4f\n",
               sig.total_time_s(), ate::parts_per_hour(sig.total_time_s()),
               low_cost.cost_per_part(sig.total_time_s()));
+
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "production_flow: cannot write %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    out << core::telemetry::chrome_trace();
+    std::fprintf(stderr, "production_flow: trace written to %s\n",
+                 trace_path.c_str());
+  }
+  if (stats) std::fputs(core::telemetry::summary().c_str(), stderr);
   return 0;
 }

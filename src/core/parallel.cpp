@@ -1,5 +1,7 @@
 #include "core/parallel.hpp"
 
+#include "core/telemetry.hpp"
+
 #include <atomic>
 #include <cctype>
 #include <condition_variable>
@@ -30,6 +32,11 @@ struct Job {
   std::atomic<std::size_t> chunks_done{0};
   std::atomic<bool> cancelled{false};
 
+  // Telemetry identity of the loop: the caller's innermost open span at
+  // dispatch. Workers tag their participation spans with it, so the trace
+  // shows pool threads working under (e.g.) "ga.generation".
+  telemetry::ParallelRegion region;
+
   std::mutex error_mutex;
   std::exception_ptr error;
   std::size_t error_chunk = std::numeric_limits<std::size_t>::max();
@@ -51,12 +58,16 @@ void record_error(Job& job, std::size_t chunk_begin) {
 
 /// Claim and execute chunks until the job is drained. Runs on workers and on
 /// the caller; every claimed chunk is counted even when skipped after a
-/// failure, so chunks_done converges to chunks_total exactly once.
-void work_on(Job& job) {
+/// failure, so chunks_done converges to chunks_total exactly once. Returns
+/// the number of chunks this thread claimed (telemetry: a worker that never
+/// got a chunk records no participation span).
+std::size_t work_on(Job& job) {
+  std::size_t claimed = 0;
   while (true) {
     const std::size_t lo =
         job.cursor.fetch_add(job.grain, std::memory_order_relaxed);
-    if (lo >= job.end) return;
+    if (lo >= job.end) return claimed;
+    ++claimed;
     const std::size_t hi = std::min(lo + job.grain, job.end);
     if (!job.cancelled.load(std::memory_order_relaxed)) {
       try {
@@ -139,7 +150,9 @@ class Pool {
         job = current_;
         seen = seq_;
       }
-      work_on(*job);
+      const std::uint64_t t0 = telemetry::parallel_worker_begin(job->region);
+      const std::size_t chunks = work_on(*job);
+      telemetry::parallel_worker_end(job->region, t0, chunks);
     }
   }
 
@@ -260,6 +273,7 @@ void parallel_for(std::size_t begin, std::size_t end,
   job->chunks_total = (n + grain - 1) / grain;
   job->body = &body;
   job->cursor.store(begin, std::memory_order_relaxed);
+  job->region = telemetry::parallel_region_begin("parallel_for");
 
   pool->run(job);
 

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "core/contracts.hpp"
+#include "core/telemetry.hpp"
 
 namespace stf::dsp {
 
@@ -148,9 +149,12 @@ class PlanCache {
     const std::size_t key = n * 2 + (sign > 0 ? 1 : 0);
     auto it = bluestein_.find(key);
     if (it == bluestein_.end()) {
+      STF_COUNT("fft.plan_cache_miss");
       auto plan = std::make_shared<const BluesteinPlan>(
           n, sign, radix2_locked(next_pow2(2 * n + 1)));
       it = bluestein_.emplace(key, std::move(plan)).first;
+    } else {
+      STF_COUNT("fft.plan_cache_hit");
     }
     return it->second;
   }
@@ -169,8 +173,12 @@ class PlanCache {
  private:
   std::shared_ptr<const Radix2Plan> radix2_locked(std::size_t n) {
     auto it = radix2_.find(n);
-    if (it == radix2_.end())
+    if (it == radix2_.end()) {
+      STF_COUNT("fft.plan_cache_miss");
       it = radix2_.emplace(n, std::make_shared<const Radix2Plan>(n)).first;
+    } else {
+      STF_COUNT("fft.plan_cache_hit");
+    }
     return it->second;
   }
 
@@ -214,6 +222,7 @@ std::vector<cplx> bluestein(const std::vector<cplx>& x, int sign) {
 
 std::vector<cplx> transform(const std::vector<cplx>& x, int sign) {
   STF_REQUIRE(!x.empty(), "fft: empty input");
+  STF_COUNT("fft.transforms");
   if (is_pow2(x.size())) {
     const auto plan = plan_cache().radix2(x.size());
     std::vector<cplx> a = x;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/contracts.hpp"
+#include "core/telemetry.hpp"
 #include "dsp/resample.hpp"
 
 namespace stf::rf {
@@ -44,22 +45,32 @@ std::vector<double> LoadBoard::run(const std::vector<double>& stimulus,
   // envelope at the carrier; the mixer contributes gain/compression.
   EnvelopeSignal rf =
       EnvelopeSignal::from_real(stimulus, fs_sim, config_.carrier_hz);
-  config_.up_mixer.apply(rf);
+  {
+    STF_TRACE_SPAN("board.upconvert");
+    config_.up_mixer.apply(rf);
+  }
 
   // The device under test.
-  EnvelopeSignal resp = dut.process(rf, rng);
+  EnvelopeSignal resp = [&] {
+    STF_TRACE_SPAN("board.dut");
+    return dut.process(rf, rng);
+  }();
 
   // Mixer 2 at f2 = f1 - lo_offset with path phase phi: the real product
   // after discarding the 2*fc image is Re{ y~ e^{j(2 pi (f1-f2) t + phi)} }
   // (Eq. 5; lo_offset = 0 degenerates to the Eq. 4 cos(phi) scaling).
-  config_.down_mixer.apply(resp);  // conversion gain + compression
-  std::vector<double> mixed =
-      resp.to_real(config_.lo_offset_hz, config_.path_phase_rad);
-  // DC offset from LO self-mixing appears at the demodulator output.
-  for (auto& v : mixed) v += config_.down_mixer.lo_feedthrough_v;
+  std::vector<double> mixed;
+  {
+    STF_TRACE_SPAN("board.downconvert");
+    config_.down_mixer.apply(resp);  // conversion gain + compression
+    mixed = resp.to_real(config_.lo_offset_hz, config_.path_phase_rad);
+    // DC offset from LO self-mixing appears at the demodulator output.
+    for (auto& v : mixed) v += config_.down_mixer.lo_feedthrough_v;
+  }
 
   // Post-mixer anti-alias lowpass: the planned design when the rate
   // matches, an identical on-the-fly design otherwise.
+  STF_TRACE_SPAN("board.lpf");
   if (planned_lpf_ && fs_sim == planned_fs_hz_)
     return planned_lpf_->filter(mixed);
   const auto lpf = stf::dsp::butterworth_lowpass(

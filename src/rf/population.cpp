@@ -6,6 +6,7 @@
 
 #include "core/contracts.hpp"
 #include "core/parallel.hpp"
+#include "core/telemetry.hpp"
 #include "rf/specmeas.hpp"
 #include "stats/rng.hpp"
 #include "stats/sampling.hpp"
@@ -15,6 +16,7 @@ namespace stf::rf {
 std::vector<DeviceRecord> make_lna_population(std::size_t n, double spread,
                                               std::uint64_t seed) {
   STF_REQUIRE(n != 0, "make_lna_population: n == 0");
+  STF_TRACE_SPAN("rf.make_population");
   stf::stats::UniformBox box{stf::circuit::Lna900::nominal(), spread};
   stf::stats::Rng rng(seed);
   std::vector<DeviceRecord> devices(n);

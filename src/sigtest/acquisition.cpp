@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/contracts.hpp"
+#include "core/telemetry.hpp"
 #include "dsp/fft.hpp"
 #include "rf/loadboard.hpp"
 
@@ -53,13 +54,18 @@ SignatureAcquirer::SignatureAcquirer(const SignatureTestConfig& config,
 std::vector<double> SignatureAcquirer::raw_capture(
     const stf::rf::RfDut& dut, const stf::dsp::PwlWaveform& stimulus,
     stf::stats::Rng* rng) const {
+  STF_TRACE_SPAN("acq.capture");
   const auto n_sim = static_cast<std::size_t>(
                          std::floor(config_.capture_s * config_.fs_sim_hz)) +
                      1;
-  const std::vector<double> rendered =
-      stimulus.render(config_.fs_sim_hz, n_sim);
+  std::vector<double> rendered;
+  {
+    STF_TRACE_SPAN("acq.render");
+    rendered = stimulus.render(config_.fs_sim_hz, n_sim);
+  }
   const std::vector<double> analog =
       board_.run(rendered, config_.fs_sim_hz, dut, rng);
+  STF_TRACE_SPAN("acq.digitize");
   return config_.digitizer.capture(analog, config_.fs_sim_hz, rng);
 }
 
@@ -94,6 +100,7 @@ Signature SignatureAcquirer::to_signature(
   // phase term from the signature. The pad buffer is per-thread scratch:
   // acquisitions run concurrently under the parallel core, and reusing it
   // removes an n_fft-sized allocation from every capture.
+  STF_TRACE_SPAN("acq.fft");
   const std::size_t n_fft = stf::dsp::next_pow2(capture.size());
   thread_local std::vector<stf::dsp::cplx> padded;
   padded.assign(n_fft, stf::dsp::cplx{});
@@ -117,7 +124,15 @@ Signature SignatureAcquirer::to_signature(
 Signature SignatureAcquirer::acquire(const stf::rf::RfDut& dut,
                                      const stf::dsp::PwlWaveform& stimulus,
                                      stf::stats::Rng* rng) const {
+  STF_TRACE_SPAN("acq.acquire");
+  STF_COUNT("acq.signatures");
+  // Per-acquisition wall time feeds the test-economics story: the histogram
+  // is the distribution of simulated capture-plus-FFT cost per device.
+  const std::uint64_t t0 =
+      stf::core::telemetry::enabled() ? stf::core::telemetry::now_ns() : 0;
   Signature s = to_signature(raw_capture(dut, stimulus, rng));
+  STF_RECORD("acq.capture_us",
+             static_cast<double>(stf::core::telemetry::now_ns() - t0) / 1e3);
   STF_ENSURE(stf::contracts::finite(s),
              "SignatureAcquirer::acquire: non-finite signature bin (NaN/Inf "
              "leaked through the stimulus/envelope/FFT chain)");

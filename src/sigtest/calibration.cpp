@@ -7,6 +7,7 @@
 
 #include "core/contracts.hpp"
 #include "core/parallel.hpp"
+#include "core/telemetry.hpp"
 #include "linalg/lstsq.hpp"
 
 namespace stf::sigtest {
@@ -38,6 +39,8 @@ std::vector<double> CalibrationModel::features(
 void CalibrationModel::fit(const stf::la::Matrix& signatures,
                            const stf::la::Matrix& specs,
                            const std::vector<double>& noise_var) {
+  STF_TRACE_SPAN("cal.fit");
+  STF_COUNT("cal.fits");
   const std::size_t n = signatures.rows();
   const std::size_t m = signatures.cols();
   STF_REQUIRE(n >= 2, "CalibrationModel::fit: n < 2");
@@ -129,6 +132,7 @@ void CalibrationModel::fit(const stf::la::Matrix& signatures,
 void fit_from_captures(CalibrationModel& model, std::size_t n_devices,
                        const CaptureFn& capture, const SpecsFn& specs,
                        int n_avg) {
+  STF_TRACE_SPAN("cal.fit_from_captures");
   STF_REQUIRE(n_devices >= 2, "fit_from_captures: need >= 2 devices");
   STF_REQUIRE(n_avg >= 1, "fit_from_captures: n_avg < 1");
   STF_REQUIRE(!(!capture || !specs), "fit_from_captures: null callback");
@@ -314,6 +318,7 @@ CalibrationOptions select_ridge_by_cv(const stf::la::Matrix& signatures,
                                       CalibrationOptions base,
                                       const std::vector<double>& lambdas,
                                       std::size_t k_folds) {
+  STF_TRACE_SPAN("cal.cv_grid");
   const std::size_t n = signatures.rows();
   STF_REQUIRE(!lambdas.empty(), "select_ridge_by_cv: empty lambda grid");
   STF_REQUIRE(!(k_folds < 2 || n < 2 * k_folds),
@@ -359,6 +364,7 @@ CalibrationOptions select_ridge_by_cv(const stf::la::Matrix& signatures,
       CalibrationOptions opts = base;
       opts.ridge_lambda = lambda;
       CalibrationModel model(opts);
+      STF_COUNT("cal.cv_fits");
       model.fit(train_sig, train_specs);
 
       for (const std::size_t i : test_rows) {

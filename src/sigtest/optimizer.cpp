@@ -1,5 +1,7 @@
 #include "sigtest/optimizer.hpp"
 
+#include "core/telemetry.hpp"
+
 namespace stf::sigtest {
 
 namespace {
@@ -23,11 +25,13 @@ ObjectiveBreakdown evaluate_stimulus(const PerturbationSet& perturbations,
 OptimizedStimulus optimize_stimulus(const PerturbationSet& perturbations,
                                     const SignatureAcquirer& acquirer,
                                     const StimulusOptimizerConfig& config) {
+  STF_TRACE_SPAN("optimizer.optimize_stimulus");
   // A_p is stimulus-independent: compute it once outside the GA loop.
   const stf::la::Matrix a_p = perturbations.spec_sensitivity();
   const double sigma_m = resolve_sigma_m(config.sigma_m, acquirer);
 
   const auto objective = [&](const std::vector<double>& genes) {
+    STF_TRACE_SPAN("ga.objective");
     const stf::dsp::PwlWaveform stimulus = config.encoding.decode(genes);
     const stf::la::Matrix a_s =
         perturbations.signature_sensitivity(acquirer, stimulus);

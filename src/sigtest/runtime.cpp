@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/contracts.hpp"
+#include "core/telemetry.hpp"
 #include "stats/metrics.hpp"
 
 namespace stf::sigtest {
@@ -22,6 +23,7 @@ FastestRuntime::FastestRuntime(const SignatureTestConfig& config,
 void FastestRuntime::calibrate(
     const std::vector<stf::rf::DeviceRecord>& training,
     stf::stats::Rng& rng, int n_avg) {
+  STF_TRACE_SPAN("runtime.calibrate");
   STF_REQUIRE(training.size() >= 2,
               "FastestRuntime::calibrate: need >= 2 devices");
   STF_REQUIRE(n_avg >= 1, "FastestRuntime::calibrate: n_avg < 1");
@@ -47,6 +49,8 @@ void FastestRuntime::calibrate(
 
 std::vector<double> FastestRuntime::test_device(const stf::rf::RfDut& dut,
                                                 stf::stats::Rng& rng) const {
+  STF_TRACE_SPAN("runtime.test_device");
+  STF_COUNT("runtime.devices_tested");
   STF_REQUIRE(model_.fitted(), "FastestRuntime::test_device: not calibrated");
   return model_.predict(acquirer_.acquire(dut, stimulus_, &rng));
 }
@@ -54,6 +58,7 @@ std::vector<double> FastestRuntime::test_device(const stf::rf::RfDut& dut,
 ValidationReport FastestRuntime::validate(
     const std::vector<stf::rf::DeviceRecord>& devices,
     stf::stats::Rng& rng) const {
+  STF_TRACE_SPAN("runtime.validate");
   STF_REQUIRE(!devices.empty(), "FastestRuntime::validate: no devices");
   const std::size_t n_specs = spec_names_.size();
 

@@ -5,6 +5,7 @@
 #include "circuit/lna900.hpp"
 #include "core/contracts.hpp"
 #include "core/parallel.hpp"
+#include "core/telemetry.hpp"
 
 namespace stf::sigtest {
 
@@ -23,6 +24,7 @@ PerturbationSet::PerturbationSet(const DeviceFactory& factory,
   // Each perturbed characterization is a pair of full circuit solves --
   // the dominant setup cost -- and parameter j touches only pairs_[j], so
   // the 2k characterizations fan out over the thread pool.
+  STF_TRACE_SPAN("sens.characterize");
   pairs_.resize(x0_.size());
   stf::core::parallel_for(
       0, x0_.size(),
@@ -43,6 +45,7 @@ PerturbationSet::PerturbationSet(const DeviceFactory& factory,
 }
 
 stf::la::Matrix PerturbationSet::spec_sensitivity() const {
+  STF_TRACE_SPAN("sens.spec_matrix");
   const std::size_t n = n_specs();
   const std::size_t k = n_params();
   stf::la::Matrix a_p(n, k);
@@ -61,6 +64,7 @@ stf::la::Matrix PerturbationSet::spec_sensitivity() const {
 stf::la::Matrix PerturbationSet::signature_sensitivity(
     const SignatureAcquirer& acquirer,
     const stf::dsp::PwlWaveform& stimulus) const {
+  STF_TRACE_SPAN("sens.signature_matrix");
   const std::size_t k = n_params();
   const std::size_t m = acquirer.signature_length();
   stf::la::Matrix a_s(m, k);

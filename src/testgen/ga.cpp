@@ -6,6 +6,7 @@
 
 #include "core/contracts.hpp"
 #include "core/parallel.hpp"
+#include "core/telemetry.hpp"
 #include "stats/rng.hpp"
 
 namespace stf::testgen {
@@ -32,6 +33,7 @@ GaResult ga_minimize(const Objective& objective, const std::vector<double>& lo,
               "ga_minimize: elite >= population");
   STF_REQUIRE(options.tournament_k != 0, "ga_minimize: tournament_k == 0");
 
+  STF_TRACE_SPAN("ga.minimize");
   const std::size_t k = lo.size();
   stf::stats::Rng rng(options.seed);
   GaResult result;
@@ -56,6 +58,8 @@ GaResult ga_minimize(const Objective& objective, const std::vector<double>& lo,
         },
         1);
     result.evaluations += individuals.size() - begin;
+    STF_COUNT("ga.objective_evals",
+              static_cast<std::uint64_t>(individuals.size() - begin));
   };
 
   // Initial population: uniform over the box.
@@ -83,6 +87,7 @@ GaResult ga_minimize(const Objective& objective, const std::vector<double>& lo,
   };
 
   for (std::size_t gen = 0; gen < options.generations; ++gen) {
+    STF_TRACE_SPAN("ga.generation");
     std::vector<Individual> next;
     next.reserve(options.population);
     // Elitism: carry the best forward untouched.
@@ -117,6 +122,7 @@ GaResult ga_minimize(const Objective& objective, const std::vector<double>& lo,
     std::sort(pop.begin(), pop.end(), by_fitness);
     STF_ASSERT(!pop.empty(), "ga_minimize: population must stay non-empty");
     result.history.push_back(pop.front().fitness);
+    STF_RECORD("ga.gen_best_fitness", pop.front().fitness);
   }
 
   result.best_genes = pop.front().genes;

@@ -44,6 +44,16 @@ def run_benchmarks(build_dir: Path, out_path: Path, min_time: float,
     subprocess.run(cmd, check=True)
 
 
+# Keys google-benchmark itself writes into each entry; everything else is a
+# user counter (the telemetry deltas perf_microbench publishes).
+_STANDARD_KEYS = {
+    "name", "family_index", "per_family_instance_index", "run_name",
+    "run_type", "repetitions", "repetition_index", "threads", "iterations",
+    "real_time", "cpu_time", "time_unit", "aggregate_name", "aggregate_unit",
+    "label", "error_occurred", "error_message",
+}
+
+
 def load_times(path: Path) -> dict[str, float]:
     """Benchmark name -> real time in nanoseconds."""
     doc = json.loads(path.read_text())
@@ -55,6 +65,20 @@ def load_times(path: Path) -> dict[str, float]:
             b.get("time_unit", "ns"), 1.0)
         times[b["name"]] = float(b["real_time"]) * scale
     return times
+
+
+def load_counters(path: Path) -> dict[str, dict[str, float]]:
+    """Benchmark name -> {counter name -> per-iteration value}."""
+    doc = json.loads(path.read_text())
+    counters: dict[str, dict[str, float]] = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        extra = {k: float(v) for k, v in b.items()
+                 if k not in _STANDARD_KEYS and isinstance(v, (int, float))}
+        if extra:
+            counters[b["name"]] = extra
+    return counters
 
 
 def fmt_ns(ns: float) -> str:
@@ -75,10 +99,24 @@ def summarize(path: Path) -> None:
     times = load_times(path)
     if not times:
         sys.exit(f"bench_report: no benchmarks in {path}")
+    counters = load_counters(path)
     width = max(len(n) for n in times)
     print(f"\nbench_report: {path} ({len(times)} benchmarks)")
     for name, ns in times.items():
-        print(f"  {name:<{width}}  {fmt_ns(ns)}")
+        line = f"  {name:<{width}}  {fmt_ns(ns)}"
+        if name in counters:
+            pairs = ", ".join(f"{k}={v:.3g}/iter"
+                              for k, v in sorted(counters[name].items()))
+            line += f"  [{pairs}]"
+        print(line)
+
+    hits = counters.get("BM_SignatureAcquisition", {})
+    hit = hits.get("fft.plan_cache_hit", 0.0)
+    miss = hits.get("fft.plan_cache_miss", 0.0)
+    if hit + miss > 0:
+        print("telemetry counters:")
+        print(f"  signature-acquisition fft plan-cache hit rate: "
+              f"{hit / (hit + miss):.4f}")
 
     print("derived ratios:")
     derived = [

@@ -21,6 +21,7 @@
 #include "circuit/parser.hpp"
 #include "circuit/sparams.hpp"
 #include "common.hpp"
+#include "core/telemetry.hpp"
 #include "sigtest/analog.hpp"
 #include "stats/rng.hpp"
 
@@ -37,8 +38,56 @@ int usage() {
       "  characterize [--temp KELVIN]                  nominal LNA specs\n"
       "  netlist-op  FILE                              DC operating point\n"
       "  netlist-ac  FILE FREQ_HZ                      AC node voltages\n"
-      "  analog                                        baseband lineage\n");
+      "  analog                                        baseband lineage\n"
+      "global options (any command):\n"
+      "  --trace-out FILE   write a Chrome trace_event JSON of the run\n"
+      "                     (load in chrome://tracing or ui.perfetto.dev)\n"
+      "  --stats            print the telemetry summary table on exit\n");
   return 2;
+}
+
+// Telemetry flags, filtered out of the argument list before command
+// dispatch. Either flag turns collection on for the whole run.
+struct TelemetryFlags {
+  std::string trace_path;
+  bool stats = false;
+  bool any() const { return stats || !trace_path.empty(); }
+};
+
+TelemetryFlags extract_telemetry_flags(std::vector<std::string>& args) {
+  TelemetryFlags flags;
+  std::vector<std::string> kept;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--stats") {
+      flags.stats = true;
+    } else if (a.rfind("--trace-out=", 0) == 0) {
+      flags.trace_path = a.substr(std::strlen("--trace-out="));
+    } else if (a == "--trace-out" && i + 1 < args.size()) {
+      flags.trace_path = args[++i];
+    } else {
+      kept.push_back(a);
+    }
+  }
+  args = std::move(kept);
+  return flags;
+}
+
+int write_telemetry_outputs(const TelemetryFlags& flags) {
+  if (!flags.trace_path.empty()) {
+    std::ofstream out(flags.trace_path);
+    if (!out) {
+      std::fprintf(stderr, "sigtest_cli: cannot write %s\n",
+                   flags.trace_path.c_str());
+      return 1;
+    }
+    out << stf::core::telemetry::chrome_trace();
+    std::fprintf(stderr, "sigtest_cli: trace written to %s\n",
+                 flags.trace_path.c_str());
+  }
+  if (flags.stats)
+    std::fputs(stf::core::telemetry::summary().c_str(), stderr);
+  return 0;
 }
 
 // --key value option lookup; returns fallback when absent.
@@ -163,17 +212,29 @@ int cmd_analog(const std::vector<std::string>&) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
-  const std::vector<std::string> args(argv + 2, argv + argc);
+  std::vector<std::string> args(argv + 2, argv + argc);
+  const TelemetryFlags telem = extract_telemetry_flags(args);
+  if (telem.any()) {
+    if (!stf::core::telemetry::compiled())
+      std::fprintf(stderr,
+                   "sigtest_cli: built with SIGTEST_TELEMETRY=OFF; trace and "
+                   "stats output will be empty\n");
+    stf::core::telemetry::set_enabled(true);
+  }
+
+  int rc = 0;
   try {
-    if (cmd == "sim-study") return cmd_sim_study(args);
-    if (cmd == "hw-study") return cmd_hw_study(args);
-    if (cmd == "characterize") return cmd_characterize(args);
-    if (cmd == "netlist-op") return cmd_netlist_op(args);
-    if (cmd == "netlist-ac") return cmd_netlist_ac(args);
-    if (cmd == "analog") return cmd_analog(args);
+    if (cmd == "sim-study") rc = cmd_sim_study(args);
+    else if (cmd == "hw-study") rc = cmd_hw_study(args);
+    else if (cmd == "characterize") rc = cmd_characterize(args);
+    else if (cmd == "netlist-op") rc = cmd_netlist_op(args);
+    else if (cmd == "netlist-ac") rc = cmd_netlist_ac(args);
+    else if (cmd == "analog") rc = cmd_analog(args);
+    else return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "sigtest_cli: %s\n", e.what());
-    return 1;
+    rc = 1;
   }
-  return usage();
+  if (telem.any() && rc == 0) rc = write_telemetry_outputs(telem);
+  return rc;
 }

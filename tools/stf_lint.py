@@ -8,6 +8,9 @@ standalone:
 
 Rules, all scoped to src/:
 
+  header-doc       every public header opens with a file-level // comment
+                   describing the unit (the API reference for a reader who
+                   never opens the .cpp)
   pragma-once      every header starts with #pragma once (after comments)
   include-order    every .cpp includes its own header first
   no-rand          no rand()/srand() -- use stf::stats::Rng (seeded,
@@ -45,6 +48,18 @@ INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
 def strip_line_comment(line: str) -> str:
     # Good enough for this codebase: no multi-line comment spans code lines.
     return line.split("//", 1)[0]
+
+
+def check_header_doc(path: Path, lines: list[str], errors: list[str]) -> None:
+    for line in lines:
+        text = line.strip()
+        if not text:
+            continue
+        if text.startswith("//"):
+            return
+        break
+    errors.append(f"{path}: header-doc: public header must open with a "
+                  "file-level '//' doc comment describing the unit")
 
 
 def check_pragma_once(path: Path, lines: list[str], errors: list[str]) -> None:
@@ -149,6 +164,7 @@ def main(argv: list[str]) -> int:
     errors: list[str] = []
     for path in sorted(src.rglob("*.hpp")):
         lines = path.read_text(errors="replace").splitlines()
+        check_header_doc(path, lines, errors)
         check_pragma_once(path, lines, errors)
         check_banned_calls(path, lines, errors)
         check_raw_threads(path, lines, errors)
