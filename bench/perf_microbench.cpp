@@ -14,8 +14,11 @@
 #include "core/telemetry.hpp"
 #include "dsp/fft.hpp"
 #include "rf/dut.hpp"
+#include "rf/faults.hpp"
+#include "rf/population.hpp"
 #include "sigtest/acquisition.hpp"
 #include "sigtest/calibration.hpp"
+#include "sigtest/guard.hpp"
 #include "sigtest/optimizer.hpp"
 #include "sigtest/sensitivity.hpp"
 #include "stats/rng.hpp"
@@ -182,6 +185,56 @@ void BM_CalibrationFit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CalibrationFit)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Calibrated guarded runtime shared by the guard benchmarks; built on first
+// use (calibration measures 40 devices) so filtered runs never pay for it.
+const sigtest::GuardedRuntime& guarded_runtime() {
+  static const sigtest::GuardedRuntime runtime = [] {
+    const auto cfg = sigtest::SignatureTestConfig::simulation_study();
+    const auto stim = dsp::PwlWaveform::uniform(
+        cfg.capture_s, {0.0, 0.2, -0.2, 0.1, -0.1, 0.25, -0.25, 0.0});
+    sigtest::GuardPolicy policy;
+    policy.outlier_threshold = 2.5;
+    sigtest::GuardedRuntime r(cfg, stim, circuit::LnaSpecs::names(), policy);
+    const auto cal = rf::make_lna_population(40, 0.2, 21);
+    stats::Rng rng(7);
+    r.calibrate(cal, rng);
+    return r;
+  }();
+  return runtime;
+}
+
+// Guarded production test on a clean chain: prices the validation pipeline
+// (finiteness firewall + railing detector + outlier screen) on top of the
+// raw acquisition cost -- this is the per-part overhead a production flow
+// pays for escape protection when nothing is wrong.
+void BM_GuardedTestDevice(benchmark::State& state) {
+  const auto& runtime = guarded_runtime();
+  const auto ch = rf::extract_lna_dut(circuit::Lna900::nominal());
+  stats::Rng rng(9);
+  const TelemetryCounters counters(
+      state, {"guard.retries", "guard.escalations", "guard.routed"});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(runtime.test_device(*ch.dut, rng));
+}
+BENCHMARK(BM_GuardedTestDevice);
+
+// The same test through a moderately degraded chain (intermittent contact
+// impulses): some captures fail validation and trigger retries with
+// escalating averaging, so this prices the guard when it is earning its
+// keep. The published guard.* counters show the retry activity per part.
+void BM_GuardedTestDeviceFaulted(benchmark::State& state) {
+  const auto& runtime = guarded_runtime();
+  const auto ch = rf::extract_lna_dut(circuit::Lna900::nominal());
+  const rf::FaultInjector faults{{rf::FaultSpec::contact_noise(0.01, 0.05)}};
+  stats::Rng rng(9);
+  std::uint64_t seq = 0;
+  const TelemetryCounters counters(
+      state, {"guard.retries", "guard.escalations", "guard.routed"});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(runtime.test_device(*ch.dut, rng, &faults, seq++));
+}
+BENCHMARK(BM_GuardedTestDeviceFaulted);
 
 // The one-time LNA900 perturbation study (21 circuit characterizations)
 // shared by the GA benchmarks below. Built on first use so binaries that

@@ -20,8 +20,19 @@ FlowResult run_production_flow(
     const std::vector<std::vector<double>>& truth,
     const std::vector<std::vector<double>>& predicted,
     const std::vector<SpecLimit>& limits, double guard_band) {
+  return run_production_flow(truth, predicted, std::vector<Disposition>{},
+                             limits, guard_band);
+}
+
+FlowResult run_production_flow(
+    const std::vector<std::vector<double>>& truth,
+    const std::vector<std::vector<double>>& predicted,
+    const std::vector<Disposition>& dispositions,
+    const std::vector<SpecLimit>& limits, double guard_band) {
   STF_REQUIRE(truth.size() == predicted.size(),
               "run_production_flow: device count mismatch");
+  STF_REQUIRE(dispositions.empty() || dispositions.size() == truth.size(),
+              "run_production_flow: disposition count mismatch");
   STF_REQUIRE(!limits.empty(), "run_production_flow: no limits");
   STF_REQUIRE(guard_band >= 0.0, "run_production_flow: negative guard band");
 
@@ -40,6 +51,19 @@ FlowResult run_production_flow(
   FlowResult r;
   for (std::size_t i = 0; i < truth.size(); ++i) {
     const bool truly_good = passes_all(truth[i], 0.0);
+    const Disposition d =
+        dispositions.empty() ? Disposition::kPredicted : dispositions[i];
+    if (d == Disposition::kRoutedToConventional) {
+      // Conventional per-spec measurement is exact: the part's decision is
+      // its true decision. The cost is test time, never an escape.
+      ++r.routed_conventional;
+      if (truly_good)
+        ++r.true_pass;
+      else
+        ++r.true_fail;
+      continue;
+    }
+    if (d == Disposition::kRetested) ++r.retested;
     const bool predicted_good = passes_all(predicted[i], guard_band);
     if (truly_good && predicted_good)
       ++r.true_pass;

@@ -17,6 +17,16 @@ struct SpecLimit {
   bool passes(double value) const { return value >= lower && value <= upper; }
 };
 
+/// How a device's ship/scrap decision was reached. A guarded signature
+/// tester (sigtest::GuardedRuntime) does not predict every part: suspect
+/// captures are retried, and parts whose captures never validate are
+/// measured conventionally instead.
+enum class Disposition {
+  kPredicted,             ///< Decided from the signature prediction.
+  kRetested,              ///< Predicted, but only after guard retries.
+  kRoutedToConventional,  ///< Measured per-spec on the ATE (exact decision).
+};
+
 /// Outcome counts from comparing limit decisions made on predicted specs
 /// against decisions on true specs.
 struct FlowResult {
@@ -24,6 +34,10 @@ struct FlowResult {
   int true_fail = 0;    ///< Bad part scrapped.
   int test_escape = 0;  ///< Bad part shipped (prediction said pass).
   int yield_loss = 0;   ///< Good part scrapped (prediction said fail).
+  int retested = 0;     ///< Predicted only after guard retries (also counted
+                        ///< in the four decision buckets above).
+  int routed_conventional = 0;  ///< Measured conventionally; their exact
+                                ///< decisions land in true_pass/true_fail.
 
   int total() const {
     return true_pass + true_fail + test_escape + yield_loss;
@@ -39,6 +53,17 @@ struct FlowResult {
 FlowResult run_production_flow(
     const std::vector<std::vector<double>>& truth,
     const std::vector<std::vector<double>>& predicted,
+    const std::vector<SpecLimit>& limits, double guard_band = 0.0);
+
+/// Disposition-aware flow: dispositions[i] says how device i was tested.
+/// Routed devices are measured conventionally -- their decision comes from
+/// truth[i] (no escape, no yield loss possible) and predicted[i] may be
+/// empty. Retested devices are predicted devices that consumed guard
+/// retries; they are decided like predictions and counted in `retested`.
+FlowResult run_production_flow(
+    const std::vector<std::vector<double>>& truth,
+    const std::vector<std::vector<double>>& predicted,
+    const std::vector<Disposition>& dispositions,
     const std::vector<SpecLimit>& limits, double guard_band = 0.0);
 
 /// Economics of the paper's "test earlier" strategy (Section 1): a cheap

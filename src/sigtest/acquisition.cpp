@@ -90,6 +90,26 @@ std::vector<double> pool_bins(const std::vector<double>& bins,
 
 }  // namespace
 
+Signature SignatureAcquirer::signature_from_capture(
+    const std::vector<double>& capture) const {
+  return to_signature(capture);
+}
+
+Signature SignatureAcquirer::acquire(const stf::rf::RfDut& dut,
+                                     const stf::dsp::PwlWaveform& stimulus,
+                                     stf::stats::Rng* rng,
+                                     const stf::rf::FaultInjector& faults,
+                                     std::uint64_t sequence) const {
+  STF_TRACE_SPAN("acq.acquire");
+  STF_COUNT("acq.signatures");
+  STF_COUNT("acq.faulted_signatures");
+  STF_REQUIRE(rng != nullptr,
+              "SignatureAcquirer::acquire: fault injection draws from rng");
+  std::vector<double> capture = raw_capture(dut, stimulus, rng);
+  faults.apply(capture, config_.digitizer.fs_hz, sequence, *rng);
+  return to_signature(capture);
+}
+
 Signature SignatureAcquirer::to_signature(
     const std::vector<double>& capture) const {
   if (!config_.use_fft_magnitude)

@@ -3,10 +3,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "dsp/pwl.hpp"
 #include "rf/dut.hpp"
+#include "rf/faults.hpp"
 #include "rf/loadboard.hpp"
 #include "sigtest/config.hpp"
 #include "stats/rng.hpp"
@@ -37,10 +39,26 @@ class SignatureAcquirer {
                     const stf::dsp::PwlWaveform& stimulus,
                     stf::stats::Rng* rng) const;
 
+  /// Acquire through a degraded measurement chain: the injector corrupts
+  /// the digitized capture (at `sequence` in the lot) before the signature
+  /// stage. Unlike the clean acquire(), no finiteness firewall runs -- a
+  /// corrupted signature is exactly what the guarded runtime must see and
+  /// classify, not an internal contract violation.
+  Signature acquire(const stf::rf::RfDut& dut,
+                    const stf::dsp::PwlWaveform& stimulus,
+                    stf::stats::Rng* rng, const stf::rf::FaultInjector& faults,
+                    std::uint64_t sequence) const;
+
   /// The digitized time-domain capture (before the FFT stage).
   std::vector<double> raw_capture(const stf::rf::RfDut& dut,
                                   const stf::dsp::PwlWaveform& stimulus,
                                   stf::stats::Rng* rng) const;
+
+  /// The signature stage alone: FFT-magnitude (or pooled time-domain) bins
+  /// of an already-digitized capture. Lets callers that need to inspect or
+  /// corrupt the capture (the guarded runtime, the fault benches) reuse
+  /// the exact production signature definition.
+  Signature signature_from_capture(const std::vector<double>& capture) const;
 
   /// Signature length produced by acquire() for this configuration.
   std::size_t signature_length() const;

@@ -131,7 +131,7 @@ void CalibrationModel::fit(const stf::la::Matrix& signatures,
 
 void fit_from_captures(CalibrationModel& model, std::size_t n_devices,
                        const CaptureFn& capture, const SpecsFn& specs,
-                       int n_avg) {
+                       int n_avg, CaptureFitData* retained) {
   STF_TRACE_SPAN("cal.fit_from_captures");
   STF_REQUIRE(n_devices >= 2, "fit_from_captures: need >= 2 devices");
   STF_REQUIRE(n_avg >= 1, "fit_from_captures: n_avg < 1");
@@ -186,7 +186,12 @@ void fit_from_captures(CalibrationModel& model, std::size_t n_devices,
     for (double& v : noise_var) v /= static_cast<double>(noise_dof);
     model.fit(signatures, spec_matrix, noise_var);
   } else {
+    noise_var.clear();
     model.fit(signatures, spec_matrix);
+  }
+  if (retained != nullptr) {
+    retained->signatures = std::move(signatures);
+    retained->noise_var = std::move(noise_var);
   }
 }
 

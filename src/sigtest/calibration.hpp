@@ -91,13 +91,25 @@ using CaptureFn = std::function<Signature(std::size_t device_index)>;
 /// Reference specification vector of training device i.
 using SpecsFn = std::function<std::vector<double>(std::size_t device_index)>;
 
+/// The raw material of one calibration pass: per-device averaged
+/// signatures (one row per device) and the per-bin single-capture noise
+/// variance estimated from the repeats (empty when n_avg == 1). Retained
+/// so signature-space screens (OutlierScreen, the guarded runtime's drift
+/// monitor) can be fitted on exactly the population the model saw.
+struct CaptureFitData {
+  stf::la::Matrix signatures;
+  std::vector<double> noise_var;
+};
+
 /// Shared calibration driver: averages n_avg captures per device,
 /// estimates the per-bin single-capture noise variance from the repeats,
 /// and fits the model with that estimate (enabling the SNR bin screen).
 /// Used by both the RF (FastestRuntime) and baseband-analog runtimes.
+/// When `retained` is non-null it receives the averaged signatures and
+/// noise estimate the fit consumed.
 void fit_from_captures(CalibrationModel& model, std::size_t n_devices,
                        const CaptureFn& capture, const SpecsFn& specs,
-                       int n_avg);
+                       int n_avg, CaptureFitData* retained = nullptr);
 
 /// Select the ridge strength by k-fold cross-validation over a candidate
 /// grid: for each lambda, fit on k-1 folds and score the held-out fold's

@@ -1,0 +1,182 @@
+#include "sigtest/guard.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "core/contracts.hpp"
+#include "core/telemetry.hpp"
+
+namespace stf::sigtest {
+
+GuardedRuntime::GuardedRuntime(const SignatureTestConfig& config,
+                               stf::dsp::PwlWaveform stimulus,
+                               std::vector<std::string> spec_names,
+                               GuardPolicy policy,
+                               CalibrationOptions cal_options,
+                               std::size_t max_signature_bins)
+    : runtime_(config, std::move(stimulus), std::move(spec_names),
+               cal_options, max_signature_bins),
+      policy_(policy) {
+  STF_REQUIRE(policy_.max_attempts >= 1, "GuardedRuntime: max_attempts < 1");
+  STF_REQUIRE(policy_.escalation_averages >= 1,
+              "GuardedRuntime: escalation_averages < 1");
+  STF_REQUIRE(policy_.outlier_threshold > 0.0,
+              "GuardedRuntime: outlier_threshold <= 0");
+  STF_REQUIRE(policy_.rail_fraction_limit > 0.0,
+              "GuardedRuntime: rail_fraction_limit <= 0");
+  STF_REQUIRE(policy_.drift_ewma_alpha > 0.0 && policy_.drift_ewma_alpha <= 1.0,
+              "GuardedRuntime: drift_ewma_alpha outside (0, 1]");
+}
+
+void GuardedRuntime::calibrate(
+    const std::vector<stf::rf::DeviceRecord>& training, stf::stats::Rng& rng,
+    int n_avg) {
+  runtime_.calibrate(training, rng, n_avg);
+  // The screen sees the same averaged signatures the regression trained on,
+  // with the per-bin variance inflated by the single-capture noise floor so
+  // production (single-capture) scores are not biased outward.
+  screen_.fit(runtime_.calibration_signatures(), runtime_.capture_noise_var());
+  reset_drift_monitor();
+}
+
+CaptureFlaw GuardedRuntime::inspect_capture(
+    const std::vector<double>& capture) const {
+  double peak = 0.0;
+  for (double v : capture) {
+    if (!std::isfinite(v)) return CaptureFlaw::kNonFinite;
+    peak = std::max(peak, std::abs(v));
+  }
+  // All-zero captures carry no railing evidence; the outlier screen decides.
+  if (peak <= 0.0) return CaptureFlaw::kNone;
+  // Railing: a clipped front-end pins samples to the same extreme code, so
+  // the capture's maximum is attained many times *exactly*. A clean noisy
+  // capture attains its maximum essentially once (additive noise breaks
+  // ties), so exact-equality counting separates the two without knowing the
+  // rail voltage.
+  const double rail = peak * (1.0 - 1e-9);
+  std::size_t at_rail = 0;
+  for (double v : capture)
+    if (std::abs(v) >= rail) ++at_rail;
+  if (static_cast<double>(at_rail) >
+      policy_.rail_fraction_limit * static_cast<double>(capture.size()))
+    return CaptureFlaw::kRailed;
+  return CaptureFlaw::kNone;
+}
+
+TestDisposition GuardedRuntime::test_device(
+    const stf::rf::RfDut& dut, stf::stats::Rng& rng,
+    const stf::rf::FaultInjector* faults, std::uint64_t sequence) const {
+  STF_TRACE_SPAN("guard.test_device");
+  STF_COUNT("guard.devices");
+  STF_REQUIRE(runtime_.calibrated(),
+              "GuardedRuntime::test_device: not calibrated");
+  const SignatureAcquirer& acq = runtime_.acquirer();
+  const double fs = acq.config().digitizer.fs_hz;
+  const std::size_t m = acq.signature_length();
+
+  TestDisposition d;
+  int n_avg = 1;
+  for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      STF_COUNT("guard.retries");
+      n_avg *= policy_.escalation_averages;
+      if (n_avg > 1) STF_COUNT("guard.escalations");
+    }
+    d.attempts = attempt;
+
+    // Acquire (and average) this attempt's captures, validating each one in
+    // the time domain before it contributes to the signature.
+    Signature avg(m, 0.0);
+    CaptureFlaw flaw = CaptureFlaw::kNone;
+    for (int c = 0; c < n_avg; ++c) {
+      std::vector<double> capture =
+          acq.raw_capture(dut, runtime_.stimulus(), &rng);
+      ++d.captures;
+      if (faults != nullptr) faults->apply(capture, fs, sequence, rng);
+      flaw = inspect_capture(capture);
+      if (flaw != CaptureFlaw::kNone) break;
+      const Signature s = acq.signature_from_capture(capture);
+      STF_ASSERT(s.size() == m, "GuardedRuntime: signature length mismatch");
+      for (std::size_t j = 0; j < m; ++j) avg[j] += s[j];
+    }
+    if (flaw != CaptureFlaw::kNone) {
+      d.last_flaw = flaw;
+      continue;  // retry with escalated averaging
+    }
+    for (double& v : avg) v /= static_cast<double>(n_avg);
+
+    // Signature-space validation: finiteness, then the calibration
+    // envelope. score() maps non-finite bins to +inf, so the order only
+    // affects the reported flaw label.
+    const double score = screen_.score(avg);
+    d.outlier_score = score;
+    if (!std::isfinite(score)) {
+      d.last_flaw = CaptureFlaw::kNonFinite;
+      continue;
+    }
+    if (score > policy_.outlier_threshold) {
+      d.last_flaw = CaptureFlaw::kOutlier;
+      continue;
+    }
+
+    d.last_flaw = CaptureFlaw::kNone;
+    d.kind = attempt == 1 ? DispositionKind::kPredicted
+                          : DispositionKind::kPredictedAfterRetry;
+    d.predicted = runtime_.predict(avg);
+    return d;
+  }
+
+  // Every attempt failed validation: do not predict. The production flow
+  // routes this part to conventional per-spec test.
+  d.kind = DispositionKind::kRoutedToConventional;
+  d.predicted.clear();
+  STF_COUNT("guard.routed");
+  return d;
+}
+
+DriftStatus GuardedRuntime::monitor_golden(const stf::rf::RfDut& golden,
+                                           stf::stats::Rng& rng,
+                                           const stf::rf::FaultInjector* faults,
+                                           std::uint64_t sequence) {
+  STF_TRACE_SPAN("guard.monitor_golden");
+  STF_COUNT("guard.drift_checks");
+  STF_REQUIRE(runtime_.calibrated(),
+              "GuardedRuntime::monitor_golden: not calibrated");
+  const SignatureAcquirer& acq = runtime_.acquirer();
+  std::vector<double> capture =
+      acq.raw_capture(golden, runtime_.stimulus(), &rng);
+  if (faults != nullptr)
+    faults->apply(capture, acq.config().digitizer.fs_hz, sequence, rng);
+
+  DriftStatus status;
+  status.score = screen_.score(acq.signature_from_capture(capture));
+  // A single wild golden capture should not trigger recalibration of the
+  // whole line; the EWMA demands a *sustained* wander. Non-finite scores
+  // saturate the EWMA to the alarm level instead of poisoning it with NaN.
+  const double score_for_ewma =
+      std::isfinite(status.score)
+          ? status.score
+          : policy_.drift_alarm_score / policy_.drift_ewma_alpha;
+  if (!drift_seeded_) {
+    drift_ewma_ = score_for_ewma;
+    drift_seeded_ = true;
+  } else {
+    drift_ewma_ = (1.0 - policy_.drift_ewma_alpha) * drift_ewma_ +
+                  policy_.drift_ewma_alpha * score_for_ewma;
+  }
+  status.ewma = drift_ewma_;
+  if (drift_ewma_ > policy_.drift_alarm_score && !drift_alarm_) {
+    drift_alarm_ = true;
+    STF_COUNT("guard.drift_alarms");
+  }
+  status.alarm = drift_alarm_;
+  return status;
+}
+
+void GuardedRuntime::reset_drift_monitor() {
+  drift_ewma_ = 0.0;
+  drift_seeded_ = false;
+  drift_alarm_ = false;
+}
+
+}  // namespace stf::sigtest

@@ -1,0 +1,157 @@
+// Guarded production runtime: capture validation, bounded retest with
+// escalating averaging, outlier routing, and golden-device drift monitoring
+// layered on FastestRuntime.
+//
+// FastestRuntime assumes every capture is clean; on a real tester the
+// measurement chain degrades (LO drift, digitizer railing, dropped samples,
+// intermittent contact -- see rf/faults.hpp) and a corrupted signature
+// would be regressed into a confidently wrong spec prediction. The
+// GuardedRuntime interposes a validation pipeline in front of the
+// regression:
+//
+//   capture -> finiteness firewall -> railing detector -> signature
+//           -> OutlierScreen envelope check -> predict
+//
+// A suspect capture is retried up to GuardPolicy::max_attempts times with
+// escalating capture averaging (transient faults average out; persistent
+// ones do not), and a device whose captures never validate is routed to
+// conventional per-spec test instead of being predicted -- the disposition
+// a production flow can act on. Every outcome is a typed TestDisposition;
+// the hot path never throws on bad data. Telemetry counters (guard.retries,
+// guard.escalations, guard.routed, guard.drift_alarms) expose the guard's
+// activity to the observability layer.
+//
+// The clean path is bit-compatible with the unguarded runtime: with no
+// faults and a capture that validates first try, test_device() consumes
+// exactly the same rng draws and produces exactly the same prediction as
+// FastestRuntime::test_device.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsp/pwl.hpp"
+#include "rf/faults.hpp"
+#include "rf/population.hpp"
+#include "sigtest/outlier.hpp"
+#include "sigtest/runtime.hpp"
+#include "stats/rng.hpp"
+
+namespace stf::sigtest {
+
+/// Knobs of the capture-validation and retest policy.
+struct GuardPolicy {
+  /// Total capture attempts per device (first try + retries).
+  int max_attempts = 3;
+  /// Captures averaged per retry attempt: attempt k >= 2 averages
+  /// escalation_averages^(k-1) captures, so escalation is geometric.
+  int escalation_averages = 4;
+  /// OutlierScreen score above which a signature is suspect.
+  double outlier_threshold = 4.0;
+  /// A capture is "railed" when more than this fraction of samples sit at
+  /// the capture's own extreme value (exact-equality railing; a clean noisy
+  /// capture attains its maximum essentially once). Note: a coarse
+  /// quantizer (Digitizer::bits small) can legitimately repeat the top
+  /// code; raise this limit for such configurations.
+  double rail_fraction_limit = 0.02;
+  /// EWMA smoothing factor of the golden-device drift monitor.
+  double drift_ewma_alpha = 0.25;
+  /// EWMA outlier-score level that raises the recalibration flag.
+  double drift_alarm_score = 2.0;
+};
+
+/// What the guard concluded about a device.
+enum class DispositionKind {
+  kPredicted,             ///< Clean first-attempt capture, prediction valid.
+  kPredictedAfterRetry,   ///< Validated only after retry/escalation.
+  kRoutedToConventional,  ///< Never validated: send to per-spec ATE test.
+};
+
+/// Why the most recent capture attempt was rejected.
+enum class CaptureFlaw {
+  kNone,       ///< Capture validated.
+  kNonFinite,  ///< NaN/Inf sample or signature bin.
+  kRailed,     ///< Clipping/railing detected in the time-domain capture.
+  kOutlier,    ///< Signature outside the calibration envelope.
+};
+
+/// Typed result of one guarded device test. No exceptions on the hot path:
+/// every outcome, including "do not trust a prediction for this part", is
+/// representable.
+struct TestDisposition {
+  DispositionKind kind = DispositionKind::kRoutedToConventional;
+  std::vector<double> predicted;  ///< Empty iff routed to conventional.
+  int attempts = 0;               ///< Capture attempts consumed.
+  int captures = 0;               ///< Individual captures consumed.
+  double outlier_score = 0.0;     ///< Screen score of the last signature.
+  CaptureFlaw last_flaw = CaptureFlaw::kNone;  ///< Last rejection reason.
+
+  bool has_prediction() const {
+    return kind != DispositionKind::kRoutedToConventional;
+  }
+};
+
+/// One golden-device drift check.
+struct DriftStatus {
+  double score = 0.0;  ///< This check's outlier score.
+  double ewma = 0.0;   ///< Smoothed score.
+  bool alarm = false;  ///< Recalibration flag (latched).
+};
+
+/// FastestRuntime plus the validation/retest/escalation/drift machinery.
+class GuardedRuntime {
+ public:
+  GuardedRuntime(const SignatureTestConfig& config,
+                 stf::dsp::PwlWaveform stimulus,
+                 std::vector<std::string> spec_names, GuardPolicy policy = {},
+                 CalibrationOptions cal_options = {},
+                 std::size_t max_signature_bins = 16);
+
+  /// Calibrate the regression AND fit the signature-space outlier screen on
+  /// the same averaged training signatures (inflated by the single-capture
+  /// noise floor, exactly as the calibration model normalizes). Resets the
+  /// drift monitor.
+  void calibrate(const std::vector<stf::rf::DeviceRecord>& training,
+                 stf::stats::Rng& rng, int n_avg = 8);
+
+  /// Guarded production test of one device. `faults` (optional) simulates a
+  /// degraded measurement chain; `sequence` is the device's lot position
+  /// (drives slow-drift faults). Deterministic: same seed, same scenario,
+  /// same disposition, at any STF_THREADS.
+  TestDisposition test_device(const stf::rf::RfDut& dut, stf::stats::Rng& rng,
+                              const stf::rf::FaultInjector* faults = nullptr,
+                              std::uint64_t sequence = 0) const;
+
+  /// Measure a golden (known-good, stable) device and update the EWMA drift
+  /// monitor. When the smoothed outlier score crosses
+  /// GuardPolicy::drift_alarm_score the recalibration flag latches: the
+  /// signature path itself -- not the device -- has wandered.
+  DriftStatus monitor_golden(const stf::rf::RfDut& golden,
+                             stf::stats::Rng& rng,
+                             const stf::rf::FaultInjector* faults = nullptr,
+                             std::uint64_t sequence = 0);
+
+  /// Latched drift alarm: predictions are suspect until recalibration.
+  bool recalibration_needed() const { return drift_alarm_; }
+  /// Clear the drift monitor (after recalibrating the physical path).
+  void reset_drift_monitor();
+
+  bool calibrated() const { return runtime_.calibrated(); }
+  const FastestRuntime& runtime() const { return runtime_; }
+  const OutlierScreen& screen() const { return screen_; }
+  const GuardPolicy& policy() const { return policy_; }
+
+ private:
+  /// Time-domain validation: finiteness + railing. Returns kNone if clean.
+  CaptureFlaw inspect_capture(const std::vector<double>& capture) const;
+
+  FastestRuntime runtime_;
+  GuardPolicy policy_;
+  OutlierScreen screen_;
+  // Drift-monitor state.
+  double drift_ewma_ = 0.0;
+  bool drift_seeded_ = false;
+  bool drift_alarm_ = false;
+};
+
+}  // namespace stf::sigtest

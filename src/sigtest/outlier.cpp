@@ -1,6 +1,7 @@
 #include "sigtest/outlier.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "core/contracts.hpp"
@@ -40,6 +41,13 @@ double OutlierScreen::score(const Signature& signature) const {
               "OutlierScreen::score: length mismatch");
   double acc = 0.0;
   for (std::size_t j = 0; j < signature.size(); ++j) {
+    // A non-finite bin means the capture itself is corrupted -- infinitely
+    // far from the calibration cloud, never in-population. Without this, a
+    // NaN bin made the whole score NaN, the `score > threshold` comparison
+    // came out false, and a corrupted capture was *predicted* (the exact
+    // test-escape mode this screen exists to prevent).
+    if (!std::isfinite(signature[j]))
+      return std::numeric_limits<double>::infinity();
     const double z = (signature[j] - mean_[j]) / scale_[j];
     acc += z * z;
   }
@@ -49,7 +57,9 @@ double OutlierScreen::score(const Signature& signature) const {
 bool OutlierScreen::is_outlier(const Signature& signature,
                                double threshold) const {
   STF_REQUIRE(threshold > 0.0, "OutlierScreen::is_outlier: bad threshold");
-  return score(signature) > threshold;
+  // Negated <= so a non-finite score (belt-and-braces: score() already maps
+  // corrupted bins to +inf) still classifies as an outlier.
+  return !(score(signature) <= threshold);
 }
 
 }  // namespace stf::sigtest

@@ -27,10 +27,13 @@ class OutlierScreen {
            const std::vector<double>& noise_var = {});
 
   /// Normalized distance: sqrt(mean_j z_j^2) with z_j the per-bin z-score.
-  /// ~1 for in-population devices, growing with atypicality.
+  /// ~1 for in-population devices, growing with atypicality. A signature
+  /// with any non-finite bin scores +infinity: a corrupted capture is by
+  /// definition outside the population.
   double score(const Signature& signature) const;
 
-  /// True when score() exceeds the threshold.
+  /// True when score() exceeds the threshold; non-finite scores (corrupted
+  /// captures) always count as outliers.
   bool is_outlier(const Signature& signature, double threshold = 4.0) const;
 
   bool fitted() const { return fitted_; }

@@ -44,7 +44,7 @@ void FastestRuntime::calibrate(
                     "FastestRuntime: spec vector mismatch");
         return p;
       },
-      n_avg);
+      n_avg, &cal_data_);
 }
 
 std::vector<double> FastestRuntime::test_device(const stf::rf::RfDut& dut,
@@ -53,6 +53,21 @@ std::vector<double> FastestRuntime::test_device(const stf::rf::RfDut& dut,
   STF_COUNT("runtime.devices_tested");
   STF_REQUIRE(model_.fitted(), "FastestRuntime::test_device: not calibrated");
   return model_.predict(acquirer_.acquire(dut, stimulus_, &rng));
+}
+
+std::vector<double> FastestRuntime::test_device(
+    const stf::rf::RfDut& dut, stf::stats::Rng& rng,
+    const stf::rf::FaultInjector& faults, std::uint64_t sequence) const {
+  STF_TRACE_SPAN("runtime.test_device");
+  STF_COUNT("runtime.devices_tested");
+  STF_REQUIRE(model_.fitted(), "FastestRuntime::test_device: not calibrated");
+  return model_.predict(acquirer_.acquire(dut, stimulus_, &rng, faults,
+                                          sequence));
+}
+
+std::vector<double> FastestRuntime::predict(const Signature& signature) const {
+  STF_REQUIRE(model_.fitted(), "FastestRuntime::predict: not calibrated");
+  return model_.predict(signature);
 }
 
 ValidationReport FastestRuntime::validate(

@@ -55,6 +55,21 @@ class FastestRuntime {
   std::vector<double> test_device(const stf::rf::RfDut& dut,
                                   stf::stats::Rng& rng) const;
 
+  /// Production-test one device through a degraded measurement chain: the
+  /// fault injector corrupts the digitized capture before the signature
+  /// stage (device `sequence` in the lot drives the slow-drift faults).
+  /// This is the *unguarded* baseline the escape-rate benches compare
+  /// GuardedRuntime against: a corrupted signature is regressed into spec
+  /// predictions without any validation.
+  std::vector<double> test_device(const stf::rf::RfDut& dut,
+                                  stf::stats::Rng& rng,
+                                  const stf::rf::FaultInjector& faults,
+                                  std::uint64_t sequence) const;
+
+  /// Regression evaluation alone: map an already-acquired signature to
+  /// specs (the guarded runtime validates captures first, then predicts).
+  std::vector<double> predict(const Signature& signature) const;
+
   /// Test every validation device and compare predictions against their
   /// reference specs.
   ValidationReport validate(const std::vector<stf::rf::DeviceRecord>& devices,
@@ -62,13 +77,27 @@ class FastestRuntime {
 
   const SignatureAcquirer& acquirer() const { return acquirer_; }
   const stf::dsp::PwlWaveform& stimulus() const { return stimulus_; }
+  const std::vector<std::string>& spec_names() const { return spec_names_; }
   bool calibrated() const { return model_.fitted(); }
+
+  /// Averaged calibration signatures (one row per training device),
+  /// retained by calibrate() so signature-space screens can be fitted on
+  /// exactly the population the regression saw. Empty before calibration.
+  const stf::la::Matrix& calibration_signatures() const {
+    return cal_data_.signatures;
+  }
+  /// Per-bin single-capture noise variance estimated during calibration
+  /// (empty when calibrated with n_avg == 1).
+  const std::vector<double>& capture_noise_var() const {
+    return cal_data_.noise_var;
+  }
 
  private:
   SignatureAcquirer acquirer_;
   stf::dsp::PwlWaveform stimulus_;
   std::vector<std::string> spec_names_;
   CalibrationModel model_;
+  CaptureFitData cal_data_;
 };
 
 }  // namespace stf::sigtest

@@ -125,6 +125,63 @@ TEST(Flow, TwoSidedAndMultipleLimits) {
   EXPECT_EQ(r.true_fail, 2);
 }
 
+TEST(Flow, DispositionOverloadAccountsRoutedAndRetested) {
+  // Device 0: good, predicted -> true pass.
+  // Device 1: bad, predicted good after retry -> escape, counted retested.
+  // Device 2: bad, routed to conventional (no prediction) -> exact decision,
+  //           true fail, no escape.
+  // Device 3: good, routed -> true pass even with an empty prediction.
+  std::vector<std::vector<double>> truth = {{15.0}, {13.0}, {13.0}, {15.0}};
+  std::vector<std::vector<double>> pred = {{15.1}, {14.5}, {}, {}};
+  std::vector<Disposition> disp = {
+      Disposition::kPredicted, Disposition::kRetested,
+      Disposition::kRoutedToConventional, Disposition::kRoutedToConventional};
+  std::vector<SpecLimit> limits = {{"gain", 14.0, kInf}};
+  auto r = run_production_flow(truth, pred, disp, limits);
+  EXPECT_EQ(r.true_pass, 2);
+  EXPECT_EQ(r.true_fail, 1);
+  EXPECT_EQ(r.test_escape, 1);
+  EXPECT_EQ(r.yield_loss, 0);
+  EXPECT_EQ(r.retested, 1);
+  EXPECT_EQ(r.routed_conventional, 2);
+  EXPECT_EQ(r.total(), 4);
+  // Routing the escaping device instead makes the escape impossible.
+  disp[1] = Disposition::kRoutedToConventional;
+  auto r2 = run_production_flow(truth, pred, disp, limits);
+  EXPECT_EQ(r2.test_escape, 0);
+  EXPECT_EQ(r2.true_fail, 2);
+  EXPECT_EQ(r2.routed_conventional, 3);
+}
+
+TEST(Flow, DispositionOverloadMatchesLegacyWhenAllPredicted) {
+  std::vector<std::vector<double>> truth = {{13.0}, {15.0}, {14.5}};
+  std::vector<std::vector<double>> pred = {{14.5}, {13.5}, {14.6}};
+  std::vector<SpecLimit> limits = {{"gain", 14.0, kInf}};
+  std::vector<Disposition> disp(truth.size(), Disposition::kPredicted);
+  const auto legacy = run_production_flow(truth, pred, limits, 0.1);
+  const auto typed = run_production_flow(truth, pred, disp, limits, 0.1);
+  EXPECT_EQ(typed.true_pass, legacy.true_pass);
+  EXPECT_EQ(typed.true_fail, legacy.true_fail);
+  EXPECT_EQ(typed.test_escape, legacy.test_escape);
+  EXPECT_EQ(typed.yield_loss, legacy.yield_loss);
+  EXPECT_EQ(typed.retested, 0);
+  EXPECT_EQ(typed.routed_conventional, 0);
+}
+
+TEST(Flow, DispositionOverloadValidatesSizes) {
+  std::vector<std::vector<double>> truth = {{15.0}, {15.0}};
+  std::vector<std::vector<double>> pred = {{15.0}, {15.0}};
+  std::vector<SpecLimit> limits = {{"gain", 14.0, kInf}};
+  std::vector<Disposition> short_disp = {Disposition::kPredicted};
+  EXPECT_THROW(run_production_flow(truth, pred, short_disp, limits),
+               std::invalid_argument);
+  // A predicted device with an empty prediction vector is a caller bug.
+  std::vector<std::vector<double>> holey = {{15.0}, {}};
+  std::vector<Disposition> disp(2, Disposition::kPredicted);
+  EXPECT_THROW(run_production_flow(truth, holey, disp, limits),
+               std::invalid_argument);
+}
+
 TEST(Flow, InvalidInputsThrow) {
   std::vector<std::vector<double>> a = {{1.0}};
   std::vector<std::vector<double>> b = {{1.0}, {2.0}};

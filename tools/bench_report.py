@@ -110,13 +110,28 @@ def summarize(path: Path) -> None:
             line += f"  [{pairs}]"
         print(line)
 
+    telemetry_lines = []
     hits = counters.get("BM_SignatureAcquisition", {})
     hit = hits.get("fft.plan_cache_hit", 0.0)
     miss = hits.get("fft.plan_cache_miss", 0.0)
     if hit + miss > 0:
+        telemetry_lines.append(
+            f"  signature-acquisition fft plan-cache hit rate: "
+            f"{hit / (hit + miss):.4f}")
+    for bench in ("BM_GuardedTestDevice", "BM_GuardedTestDeviceFaulted"):
+        guard = counters.get(bench, {})
+        if any(k.startswith("guard.") for k in guard):
+            chain = "clean chain" if bench == "BM_GuardedTestDevice" \
+                else "faulted chain"
+            telemetry_lines.append(
+                f"  {bench} ({chain}): "
+                f"retries={guard.get('guard.retries', 0.0):.3g}/part, "
+                f"escalations={guard.get('guard.escalations', 0.0):.3g}/part, "
+                f"routed={guard.get('guard.routed', 0.0):.3g}/part")
+    if telemetry_lines:
         print("telemetry counters:")
-        print(f"  signature-acquisition fft plan-cache hit rate: "
-              f"{hit / (hit + miss):.4f}")
+        for line in telemetry_lines:
+            print(line)
 
     print("derived ratios:")
     derived = [
@@ -130,6 +145,8 @@ def summarize(path: Path) -> None:
         ratio_line(times, "optimize_stimulus 4-thread speedup (1T/4T)",
                    "BM_OptimizeStimulusThreads/1/real_time",
                    "BM_OptimizeStimulusThreads/4/real_time"),
+        ratio_line(times, "guarded test, faulted-chain cost (faulted/clean)",
+                   "BM_GuardedTestDeviceFaulted", "BM_GuardedTestDevice"),
     ]
     printed = False
     for line in derived:

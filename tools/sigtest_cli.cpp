@@ -11,10 +11,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "ate/flow.hpp"
 #include "circuit/ac.hpp"
 #include "circuit/dc.hpp"
 #include "circuit/lna900.hpp"
@@ -22,7 +24,9 @@
 #include "circuit/sparams.hpp"
 #include "common.hpp"
 #include "core/telemetry.hpp"
+#include "rf/faults.hpp"
 #include "sigtest/analog.hpp"
+#include "sigtest/guard.hpp"
 #include "stats/rng.hpp"
 
 namespace {
@@ -34,6 +38,7 @@ int usage() {
       stderr,
       "usage: sigtest_cli <command> [options]\n"
       "  sim-study  [--seed N] [--train N] [--val N]   paper Sec. 4.1 flow\n"
+      "             [--fault SPEC] [--guard]           fault-injected lot\n"
       "  hw-study   [--seed N]                         paper Sec. 4.2 flow\n"
       "  characterize [--temp KELVIN]                  nominal LNA specs\n"
       "  netlist-op  FILE                              DC operating point\n"
@@ -42,7 +47,15 @@ int usage() {
       "global options (any command):\n"
       "  --trace-out FILE   write a Chrome trace_event JSON of the run\n"
       "                     (load in chrome://tracing or ui.perfetto.dev)\n"
-      "  --stats            print the telemetry summary table on exit\n");
+      "  --stats            print the telemetry summary table on exit\n"
+      "fault injection (sim-study):\n"
+      "  --fault SPEC       corrupt production captures; SPEC is a comma-\n"
+      "                     separated list of name:p1[:p2] terms with names\n"
+      "                     lo, clip, stuck, drop, contact, wander, gain,\n"
+      "                     e.g. --fault clip:0.1,contact:0.02:0.05\n"
+      "  --guard            test the lot with the guarded runtime (capture\n"
+      "                     validation, retry/escalation, outlier routing)\n"
+      "                     instead of trusting every prediction\n");
   return 2;
 }
 
@@ -98,18 +111,118 @@ double opt_num(const std::vector<std::string>& args, const std::string& key,
   return fallback;
 }
 
+// --key value string option lookup; returns fallback when absent.
+std::string opt_str(const std::vector<std::string>& args,
+                    const std::string& key, const std::string& fallback) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i)
+    if (args[i] == key) return args[i + 1];
+  return fallback;
+}
+
+bool has_flag(const std::vector<std::string>& args, const std::string& key) {
+  for (const auto& a : args)
+    if (a == key) return true;
+  return false;
+}
+
+// Production-lot pass under an optional fault scenario: every device of a
+// 200-part lot is tested against datasheet limits, unguarded (trust every
+// prediction) or guarded (validate / retry / escalate / route).
+int run_faulted_lot(const bench::SimStudyResult& study,
+                    const rf::FaultInjector& faults, bool guard) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const auto cfg = sigtest::SignatureTestConfig::simulation_study();
+  const auto cal = rf::make_lna_population(100, 0.2, 42);
+  const auto lot = rf::make_lna_population(200, 0.2, 77);
+  const std::vector<ate::SpecLimit> limits = {
+      {"gain_db", 14.2, 15.6},
+      {"nf_db", -kInf, 3.2},
+      {"iip3_dbm", -14.3, kInf},
+  };
+
+  std::printf("\nproduction lot: 200 devices, fault scenario %s, %s\n",
+              faults.empty() ? "none" : faults.describe().c_str(),
+              guard ? "guarded runtime" : "unguarded runtime");
+
+  std::vector<std::vector<double>> truth;
+  for (const auto& dev : lot) truth.push_back(dev.specs.to_vector());
+
+  ate::FlowResult flow;
+  if (guard) {
+    sigtest::GuardPolicy policy;
+    policy.outlier_threshold = 2.5;
+    sigtest::GuardedRuntime runtime(cfg, study.stimulus,
+                                    circuit::LnaSpecs::names(), policy);
+    stats::Rng cal_rng(7);
+    runtime.calibrate(cal, cal_rng);
+    stats::Rng rng(9001);
+    std::vector<std::vector<double>> predicted;
+    std::vector<ate::Disposition> dispositions;
+    int retries = 0, routed = 0;
+    for (std::size_t i = 0; i < lot.size(); ++i) {
+      const auto d = runtime.test_device(
+          *lot[i].dut, rng, faults.empty() ? nullptr : &faults, i);
+      retries += d.attempts - 1;
+      switch (d.kind) {
+        case sigtest::DispositionKind::kPredicted:
+          dispositions.push_back(ate::Disposition::kPredicted);
+          break;
+        case sigtest::DispositionKind::kPredictedAfterRetry:
+          dispositions.push_back(ate::Disposition::kRetested);
+          break;
+        case sigtest::DispositionKind::kRoutedToConventional:
+          dispositions.push_back(ate::Disposition::kRoutedToConventional);
+          ++routed;
+          break;
+      }
+      predicted.push_back(d.predicted);
+    }
+    flow = ate::run_production_flow(truth, predicted, dispositions, limits,
+                                    0.25);
+    std::printf("  guard activity: %d retries, %d routed to conventional,"
+                " %d retested\n",
+                retries, routed, flow.retested);
+  } else {
+    sigtest::FastestRuntime runtime(cfg, study.stimulus,
+                                    circuit::LnaSpecs::names());
+    stats::Rng cal_rng(7);
+    runtime.calibrate(cal, cal_rng);
+    stats::Rng rng(9001);
+    std::vector<std::vector<double>> predicted;
+    for (std::size_t i = 0; i < lot.size(); ++i)
+      predicted.push_back(
+          faults.empty()
+              ? runtime.test_device(*lot[i].dut, rng)
+              : runtime.test_device(*lot[i].dut, rng, faults, i));
+    flow = ate::run_production_flow(truth, predicted, limits, 0.25);
+  }
+  std::printf("  pass %d, fail %d, escapes %d, yield loss %d"
+              " (escape rate %.4f, yield-loss rate %.4f)\n",
+              flow.true_pass, flow.true_fail, flow.test_escape,
+              flow.yield_loss, flow.escape_rate(), flow.yield_loss_rate());
+  return 0;
+}
+
 int cmd_sim_study(const std::vector<std::string>& args) {
   bench::SimStudyOptions opts;
   opts.population_seed =
       static_cast<std::uint64_t>(opt_num(args, "--seed", 42));
   opts.n_train = static_cast<std::size_t>(opt_num(args, "--train", 100));
   opts.n_val = static_cast<std::size_t>(opt_num(args, "--val", 25));
+  const std::string fault_spec = opt_str(args, "--fault", "");
+  const bool guard = has_flag(args, "--guard");
   const auto result = bench::run_simulation_study(opts);
   std::printf("simulation study: %zu train / %zu validate, GA objective"
               " %.4e\n",
               opts.n_train, opts.n_val, result.ga_objective);
   for (const auto& spec : result.report.specs)
     bench::print_error_summary(spec, "");
+  if (!fault_spec.empty() || guard) {
+    const auto faults = fault_spec.empty()
+                            ? rf::FaultInjector{}
+                            : rf::FaultInjector::parse(fault_spec);
+    return run_faulted_lot(result, faults, guard);
+  }
   return 0;
 }
 

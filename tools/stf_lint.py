@@ -23,6 +23,12 @@ Rules, all scoped to src/:
                    outside src/core/ -- use stf::core::parallel_for /
                    parallel_map so thread counts, determinism and nested
                    parallelism stay centrally managed
+  no-empty-catch   no empty `catch (...) {}` outside src/core/ -- silently
+                   swallowing every exception hides contract violations and
+                   corrupted-capture errors the guarded runtime must surface
+                   as typed dispositions; handle, translate, or let it
+                   propagate (the pool-teardown catches in src/core/ are the
+                   single sanctioned exception)
 
 The checked-access rule is a heuristic: a call is accepted when "empty(" or
 the escape comment appears on the same line or in the 15 lines above it.
@@ -127,6 +133,26 @@ def check_raw_threads(path: Path, lines: list[str],
                 "src/core/; use stf::core::parallel_for or parallel_map")
 
 
+EMPTY_CATCH_RE = re.compile(r"catch\s*\(\s*\.\.\.\s*\)\s*\{\s*\}")
+
+
+def check_empty_catch(path: Path, lines: list[str],
+                      errors: list[str]) -> None:
+    # The worker-pool teardown in src/core/ legitimately swallows exceptions
+    # from detached workers; everywhere else an empty catch-all turns a
+    # detectable failure into a silent wrong answer. The guarded runtime
+    # exists precisely to classify bad data -- not to ignore it.
+    if path.parent.name == "core":
+        return
+    # Join so `catch (...) {` / `}` split across lines is still caught.
+    code = "\n".join(strip_line_comment(l) for l in lines)
+    for m in EMPTY_CATCH_RE.finditer(code):
+        line_no = code.count("\n", 0, m.start()) + 1
+        errors.append(
+            f"{path}:{line_no}: no-empty-catch: empty 'catch (...)' outside "
+            "src/core/; handle the error, translate it, or let it propagate")
+
+
 def check_front_back(path: Path, lines: list[str], errors: list[str]) -> None:
     for idx, line in enumerate(lines):
         if not ACCESS_RE.search(strip_line_comment(line)):
@@ -168,12 +194,14 @@ def main(argv: list[str]) -> int:
         check_pragma_once(path, lines, errors)
         check_banned_calls(path, lines, errors)
         check_raw_threads(path, lines, errors)
+        check_empty_catch(path, lines, errors)
         check_front_back(path, lines, errors)
     for path in sorted(src.rglob("*.cpp")):
         lines = path.read_text(errors="replace").splitlines()
         check_include_order(path, lines, errors)
         check_banned_calls(path, lines, errors)
         check_raw_threads(path, lines, errors)
+        check_empty_catch(path, lines, errors)
         check_front_back(path, lines, errors)
     check_test_coverage(root, errors)
 
