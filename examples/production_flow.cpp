@@ -6,8 +6,12 @@
 //   (b) signature testing on a low-cost tester (predicted specs, 5 us
 //       acquisition) with a guard band against prediction error.
 // Prints the confusion matrix (test escapes / yield loss), throughput and
-// cost per part for each flow.
+// cost per part for each flow, then re-runs the lot through the batched
+// guarded pipeline (sigtest::BatchRuntime) and verifies its dispositions
+// match the serial guarded reference device for device.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <limits>
@@ -20,6 +24,7 @@
 #include "circuit/lna900.hpp"
 #include "core/telemetry.hpp"
 #include "rf/population.hpp"
+#include "sigtest/batch.hpp"
 #include "sigtest/optimizer.hpp"
 #include "sigtest/runtime.hpp"
 #include "stats/rng.hpp"
@@ -33,6 +38,7 @@ int main(int argc, char** argv) {
   // optimize-calibrate-screen flow. CI uploads the trace as an artifact.
   std::string trace_path;
   bool stats = false;
+  std::size_t batch_size = 16;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--stats") stats = true;
@@ -40,12 +46,19 @@ int main(int argc, char** argv) {
       trace_path = a.substr(std::strlen("--trace-out="));
     else if (a == "--trace-out" && i + 1 < argc)
       trace_path = argv[++i];
+    else if (a.rfind("--batch=", 0) == 0)
+      batch_size = static_cast<std::size_t>(
+          std::strtoul(a.c_str() + std::strlen("--batch="), nullptr, 10));
+    else if (a == "--batch" && i + 1 < argc)
+      batch_size = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     else {
       std::fprintf(stderr,
-                   "usage: production_flow [--trace-out FILE] [--stats]\n");
+                   "usage: production_flow [--trace-out FILE] [--stats]"
+                   " [--batch N]\n");
       return 2;
     }
   }
+  if (batch_size == 0) batch_size = 16;
   if (stats || !trace_path.empty()) core::telemetry::set_enabled(true);
 
   // Datasheet limits sized so the +/-20% process lot has imperfect yield.
@@ -105,6 +118,62 @@ int main(int argc, char** argv) {
   std::printf("signature:    %6.3f s, %8.0f parts/hour, $%.4f\n",
               sig.total_time_s(), ate::parts_per_hour(sig.total_time_s()),
               low_cost.cost_per_part(sig.total_time_s()));
+
+  // --- batched guarded throughput. ---
+  // The same lot, now with capture validation and the batched test-cell
+  // pipeline. The batched dispositions must match a serial guarded pass
+  // device for device (each device owns the child stream derive(i)); the
+  // speedup is reported so the example doubles as a smoke benchmark.
+  {
+    sigtest::GuardPolicy policy;
+    policy.outlier_threshold = 2.5;
+    sigtest::BatchOptions bopts;
+    bopts.batch_size = batch_size;
+    sigtest::BatchRuntime batched(config, optimized.waveform,
+                                  circuit::LnaSpecs::names(), policy, bopts);
+    stats::Rng cal_rng(11);
+    batched.calibrate(cal_devices, cal_rng);
+    const stats::Rng lot_rng(9001);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const sigtest::LotResult batch_result = batched.test_lot(lot, lot_rng);
+    const double batch_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    const auto t1 = std::chrono::steady_clock::now();
+    std::vector<sigtest::TestDisposition> serial(lot.size());
+    for (std::size_t i = 0; i < lot.size(); ++i) {
+      stats::Rng child = lot_rng.derive(i);
+      serial[i] = batched.guarded().test_device(*lot[i].dut, child, nullptr, i);
+    }
+    const double serial_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t1)
+            .count();
+
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < lot.size(); ++i)
+      if (batch_result.dispositions[i].kind != serial[i].kind ||
+          batch_result.dispositions[i].predicted != serial[i].predicted)
+        ++mismatches;
+
+    std::printf("\n=== Batched guarded pipeline (batch %zu) ===\n", batch_size);
+    std::printf("serial:  %7.3f s, %8.0f devices/sec\n", serial_s,
+                serial_s > 0 ? static_cast<double>(lot.size()) / serial_s : 0);
+    std::printf("batched: %7.3f s, %8.0f devices/sec (%.2fx)\n", batch_s,
+                batch_s > 0 ? static_cast<double>(lot.size()) / batch_s : 0,
+                batch_s > 0 ? serial_s / batch_s : 0);
+    std::printf("dispositions: %zu predicted, %zu retried, %zu routed, "
+                "%zu mismatches vs serial\n",
+                batch_result.predicted, batch_result.retried,
+                batch_result.routed, mismatches);
+    if (mismatches != 0) {
+      std::fprintf(stderr,
+                   "production_flow: batched dispositions diverged from the "
+                   "serial guarded reference\n");
+      return 1;
+    }
+  }
 
   if (!trace_path.empty()) {
     std::ofstream out(trace_path);

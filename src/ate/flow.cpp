@@ -77,6 +77,32 @@ FlowResult run_production_flow(
   return r;
 }
 
+FlowResult run_production_flow(
+    const std::vector<std::vector<double>>& truth,
+    const std::vector<stf::sigtest::TestDisposition>& lot,
+    const std::vector<SpecLimit>& limits, double guard_band) {
+  STF_REQUIRE(truth.size() == lot.size(),
+              "run_production_flow: device count mismatch");
+  std::vector<std::vector<double>> predicted(lot.size());
+  std::vector<Disposition> dispositions(lot.size());
+  for (std::size_t i = 0; i < lot.size(); ++i) {
+    predicted[i] = lot[i].predicted;
+    switch (lot[i].kind) {
+      case stf::sigtest::DispositionKind::kPredicted:
+        dispositions[i] = Disposition::kPredicted;
+        break;
+      case stf::sigtest::DispositionKind::kPredictedAfterRetry:
+        dispositions[i] = Disposition::kRetested;
+        break;
+      case stf::sigtest::DispositionKind::kRoutedToConventional:
+        dispositions[i] = Disposition::kRoutedToConventional;
+        break;
+    }
+  }
+  return run_production_flow(truth, predicted, dispositions, limits,
+                             guard_band);
+}
+
 TwoStageResult run_two_stage_flow(
     const std::vector<std::vector<double>>& truth,
     const std::vector<std::vector<double>>& wafer_predicted,

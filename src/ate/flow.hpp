@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "sigtest/guard.hpp"
+
 namespace stf::ate {
 
 /// Lower/upper limit per specification; use +/-infinity for one-sided.
@@ -64,6 +66,16 @@ FlowResult run_production_flow(
     const std::vector<std::vector<double>>& truth,
     const std::vector<std::vector<double>>& predicted,
     const std::vector<Disposition>& dispositions,
+    const std::vector<SpecLimit>& limits, double guard_band = 0.0);
+
+/// Guard/batch-native flow: consumes sigtest dispositions directly (the
+/// exact type GuardedRuntime::test_device and BatchRuntime::test_lot
+/// produce), mapping kPredicted / kPredictedAfterRetry /
+/// kRoutedToConventional onto the disposition-aware overload above. Routed
+/// devices carry no prediction; their decision comes from truth[i].
+FlowResult run_production_flow(
+    const std::vector<std::vector<double>>& truth,
+    const std::vector<stf::sigtest::TestDisposition>& lot,
     const std::vector<SpecLimit>& limits, double guard_band = 0.0);
 
 /// Economics of the paper's "test earlier" strategy (Section 1): a cheap

@@ -199,11 +199,15 @@ std::size_t parse_thread_count(const std::string& text) {
     if (c < '0' || c > '9')
       throw std::invalid_argument(
           "STF_THREADS: expected a positive integer, got \"" + text + "\"");
-    value = value * 10 + static_cast<std::size_t>(c - '0');
-    if (value > kMaxThreads)
+    const auto digit = static_cast<std::size_t>(c - '0');
+    // Overflow-safe accumulation: reject before the multiply/add could wrap,
+    // so an absurd value (e.g. 2^64 + 1) can never alias back into range.
+    if (value > (std::numeric_limits<std::size_t>::max() - digit) / 10 ||
+        value * 10 + digit > kMaxThreads)
       throw std::invalid_argument(
           "STF_THREADS: value out of range [1, " +
           std::to_string(kMaxThreads) + "]: \"" + text + "\"");
+    value = value * 10 + digit;
   }
   if (value == 0)
     throw std::invalid_argument("STF_THREADS: must be >= 1, got \"" + text +

@@ -1,0 +1,136 @@
+#include "core/pipeline.hpp"
+
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <memory>
+#include <thread>
+
+#include "core/parallel.hpp"
+#include "core/telemetry.hpp"
+
+namespace stf::core {
+
+namespace {
+
+/// Shared state of one run_pipeline invocation.
+struct PipelineRun {
+  std::size_t n_items = 0;
+  const std::vector<PipelineStage>* stages = nullptr;
+  std::vector<std::unique_ptr<BoundedQueue<std::size_t>>> queues;
+  /// Workers of stage s still running; the last one out closes queues[s].
+  std::vector<std::atomic<std::size_t>> live_workers;
+  std::atomic<std::size_t> cursor{0};   // stage-0 item claims
+  std::atomic<bool> cancelled{false};
+
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  std::size_t error_item = std::numeric_limits<std::size_t>::max();
+  std::size_t error_stage = std::numeric_limits<std::size_t>::max();
+};
+
+/// Keep only the exception of the lowest item (ties: earliest stage), the
+/// pipeline flavor of parallel_for's lowest-index rule, so the rethrown
+/// error does not depend on worker scheduling.
+void record_error(PipelineRun& run, std::size_t item, std::size_t stage) {
+  const std::lock_guard<std::mutex> lock(run.error_mutex);
+  if (item < run.error_item ||
+      (item == run.error_item && stage < run.error_stage)) {
+    run.error_item = item;
+    run.error_stage = stage;
+    run.error = std::current_exception();
+  }
+}
+
+/// Worker loop of one stage: claim (stage 0) or pop (later stages) items,
+/// run the body unless the run was cancelled, and forward downstream. After
+/// a failure the loop keeps draining so every queue empties and every
+/// worker joins -- a clean shutdown, never a hang.
+void stage_worker(PipelineRun& run, std::size_t s) {
+  const PipelineStage& stage = (*run.stages)[s];
+  const std::size_t last = run.stages->size() - 1;
+  while (true) {
+    std::size_t item = 0;
+    if (s == 0) {
+      item = run.cursor.fetch_add(1, std::memory_order_relaxed);
+      if (item >= run.n_items) break;
+    } else if (!run.queues[s - 1]->pop(item)) {
+      break;
+    }
+    if (!run.cancelled.load(std::memory_order_relaxed)) {
+      try {
+        const telemetry::SpanScope span(stage.name);
+        stage.body(item);
+      } catch (...) {
+        record_error(run, item, s);
+        run.cancelled.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (s < last)
+      run.queues[s]->push(item);
+    else
+      STF_COUNT("pipeline.items");
+  }
+  if (run.live_workers[s].fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+      s < last)
+    run.queues[s]->close();
+}
+
+void validate(std::size_t /*n_items*/, const std::vector<PipelineStage>& stages,
+              std::size_t queue_capacity) {
+  STF_REQUIRE(!stages.empty(), "run_pipeline: no stages");
+  STF_REQUIRE(queue_capacity >= 1, "run_pipeline: queue_capacity < 1");
+  for (const PipelineStage& s : stages) {
+    STF_REQUIRE(s.workers >= 1, "run_pipeline: stage with zero workers");
+    STF_REQUIRE(static_cast<bool>(s.body), "run_pipeline: stage without body");
+    STF_REQUIRE(s.name != nullptr, "run_pipeline: stage without name");
+  }
+}
+
+}  // namespace
+
+void run_pipeline(std::size_t n_items, const std::vector<PipelineStage>& stages,
+                  std::size_t queue_capacity) {
+  validate(n_items, stages, queue_capacity);
+  if (n_items == 0) return;
+  STF_COUNT("pipeline.runs");
+
+  // Inline path: single-thread configuration, or already inside a parallel
+  // region (mirrors parallel_for's nested-loop rule). Stage order per item
+  // is preserved exactly; items run in index order, so the first exception
+  // is automatically the lowest-item one.
+  if (thread_count() == 1 || in_parallel_region()) {
+    for (std::size_t i = 0; i < n_items; ++i)
+      for (const PipelineStage& stage : stages) {
+        const telemetry::SpanScope span(stage.name);
+        stage.body(i);
+      }
+    STF_COUNT("pipeline.items", n_items);
+    return;
+  }
+
+  PipelineRun run;
+  run.n_items = n_items;
+  run.stages = &stages;
+  run.queues.reserve(stages.size() - 1);
+  for (std::size_t s = 0; s + 1 < stages.size(); ++s)
+    run.queues.push_back(
+        std::make_unique<BoundedQueue<std::size_t>>(queue_capacity));
+  run.live_workers = std::vector<std::atomic<std::size_t>>(stages.size());
+  for (std::size_t s = 0; s < stages.size(); ++s)
+    run.live_workers[s].store(stages[s].workers, std::memory_order_relaxed);
+
+  std::vector<std::thread> threads;
+  for (std::size_t s = 0; s < stages.size(); ++s)
+    for (std::size_t w = 0; w < stages[s].workers; ++w)
+      threads.emplace_back([&run, s] { stage_worker(run, s); });
+  for (std::thread& t : threads) t.join();
+
+  std::uint64_t waits = 0;
+  for (const auto& q : run.queues) waits += q->blocked_pushes();
+  if (waits != 0) STF_COUNT("pipeline.backpressure_waits", waits);
+
+  if (run.error) std::rethrow_exception(run.error);
+}
+
+}  // namespace stf::core

@@ -1,0 +1,135 @@
+// Staged pipeline: a bounded-queue dataflow primitive for streaming work
+// through a fixed sequence of stages (the test-cell shape: acquire ->
+// screen -> predict), the batching backbone of sigtest::BatchRuntime.
+//
+// run_pipeline(n, stages) pushes items 0..n-1 through every stage in order.
+// Each stage owns a worker team; consecutive stages are connected by a
+// bounded MPMC queue, so a fast producer blocks (backpressure) instead of
+// buffering the whole lot, and a slow stage never sees items out of the
+// per-item stage order (stage s+1 runs item i only after stage s finished
+// it). Items may interleave freely *across* devices -- any cross-item
+// ordering a caller needs must live in the item state itself.
+//
+// Contracts and semantics:
+//   * With thread_count() == 1 (or inside an existing parallel region) the
+//     whole pipeline runs inline on the caller, stage by stage per item, no
+//     threads, no queues. Results must therefore not depend on scheduling;
+//     per-item state (e.g. stats::Rng::derive(i) streams) is the supported
+//     pattern, exactly as in core/parallel.
+//   * Exceptions: a throwing stage body cancels the run (remaining bodies
+//     are skipped, queues drain, workers join) and the exception recorded
+//     for the lowest item index (ties: earliest stage) is rethrown on the
+//     caller -- the same lowest-index rule as parallel_for.
+//   * Telemetry: each stage body runs under a span named by the stage
+//     (names must be string literals), items completing the final stage
+//     count into "pipeline.items", and queue-full waits accumulate into
+//     "pipeline.backpressure_waits".
+//   * Stage bodies run on raw pipeline worker threads, outside the
+//     parallel_for pool: a body that itself calls parallel_for will compete
+//     for the shared pool and serialize against other dispatchers. Keep
+//     bodies serial per item.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/contracts.hpp"
+
+namespace stf::core {
+
+/// Bounded blocking FIFO connecting two pipeline stages. Multi-producer,
+/// multi-consumer; push blocks while full (that is the backpressure), pop
+/// blocks while empty, close() releases everyone. Usable standalone.
+template <class T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    STF_REQUIRE(capacity >= 1, "BoundedQueue: capacity < 1");
+  }
+
+  /// Blocks while the queue is full. Returns false (dropping the value)
+  /// only if the queue was closed.
+  bool push(T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (items_.size() >= capacity_ && !closed_) {
+      ++blocked_pushes_;
+      not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item arrives; returns false once the queue is closed
+  /// AND drained (a closed queue still hands out its remaining items).
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());  // stf-lint: checked -- !empty() above
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// No more pushes; blocked producers and (once drained) consumers return.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Times a push found the queue full and had to wait (backpressure).
+  std::uint64_t blocked_pushes() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return blocked_pushes_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  std::uint64_t blocked_pushes_ = 0;
+  bool closed_ = false;
+};
+
+/// One pipeline stage: a worker team running `body(item)` for every item.
+struct PipelineStage {
+  /// Telemetry span name; must be a string literal (outlives the registry).
+  const char* name = "pipeline.stage";
+  /// Worker threads dedicated to this stage (>= 1).
+  std::size_t workers = 1;
+  /// Per-item work. Called exactly once per item (in the absence of
+  /// cancellation); item indices arrive in claim order for stage 0 and in
+  /// upstream completion order afterwards.
+  std::function<void(std::size_t item)> body;
+};
+
+/// Run items 0..n_items-1 through the stages in order. `queue_capacity`
+/// bounds every inter-stage queue (the backpressure window, in items).
+/// Blocks until the pipeline drains; rethrows the lowest-item exception.
+void run_pipeline(std::size_t n_items, const std::vector<PipelineStage>& stages,
+                  std::size_t queue_capacity = 4);
+
+}  // namespace stf::core

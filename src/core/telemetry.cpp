@@ -16,8 +16,11 @@ namespace stf::core::telemetry {
 namespace {
 
 /// Per-thread event logs are capped so a runaway loop cannot exhaust memory;
-/// further events are counted as dropped and reported by the exporters.
-constexpr std::size_t kMaxEventsPerThread = std::size_t{1} << 20;
+/// further events are counted as dropped and reported by the exporters. The
+/// cap is adjustable (set_max_events_per_thread) so tests and
+/// memory-constrained deployments can shrink it.
+constexpr std::size_t kDefaultMaxEventsPerThread = std::size_t{1} << 20;
+std::atomic<std::size_t> g_max_events_per_thread{kDefaultMaxEventsPerThread};
 
 enum class Kind : std::uint8_t {
   span,        ///< Closed STF_TRACE_SPAN.
@@ -82,7 +85,8 @@ ThreadLog& thread_log() {
 
 void append_event(ThreadLog& log, const Event& e) {
   const std::lock_guard<std::mutex> lock(log.mutex);
-  if (log.events.size() >= kMaxEventsPerThread) {
+  if (log.events.size() >=
+      g_max_events_per_thread.load(std::memory_order_relaxed)) {
     ++log.dropped;
     return;
   }
@@ -193,6 +197,15 @@ bool enabled() noexcept {
 
 void set_enabled(bool on) {
   g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void set_max_events_per_thread(std::size_t cap) {
+  g_max_events_per_thread.store(cap != 0 ? cap : kDefaultMaxEventsPerThread,
+                                std::memory_order_relaxed);
+}
+
+std::size_t max_events_per_thread() {
+  return g_max_events_per_thread.load(std::memory_order_relaxed);
 }
 
 void reset() {

@@ -66,6 +66,15 @@ void set_enabled(bool on);
 /// references and thread logs stay valid. Call only while no spans are open.
 void reset();
 
+/// Cap on buffered span events per thread; events past it are counted per
+/// thread as dropped and surfaced by summary() ("N DROPPED") and to_json()
+/// ("dropped_events"). Pass 0 to restore the built-in default (2^20).
+/// Lowering the cap does not truncate already-buffered events.
+void set_max_events_per_thread(std::size_t cap);
+
+/// Current per-thread event-log cap.
+std::size_t max_events_per_thread();
+
 /// Monotonic clock in nanoseconds since the process's telemetry epoch (the
 /// first telemetry touch). All span timestamps share this epoch.
 std::uint64_t now_ns();

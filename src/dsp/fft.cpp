@@ -1,6 +1,8 @@
 #include "dsp/fft.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <numbers>
@@ -134,8 +136,11 @@ struct BluesteinPlan {
 
 // ---------------------------------------------------------------------------
 // Process-wide plan cache. Lookups take a mutex (cheap next to any FFT);
-// plans are handed out as shared_ptr-to-const so a concurrent clear() cannot
-// pull a plan out from under a running transform.
+// plans are handed out as shared_ptr-to-const so a concurrent clear() or an
+// LRU eviction cannot pull a plan out from under a running transform. The
+// cache is capped: every entry carries a logical access tick and inserts
+// past the capacity evict the least-recently-used plan first, so sweeping
+// many capture lengths holds a bounded working set.
 // ---------------------------------------------------------------------------
 class PlanCache {
  public:
@@ -150,13 +155,20 @@ class PlanCache {
     auto it = bluestein_.find(key);
     if (it == bluestein_.end()) {
       STF_COUNT("fft.plan_cache_miss");
+      // Build before evicting: the plan also touches its radix-2 conv plan,
+      // which must not be the eviction victim picked for this insert. The
+      // BluesteinPlan holds the conv plan by shared_ptr, so even a later
+      // eviction of that radix-2 entry cannot invalidate it.
       auto plan = std::make_shared<const BluesteinPlan>(
           n, sign, radix2_locked(next_pow2(2 * n + 1)));
-      it = bluestein_.emplace(key, std::move(plan)).first;
+      make_room_locked();
+      it = bluestein_.emplace(key, Entry<BluesteinPlan>{std::move(plan), 0})
+               .first;
     } else {
       STF_COUNT("fft.plan_cache_hit");
     }
-    return it->second;
+    it->second.tick = ++tick_;
+    return it->second.plan;
   }
 
   std::size_t size() const {
@@ -170,22 +182,72 @@ class PlanCache {
     bluestein_.clear();
   }
 
+  std::size_t capacity() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return capacity_;
+  }
+
+  void set_capacity(std::size_t cap) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = std::max<std::size_t>(1, cap);
+    while (radix2_.size() + bluestein_.size() > capacity_) evict_lru_locked();
+  }
+
  private:
+  template <class Plan>
+  struct Entry {
+    std::shared_ptr<const Plan> plan;
+    std::uint64_t tick = 0;  // last access; smallest tick is the LRU victim
+  };
+
   std::shared_ptr<const Radix2Plan> radix2_locked(std::size_t n) {
     auto it = radix2_.find(n);
     if (it == radix2_.end()) {
       STF_COUNT("fft.plan_cache_miss");
-      it = radix2_.emplace(n, std::make_shared<const Radix2Plan>(n)).first;
+      make_room_locked();
+      it = radix2_
+               .emplace(n, Entry<Radix2Plan>{
+                               std::make_shared<const Radix2Plan>(n), 0})
+               .first;
     } else {
       STF_COUNT("fft.plan_cache_hit");
     }
-    return it->second;
+    it->second.tick = ++tick_;
+    return it->second.plan;
+  }
+
+  /// Evict LRU entries until one insert fits under the capacity.
+  void make_room_locked() {
+    while (radix2_.size() + bluestein_.size() >= capacity_) evict_lru_locked();
+  }
+
+  /// Drop the single entry (across both maps) with the oldest access tick.
+  void evict_lru_locked() {
+    auto oldest_r = radix2_.end();
+    for (auto it = radix2_.begin(); it != radix2_.end(); ++it)
+      if (oldest_r == radix2_.end() || it->second.tick < oldest_r->second.tick)
+        oldest_r = it;
+    auto oldest_b = bluestein_.end();
+    for (auto it = bluestein_.begin(); it != bluestein_.end(); ++it)
+      if (oldest_b == bluestein_.end() ||
+          it->second.tick < oldest_b->second.tick)
+        oldest_b = it;
+    if (oldest_r != radix2_.end() &&
+        (oldest_b == bluestein_.end() ||
+         oldest_r->second.tick <= oldest_b->second.tick))
+      radix2_.erase(oldest_r);
+    else if (oldest_b != bluestein_.end())
+      bluestein_.erase(oldest_b);
+    else
+      return;  // both maps empty; nothing to evict
+    STF_COUNT("fft.plan_cache_evictions");
   }
 
   mutable std::mutex mutex_;
-  std::unordered_map<std::size_t, std::shared_ptr<const Radix2Plan>> radix2_;
-  std::unordered_map<std::size_t, std::shared_ptr<const BluesteinPlan>>
-      bluestein_;
+  std::size_t capacity_ = 64;
+  std::uint64_t tick_ = 0;
+  std::unordered_map<std::size_t, Entry<Radix2Plan>> radix2_;
+  std::unordered_map<std::size_t, Entry<BluesteinPlan>> bluestein_;
 };
 
 PlanCache& plan_cache() {
@@ -245,6 +307,12 @@ std::size_t next_pow2(std::size_t n) {
 std::size_t fft_plan_cache_size() { return plan_cache().size(); }
 
 void fft_plan_cache_clear() { plan_cache().clear(); }
+
+std::size_t fft_plan_cache_capacity() { return plan_cache().capacity(); }
+
+void fft_plan_cache_set_capacity(std::size_t capacity) {
+  plan_cache().set_capacity(capacity);
+}
 
 std::vector<cplx> fft(const std::vector<cplx>& x) { return transform(x, -1); }
 

@@ -56,4 +56,17 @@ std::size_t fft_plan_cache_size();
 /// not call concurrently with transforms you want to stay warm.
 void fft_plan_cache_clear();
 
+/// Maximum number of cached plans (radix-2 + Bluestein entries combined).
+/// Past the cap the least-recently-used plan is evicted (counted in the
+/// "fft.plan_cache_evictions" telemetry counter), so a long-lived server
+/// sweeping many capture lengths holds a bounded working set instead of
+/// leaking plans. In-flight transforms keep an evicted plan alive through
+/// their shared_ptr. Default: 64.
+std::size_t fft_plan_cache_capacity();
+
+/// Change the plan-cache capacity (clamped to >= 1); shrinking evicts
+/// least-recently-used plans immediately. Hit behavior below the cap is
+/// unchanged.
+void fft_plan_cache_set_capacity(std::size_t capacity);
+
 }  // namespace stf::dsp

@@ -1,0 +1,201 @@
+#include "sigtest/batch.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/contracts.hpp"
+#include "core/parallel.hpp"
+#include "core/pipeline.hpp"
+#include "core/telemetry.hpp"
+#include "linalg/matrix.hpp"
+
+namespace stf::sigtest {
+
+BatchRuntime::BatchRuntime(const SignatureTestConfig& config,
+                           stf::dsp::PwlWaveform stimulus,
+                           std::vector<std::string> spec_names,
+                           GuardPolicy policy, BatchOptions batch,
+                           CalibrationOptions cal_options,
+                           std::size_t max_signature_bins)
+    : guarded_(config, std::move(stimulus), std::move(spec_names), policy,
+               cal_options, max_signature_bins),
+      batch_(batch) {
+  STF_REQUIRE(batch_.batch_size >= 1, "BatchRuntime: batch_size < 1");
+  STF_REQUIRE(batch_.queue_capacity >= 1, "BatchRuntime: queue_capacity < 1");
+}
+
+void BatchRuntime::calibrate(
+    const std::vector<stf::rf::DeviceRecord>& training, stf::stats::Rng& rng,
+    int n_avg) {
+  guarded_.calibrate(training, rng, n_avg);
+}
+
+LotResult BatchRuntime::test_lot(const std::vector<const stf::rf::RfDut*>& lot,
+                                 const stf::stats::Rng& rng,
+                                 const stf::rf::FaultInjector* faults,
+                                 std::uint64_t first_sequence) const {
+  STF_TRACE_SPAN("batch.test_lot");
+  STF_REQUIRE(guarded_.calibrated(), "BatchRuntime::test_lot: not calibrated");
+  const std::size_t n = lot.size();
+  LotResult result;
+  result.dispositions.resize(n);
+  if (n == 0) return result;
+  for (const stf::rf::RfDut* dut : lot)
+    STF_REQUIRE(dut != nullptr, "BatchRuntime::test_lot: null device");
+  STF_COUNT("batch.lots");
+  STF_COUNT("batch.devices", n);
+
+  const SignatureAcquirer& acq = guarded_.runtime().acquirer();
+  const double fs = acq.config().digitizer.fs_hz;
+  const std::size_t m = acq.signature_length();
+  const GuardPolicy& policy = guarded_.policy();
+
+  // Per-device child rng streams: no draw ever crosses a device boundary,
+  // which is the whole determinism story (see header).
+  std::vector<stf::stats::Rng> rngs;
+  rngs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    rngs.push_back(rng.derive(first_sequence + i));
+
+  // SoA lot state, indexed by device. `captures` holds attempt-1 raw
+  // captures between the acquire and screen stages; `signatures` is the
+  // validated-average matrix the predict stage consumes batch-wise.
+  std::vector<std::vector<double>> captures(n);
+  stf::la::Matrix signatures(n, m);
+  std::vector<char> needs_predict(n, 0);
+
+  const std::size_t n_batches =
+      (n + batch_.batch_size - 1) / batch_.batch_size;
+  const auto batch_range = [&](std::size_t b) {
+    const std::size_t lo = b * batch_.batch_size;
+    return std::pair<std::size_t, std::size_t>{
+        lo, std::min(lo + batch_.batch_size, n)};
+  };
+
+  // Stage 1: the tester front end -- raw capture + fault injection for each
+  // device's first attempt. The wide stage: it dominates wall-clock, so it
+  // gets every worker the screen/predict stages do not need.
+  stf::core::PipelineStage acquire;
+  acquire.name = "batch.acquire";
+  const std::size_t threads = stf::core::thread_count();
+  acquire.workers = threads > 3 ? threads - 2 : 1;
+  acquire.body = [&](std::size_t b) {
+    const auto [lo, hi] = batch_range(b);
+    for (std::size_t i = lo; i < hi; ++i) {
+      captures[i] =
+          acq.raw_capture(*lot[i], guarded_.runtime().stimulus(), &rngs[i]);
+      if (faults != nullptr)
+        faults->apply(captures[i], fs, first_sequence + i, rngs[i]);
+    }
+  };
+
+  // Stage 2: GuardedRuntime::test_device's validation/retest loop, with
+  // attempt 1 consuming the pre-acquired capture instead of re-drawing.
+  // Retry attempts re-enter the guarded capture path with the device's own
+  // rng, so the draw sequence matches the serial reference exactly.
+  stf::core::PipelineStage screen;
+  screen.name = "batch.screen";
+  screen.body = [&](std::size_t b) {
+    const auto [lo, hi] = batch_range(b);
+    for (std::size_t i = lo; i < hi; ++i) {
+      STF_COUNT("guard.devices");
+      TestDisposition d;
+      int n_avg = 1;
+      Signature validated;
+      bool ok = false;
+      for (int attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+        if (attempt > 1) {
+          STF_COUNT("guard.retries");
+          n_avg *= policy.escalation_averages;
+          if (n_avg > 1) STF_COUNT("guard.escalations");
+        }
+        d.attempts = attempt;
+
+        CaptureAttempt a;
+        if (attempt == 1) {
+          a.captures = 1;
+          a.flaw = guarded_.inspect_capture(captures[i]);
+          if (a.flaw == CaptureFlaw::kNone) {
+            a.signature = acq.signature_from_capture(captures[i]);
+            STF_ASSERT(a.signature.size() == m,
+                       "BatchRuntime: signature length mismatch");
+          }
+        } else {
+          a = guarded_.capture_attempt(*lot[i], rngs[i], faults,
+                                       first_sequence + i, n_avg);
+        }
+        d.captures += a.captures;
+        if (a.flaw != CaptureFlaw::kNone) {
+          d.last_flaw = a.flaw;
+          continue;  // retry with escalated averaging
+        }
+        const CaptureFlaw flaw =
+            guarded_.screen_signature(a.signature, &d.outlier_score);
+        if (flaw != CaptureFlaw::kNone) {
+          d.last_flaw = flaw;
+          continue;
+        }
+        d.last_flaw = CaptureFlaw::kNone;
+        d.kind = attempt == 1 ? DispositionKind::kPredicted
+                              : DispositionKind::kPredictedAfterRetry;
+        validated = std::move(a.signature);
+        ok = true;
+        break;
+      }
+      if (ok) {
+        signatures.set_row(i, validated);
+        needs_predict[i] = 1;
+      } else {
+        d.kind = DispositionKind::kRoutedToConventional;
+        d.predicted.clear();
+        STF_COUNT("guard.routed");
+      }
+      captures[i] = {};  // the raw capture is dead weight past this point
+      result.dispositions[i] = std::move(d);
+    }
+  };
+
+  // Stage 3: one predict_batch GEMV over the batch's validated rows.
+  // predict_batch preserves predict()'s accumulation order, so the batched
+  // numbers are the serial numbers.
+  stf::core::PipelineStage predict;
+  predict.name = "batch.predict";
+  predict.body = [&](std::size_t b) {
+    const auto [lo, hi] = batch_range(b);
+    std::vector<std::size_t> idx;
+    idx.reserve(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i)
+      if (needs_predict[i] != 0) idx.push_back(i);
+    if (idx.empty()) return;
+    stf::la::Matrix rows(idx.size(), m);
+    for (std::size_t r = 0; r < idx.size(); ++r)
+      rows.set_row(r, signatures.row(idx[r]));
+    const stf::la::Matrix pred = guarded_.runtime().predict_batch(rows);
+    for (std::size_t r = 0; r < idx.size(); ++r)
+      result.dispositions[idx[r]].predicted = pred.row(r);
+  };
+
+  stf::core::run_pipeline(n_batches, {acquire, screen, predict},
+                          batch_.queue_capacity);
+
+  for (const TestDisposition& d : result.dispositions) {
+    switch (d.kind) {
+      case DispositionKind::kPredicted: ++result.predicted; break;
+      case DispositionKind::kPredictedAfterRetry: ++result.retried; break;
+      case DispositionKind::kRoutedToConventional: ++result.routed; break;
+    }
+  }
+  return result;
+}
+
+LotResult BatchRuntime::test_lot(const std::vector<stf::rf::DeviceRecord>& lot,
+                                 const stf::stats::Rng& rng,
+                                 const stf::rf::FaultInjector* faults,
+                                 std::uint64_t first_sequence) const {
+  std::vector<const stf::rf::RfDut*> duts;
+  duts.reserve(lot.size());
+  for (const stf::rf::DeviceRecord& rec : lot) duts.push_back(rec.dut.get());
+  return test_lot(duts, rng, faults, first_sequence);
+}
+
+}  // namespace stf::sigtest

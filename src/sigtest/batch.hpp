@@ -1,0 +1,102 @@
+// Batched test-cell runtime: streams a device lot through the guarded
+// validation pipeline in batches, overlapping acquisition with screening
+// and amortizing the regression into one GEMV-style predict per batch.
+//
+// A production test cell does not see one device at a time: handlers index
+// strips/trays of parts, so the natural unit is the batch. BatchRuntime
+// keeps GuardedRuntime's per-device semantics (finiteness firewall,
+// railing, outlier screen, bounded retest with escalating averaging,
+// routing) but restructures the lot-level loop as a three-stage
+// core::run_pipeline:
+//
+//   batch.acquire  -- raw captures + fault injection (the simulated-tester
+//                     front end; the wide stage, most workers)
+//   batch.screen   -- time/signature-domain validation and the retest loop
+//   batch.predict  -- one CalibrationModel::predict_batch per batch over
+//                     the SoA signature matrix
+//
+// Determinism contract: dispositions are BIT-IDENTICAL, at every
+// STF_THREADS setting, to the serial reference
+//
+//   for (i = 0; i < lot.size(); ++i) {
+//     stats::Rng child = rng.derive(first_sequence + i);
+//     guarded().test_device(*lot[i], child, faults, first_sequence + i);
+//   }
+//
+// Each device owns the derived child stream rng.derive(first_sequence + i)
+// and its fault sequence number, so no rng draw ever crosses a device
+// boundary; predict_batch preserves predict()'s accumulation order. Tests
+// assert this equivalence on clean and faulted lots.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dsp/pwl.hpp"
+#include "rf/faults.hpp"
+#include "rf/population.hpp"
+#include "sigtest/guard.hpp"
+#include "stats/rng.hpp"
+
+namespace stf::sigtest {
+
+/// Knobs of the batched lot pipeline.
+struct BatchOptions {
+  /// Devices per pipeline item. Larger batches amortize the predict GEMV
+  /// and queue hops; smaller batches drain the pipeline sooner.
+  std::size_t batch_size = 16;
+  /// Inter-stage queue bound (in batches); see core::run_pipeline.
+  std::size_t queue_capacity = 4;
+};
+
+/// One tested lot: per-device dispositions (lot order) plus outcome tallies.
+struct LotResult {
+  std::vector<TestDisposition> dispositions;
+  std::size_t predicted = 0;  ///< kPredicted (clean first attempt).
+  std::size_t retried = 0;    ///< kPredictedAfterRetry.
+  std::size_t routed = 0;     ///< kRoutedToConventional.
+
+  std::size_t devices() const { return dispositions.size(); }
+};
+
+/// GuardedRuntime plus the batched lot-streaming machinery.
+class BatchRuntime {
+ public:
+  BatchRuntime(const SignatureTestConfig& config,
+               stf::dsp::PwlWaveform stimulus,
+               std::vector<std::string> spec_names, GuardPolicy policy = {},
+               BatchOptions batch = {}, CalibrationOptions cal_options = {},
+               std::size_t max_signature_bins = 16);
+
+  /// Calibrate the wrapped guarded runtime (regression + outlier screen).
+  void calibrate(const std::vector<stf::rf::DeviceRecord>& training,
+                 stf::stats::Rng& rng, int n_avg = 8);
+
+  /// Test a whole lot. `rng` is the lot's base stream (device i uses the
+  /// derived child rng.derive(first_sequence + i)); `faults` (optional)
+  /// corrupts captures with fault sequence number first_sequence + i.
+  /// Returns dispositions in lot order, bit-identical to the serial
+  /// per-device reference in the header comment at any STF_THREADS.
+  LotResult test_lot(const std::vector<const stf::rf::RfDut*>& lot,
+                     const stf::stats::Rng& rng,
+                     const stf::rf::FaultInjector* faults = nullptr,
+                     std::uint64_t first_sequence = 0) const;
+
+  /// Convenience overload over a characterized population.
+  LotResult test_lot(const std::vector<stf::rf::DeviceRecord>& lot,
+                     const stf::stats::Rng& rng,
+                     const stf::rf::FaultInjector* faults = nullptr,
+                     std::uint64_t first_sequence = 0) const;
+
+  bool calibrated() const { return guarded_.calibrated(); }
+  const GuardedRuntime& guarded() const { return guarded_; }
+  const BatchOptions& options() const { return batch_; }
+
+ private:
+  GuardedRuntime guarded_;
+  BatchOptions batch_;
+};
+
+}  // namespace stf::sigtest

@@ -208,6 +208,38 @@ std::vector<double> CalibrationModel::predict(
   return out;
 }
 
+stf::la::Matrix CalibrationModel::predict_batch(
+    const stf::la::Matrix& signatures) const {
+  STF_REQUIRE(fitted_, "CalibrationModel::predict_batch: model not fitted");
+  STF_REQUIRE(signatures.cols() == bin_mean_.size(),
+              "CalibrationModel::predict_batch: signature length mismatch");
+  const std::size_t n = signatures.rows();
+  const std::size_t n_features = weights_.cols();
+
+  // Stage 1: the feature matrix, one features() row per signature (SoA
+  // layout so the GEMV below streams both operands).
+  stf::la::Matrix feats(n, n_features);
+  Signature row(bin_mean_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < row.size(); ++j) row[j] = signatures(i, j);
+    feats.set_row(i, features(row));
+  }
+
+  // Stage 2: GEMV per row. The inner j-ascending accumulation is the exact
+  // loop predict() runs, so every element is bit-identical to the serial
+  // path -- do not reorder or block this loop.
+  stf::la::Matrix out(n, weights_.rows());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* f = feats.row_ptr(i);
+    for (std::size_t s = 0; s < weights_.rows(); ++s) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < n_features; ++j) acc += weights_(s, j) * f[j];
+      out(i, s) = acc * spec_scale_[s] + spec_mean_[s];
+    }
+  }
+  return out;
+}
+
 std::string CalibrationModel::serialize() const {
   STF_REQUIRE(fitted_, "CalibrationModel::serialize: model not fitted");
   std::ostringstream os;
@@ -237,33 +269,48 @@ std::string CalibrationModel::serialize() const {
 }
 
 CalibrationModel CalibrationModel::deserialize(const std::string& text) {
+  // Hard ceilings on serialized dimensions. A corrupted or hostile length
+  // field must fail with a typed parse error BEFORE any allocation is
+  // attempted -- `std::vector<double> v(garbage_n)` would otherwise turn a
+  // flipped byte into a multi-gigabyte allocation or bad_alloc.
+  constexpr std::size_t kMaxDim = std::size_t{1} << 20;
+  constexpr std::size_t kMaxWeights = std::size_t{1} << 24;
+
   std::istringstream is(text);
   std::string magic, version;
   if (!(is >> magic >> version) || magic != "sigtest-calibration" ||
       version != "v1")
-    throw std::invalid_argument(
-        "CalibrationModel::deserialize: bad header");
+    throw CalibrationParseError("bad header (want \"sigtest-calibration v1\")");
 
   auto expect_key = [&is](const char* key) {
     std::string k;
     if (!(is >> k) || k != key)
-      throw std::invalid_argument(
-          std::string("CalibrationModel::deserialize: expected ") + key);
+      throw CalibrationParseError(std::string("expected key \"") + key +
+                                  "\"");
+  };
+  auto read_length = [&](const char* key) {
+    std::size_t n = 0;
+    if (!(is >> n))
+      throw CalibrationParseError(std::string("bad ") + key + " length");
+    if (n > kMaxDim)
+      throw CalibrationParseError(std::string(key) + " length " +
+                                  std::to_string(n) + " exceeds limit " +
+                                  std::to_string(kMaxDim));
+    return n;
   };
   auto read_vector = [&](const char* key) {
     expect_key(key);
-    std::size_t n = 0;
-    if (!(is >> n))
-      throw std::invalid_argument(
-          "CalibrationModel::deserialize: bad vector length");
-    std::vector<double> v(n);
+    std::vector<double> v(read_length(key));
     for (double& x : v)
       if (!(is >> x))
-        throw std::invalid_argument(
-            "CalibrationModel::deserialize: truncated vector");
+        throw CalibrationParseError(std::string("truncated ") + key);
     return v;
   };
 
+  // Validate the options explicitly (not via the constructor contracts):
+  // deserialize guards a trust boundary -- a model file from the
+  // characterization lab -- so malformed values must fail with a typed,
+  // message-bearing error even in builds with contract checking disabled.
   CalibrationOptions opts;
   expect_key("poly_degree");
   is >> opts.poly_degree;
@@ -271,23 +318,27 @@ CalibrationModel CalibrationModel::deserialize(const std::string& text) {
   is >> opts.ridge_lambda;
   expect_key("min_bin_snr");
   is >> opts.min_bin_snr;
-  if (!is)
-    throw std::invalid_argument(
-        "CalibrationModel::deserialize: bad options block");
+  if (!is) throw CalibrationParseError("bad options block");
+  if (opts.poly_degree < 1 || opts.poly_degree > 3)
+    throw CalibrationParseError("poly_degree " +
+                                std::to_string(opts.poly_degree) +
+                                " out of range [1, 3]");
+  if (!std::isfinite(opts.ridge_lambda) || opts.ridge_lambda < 0.0)
+    throw CalibrationParseError("ridge_lambda must be finite and >= 0");
+  if (!std::isfinite(opts.min_bin_snr))
+    throw CalibrationParseError("min_bin_snr must be finite");
 
   CalibrationModel model(opts);
   model.bin_mean_ = read_vector("bin_mean");
   model.bin_scale_ = read_vector("bin_scale");
   {
     expect_key("bin_alive");
-    std::size_t n = 0;
-    is >> n;
+    const std::size_t n = read_length("bin_alive");
     model.bin_alive_.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
       int flag = 0;
       if (!(is >> flag))
-        throw std::invalid_argument(
-            "CalibrationModel::deserialize: truncated bin_alive");
+        throw CalibrationParseError("truncated bin_alive");
       model.bin_alive_[i] = flag != 0;
     }
   }
@@ -297,14 +348,16 @@ CalibrationModel CalibrationModel::deserialize(const std::string& text) {
     expect_key("weights");
     std::size_t rows = 0, cols = 0;
     if (!(is >> rows >> cols))
-      throw std::invalid_argument(
-          "CalibrationModel::deserialize: bad weights shape");
+      throw CalibrationParseError("bad weights shape");
+    if (rows > kMaxDim || cols > kMaxDim || (rows != 0 && cols > kMaxWeights / rows))
+      throw CalibrationParseError("weights shape " + std::to_string(rows) +
+                                  " x " + std::to_string(cols) +
+                                  " exceeds limit");
     model.weights_ = stf::la::Matrix(rows, cols);
     for (std::size_t r = 0; r < rows; ++r)
       for (std::size_t c = 0; c < cols; ++c)
         if (!(is >> model.weights_(r, c)))
-          throw std::invalid_argument(
-              "CalibrationModel::deserialize: truncated weights");
+          throw CalibrationParseError("truncated weights");
   }
   if (model.bin_mean_.size() != model.bin_scale_.size() ||
       model.bin_mean_.size() != model.bin_alive_.size() ||
@@ -312,8 +365,7 @@ CalibrationModel CalibrationModel::deserialize(const std::string& text) {
       model.weights_.rows() != model.spec_mean_.size() ||
       model.weights_.cols() !=
           1 + model.bin_mean_.size() * opts.poly_degree)
-    throw std::invalid_argument(
-        "CalibrationModel::deserialize: inconsistent dimensions");
+    throw CalibrationParseError("inconsistent dimensions");
   model.fitted_ = true;
   return model;
 }

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,15 @@ struct CalibrationOptions {
   /// to interpolate the training targets, then explode on fresh captures.
   /// Only active when fit() receives a noise_var estimate.
   double min_bin_snr = 1.0;
+};
+
+/// Thrown by CalibrationModel::deserialize on any malformed input: bad
+/// header, unexpected key, truncation, absurd dimensions, or out-of-range
+/// options. Derives from std::invalid_argument so existing catch sites keep
+/// working; the message names the offending field.
+struct CalibrationParseError : std::invalid_argument {
+  explicit CalibrationParseError(const std::string& what_arg)
+      : std::invalid_argument("CalibrationModel::deserialize: " + what_arg) {}
 };
 
 /// Per-spec ridge regression on normalized polynomial signature features.
@@ -57,6 +67,13 @@ class CalibrationModel {
   /// Predict all specs for one signature. Throws if not fitted or the
   /// signature length differs from training.
   std::vector<double> predict(const Signature& signature) const;
+
+  /// Batched predict: one signature per row (n x signature_length), one
+  /// prediction per row (n x n_specs) out. The per-row accumulation order
+  /// matches predict() exactly, so batched results are bit-identical to
+  /// calling predict() row by row -- the batch pipeline's disposition
+  /// parity rests on this.
+  stf::la::Matrix predict_batch(const stf::la::Matrix& signatures) const;
 
   bool fitted() const { return fitted_; }
   std::size_t n_specs() const { return weights_.rows(); }

@@ -63,6 +63,46 @@ CaptureFlaw GuardedRuntime::inspect_capture(
   return CaptureFlaw::kNone;
 }
 
+CaptureAttempt GuardedRuntime::capture_attempt(
+    const stf::rf::RfDut& dut, stf::stats::Rng& rng,
+    const stf::rf::FaultInjector* faults, std::uint64_t sequence,
+    int n_avg) const {
+  const SignatureAcquirer& acq = runtime_.acquirer();
+  const double fs = acq.config().digitizer.fs_hz;
+  const std::size_t m = acq.signature_length();
+
+  // Acquire (and average) this attempt's captures, validating each one in
+  // the time domain before it contributes to the signature. A flawed
+  // capture aborts the attempt immediately (no division): its signature is
+  // never consumed.
+  CaptureAttempt a;
+  a.signature.assign(m, 0.0);
+  for (int c = 0; c < n_avg; ++c) {
+    std::vector<double> capture =
+        acq.raw_capture(dut, runtime_.stimulus(), &rng);
+    ++a.captures;
+    if (faults != nullptr) faults->apply(capture, fs, sequence, rng);
+    a.flaw = inspect_capture(capture);
+    if (a.flaw != CaptureFlaw::kNone) return a;
+    const Signature s = acq.signature_from_capture(capture);
+    STF_ASSERT(s.size() == m, "GuardedRuntime: signature length mismatch");
+    for (std::size_t j = 0; j < m; ++j) a.signature[j] += s[j];
+  }
+  for (double& v : a.signature) v /= static_cast<double>(n_avg);
+  return a;
+}
+
+CaptureFlaw GuardedRuntime::screen_signature(const Signature& signature,
+                                             double* score) const {
+  // Finiteness, then the calibration envelope. score() maps non-finite bins
+  // to +inf, so the order only affects the reported flaw label.
+  const double s = screen_.score(signature);
+  if (score != nullptr) *score = s;
+  if (!std::isfinite(s)) return CaptureFlaw::kNonFinite;
+  if (s > policy_.outlier_threshold) return CaptureFlaw::kOutlier;
+  return CaptureFlaw::kNone;
+}
+
 TestDisposition GuardedRuntime::test_device(
     const stf::rf::RfDut& dut, stf::stats::Rng& rng,
     const stf::rf::FaultInjector* faults, std::uint64_t sequence) const {
@@ -70,9 +110,6 @@ TestDisposition GuardedRuntime::test_device(
   STF_COUNT("guard.devices");
   STF_REQUIRE(runtime_.calibrated(),
               "GuardedRuntime::test_device: not calibrated");
-  const SignatureAcquirer& acq = runtime_.acquirer();
-  const double fs = acq.config().digitizer.fs_hz;
-  const std::size_t m = acq.signature_length();
 
   TestDisposition d;
   int n_avg = 1;
@@ -84,45 +121,24 @@ TestDisposition GuardedRuntime::test_device(
     }
     d.attempts = attempt;
 
-    // Acquire (and average) this attempt's captures, validating each one in
-    // the time domain before it contributes to the signature.
-    Signature avg(m, 0.0);
-    CaptureFlaw flaw = CaptureFlaw::kNone;
-    for (int c = 0; c < n_avg; ++c) {
-      std::vector<double> capture =
-          acq.raw_capture(dut, runtime_.stimulus(), &rng);
-      ++d.captures;
-      if (faults != nullptr) faults->apply(capture, fs, sequence, rng);
-      flaw = inspect_capture(capture);
-      if (flaw != CaptureFlaw::kNone) break;
-      const Signature s = acq.signature_from_capture(capture);
-      STF_ASSERT(s.size() == m, "GuardedRuntime: signature length mismatch");
-      for (std::size_t j = 0; j < m; ++j) avg[j] += s[j];
-    }
-    if (flaw != CaptureFlaw::kNone) {
-      d.last_flaw = flaw;
+    const CaptureAttempt a =
+        capture_attempt(dut, rng, faults, sequence, n_avg);
+    d.captures += a.captures;
+    if (a.flaw != CaptureFlaw::kNone) {
+      d.last_flaw = a.flaw;
       continue;  // retry with escalated averaging
     }
-    for (double& v : avg) v /= static_cast<double>(n_avg);
 
-    // Signature-space validation: finiteness, then the calibration
-    // envelope. score() maps non-finite bins to +inf, so the order only
-    // affects the reported flaw label.
-    const double score = screen_.score(avg);
-    d.outlier_score = score;
-    if (!std::isfinite(score)) {
-      d.last_flaw = CaptureFlaw::kNonFinite;
-      continue;
-    }
-    if (score > policy_.outlier_threshold) {
-      d.last_flaw = CaptureFlaw::kOutlier;
+    const CaptureFlaw flaw = screen_signature(a.signature, &d.outlier_score);
+    if (flaw != CaptureFlaw::kNone) {
+      d.last_flaw = flaw;
       continue;
     }
 
     d.last_flaw = CaptureFlaw::kNone;
     d.kind = attempt == 1 ? DispositionKind::kPredicted
                           : DispositionKind::kPredictedAfterRetry;
-    d.predicted = runtime_.predict(avg);
+    d.predicted = runtime_.predict(a.signature);
     return d;
   }
 

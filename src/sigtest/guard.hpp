@@ -91,6 +91,15 @@ struct TestDisposition {
   }
 };
 
+/// Outcome of one averaged-capture acquisition attempt (capture_attempt()).
+/// `signature` is meaningful only when `flaw == CaptureFlaw::kNone`; a flawed
+/// attempt stops at the offending capture, so `captures` may be < n_avg.
+struct CaptureAttempt {
+  Signature signature;
+  CaptureFlaw flaw = CaptureFlaw::kNone;
+  int captures = 0;
+};
+
 /// One golden-device drift check.
 struct DriftStatus {
   double score = 0.0;  ///< This check's outlier score.
@@ -141,10 +150,28 @@ class GuardedRuntime {
   const OutlierScreen& screen() const { return screen_; }
   const GuardPolicy& policy() const { return policy_; }
 
- private:
+  // Building blocks of test_device(), exposed so BatchRuntime can replay
+  // the exact per-device validation sequence (same rng draws, same
+  // counters) while batching the predict step across devices.
+
+  /// Acquire and average n_avg captures of one device, validating each in
+  /// the time domain before it contributes. Identical acquisition/fault/rng
+  /// sequence to one test_device() attempt.
+  CaptureAttempt capture_attempt(const stf::rf::RfDut& dut,
+                                 stf::stats::Rng& rng,
+                                 const stf::rf::FaultInjector* faults,
+                                 std::uint64_t sequence, int n_avg) const;
+
+  /// Signature-space validation: OutlierScreen score against the
+  /// calibration envelope. Writes the score to *score (if non-null) even
+  /// when rejecting; returns kNonFinite / kOutlier / kNone.
+  CaptureFlaw screen_signature(const Signature& signature,
+                               double* score) const;
+
   /// Time-domain validation: finiteness + railing. Returns kNone if clean.
   CaptureFlaw inspect_capture(const std::vector<double>& capture) const;
 
+ private:
   FastestRuntime runtime_;
   GuardPolicy policy_;
   OutlierScreen screen_;

@@ -70,6 +70,12 @@ std::vector<double> FastestRuntime::predict(const Signature& signature) const {
   return model_.predict(signature);
 }
 
+stf::la::Matrix FastestRuntime::predict_batch(
+    const stf::la::Matrix& signatures) const {
+  STF_REQUIRE(model_.fitted(), "FastestRuntime::predict_batch: not calibrated");
+  return model_.predict_batch(signatures);
+}
+
 ValidationReport FastestRuntime::validate(
     const std::vector<stf::rf::DeviceRecord>& devices,
     stf::stats::Rng& rng) const {

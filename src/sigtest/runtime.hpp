@@ -70,6 +70,11 @@ class FastestRuntime {
   /// specs (the guarded runtime validates captures first, then predicts).
   std::vector<double> predict(const Signature& signature) const;
 
+  /// Batched regression evaluation: one signature per row in, one
+  /// prediction per row out. Bit-identical to predict() row by row (see
+  /// CalibrationModel::predict_batch); the batch runtime's throughput path.
+  stf::la::Matrix predict_batch(const stf::la::Matrix& signatures) const;
+
   /// Test every validation device and compare predictions against their
   /// reference specs.
   ValidationReport validate(const std::vector<stf::rf::DeviceRecord>& devices,

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/telemetry.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/spectrum.hpp"
 #include "dsp/window.hpp"
@@ -95,6 +96,97 @@ TEST_P(FftRoundTrip, IfftInvertsFft) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTrip,
                          ::testing::Values(2, 7, 16, 33, 64, 129, 500));
+
+// ---------------------------------------------------------- plan cache --
+
+/// Set the plan-cache capacity for one test, restoring the previous value
+/// (and an empty cache) afterwards.
+class PlanCacheCapacityGuard {
+ public:
+  explicit PlanCacheCapacityGuard(std::size_t cap)
+      : saved_(stf::dsp::fft_plan_cache_capacity()) {
+    stf::dsp::fft_plan_cache_clear();
+    stf::dsp::fft_plan_cache_set_capacity(cap);
+  }
+  ~PlanCacheCapacityGuard() {
+    stf::dsp::fft_plan_cache_set_capacity(saved_);
+    stf::dsp::fft_plan_cache_clear();
+  }
+
+ private:
+  std::size_t saved_;
+};
+
+TEST(FftPlanCache, CapacityBoundsResidentPlansViaLruEviction) {
+  // Regression: the plan cache grew without bound, one plan per distinct
+  // size for the life of the process. Capacity is now an LRU bound.
+  PlanCacheCapacityGuard guard(4);
+  EXPECT_EQ(stf::dsp::fft_plan_cache_capacity(), 4u);
+  for (const std::size_t n : {8u, 16u, 32u, 64u, 128u, 256u}) {
+    std::vector<cplx> x(n, cplx(1.0, 0.0));
+    (void)stf::dsp::fft(x);
+    EXPECT_LE(stf::dsp::fft_plan_cache_size(), 4u) << "after n=" << n;
+  }
+  // An evicted size must still compute correctly on re-entry (plan rebuilt).
+  stf::stats::Rng rng(404);
+  std::vector<cplx> x(8);
+  for (auto& v : x) v = cplx(rng.normal(), rng.normal());
+  const auto fast = stf::dsp::fft(x);
+  const auto ref = stf::dsp::dft_reference(x);
+  for (std::size_t k = 0; k < x.size(); ++k)
+    EXPECT_NEAR(std::abs(fast[k] - ref[k]), 0.0, 1e-9);
+}
+
+TEST(FftPlanCache, BluesteinSurvivesEvictionPressure) {
+  // Bluestein plans embed a radix-2 convolution plan; eviction of either
+  // must never corrupt a non-pow2 transform.
+  PlanCacheCapacityGuard guard(2);
+  stf::stats::Rng rng(405);
+  std::vector<cplx> x(100);
+  for (auto& v : x) v = cplx(rng.normal(), rng.normal());
+  const auto ref = stf::dsp::dft_reference(x);
+  for (const std::size_t churn : {64u, 512u, 1024u, 2048u}) {
+    std::vector<cplx> filler(churn, cplx(1.0, 0.0));
+    (void)stf::dsp::fft(filler);
+    const auto fast = stf::dsp::fft(x);  // re-plans after likely eviction
+    for (std::size_t k = 0; k < x.size(); ++k)
+      ASSERT_NEAR(std::abs(fast[k] - ref[k]), 0.0,
+                  1e-8 * static_cast<double>(x.size()))
+          << "churn=" << churn;
+  }
+  EXPECT_LE(stf::dsp::fft_plan_cache_size(), 2u);
+}
+
+TEST(FftPlanCache, EvictionsAreCounted) {
+  if (!stf::core::telemetry::compiled()) GTEST_SKIP();
+  PlanCacheCapacityGuard guard(2);
+  stf::core::telemetry::set_enabled(true);
+  stf::core::telemetry::reset();
+  const auto before =
+      stf::core::telemetry::counter_value("fft.plan_cache_evictions");
+  for (const std::size_t n : {8u, 16u, 32u, 64u}) {
+    std::vector<cplx> x(n, cplx(1.0, 0.0));
+    (void)stf::dsp::fft(x);
+  }
+  EXPECT_GT(stf::core::telemetry::counter_value("fft.plan_cache_evictions"),
+            before);
+  stf::core::telemetry::set_enabled(false);
+  stf::core::telemetry::reset();
+}
+
+TEST(FftPlanCache, SetCapacityShrinksImmediately) {
+  PlanCacheCapacityGuard guard(8);
+  for (const std::size_t n : {8u, 16u, 32u, 64u, 128u}) {
+    std::vector<cplx> x(n, cplx(1.0, 0.0));
+    (void)stf::dsp::fft(x);
+  }
+  EXPECT_GE(stf::dsp::fft_plan_cache_size(), 5u);
+  stf::dsp::fft_plan_cache_set_capacity(2);
+  EXPECT_LE(stf::dsp::fft_plan_cache_size(), 2u);
+  // Capacity 0 is clamped to 1 rather than wedging every insert.
+  stf::dsp::fft_plan_cache_set_capacity(0);
+  EXPECT_EQ(stf::dsp::fft_plan_cache_capacity(), 1u);
+}
 
 TEST(Fft, ParsevalTheorem) {
   stf::stats::Rng rng(77);

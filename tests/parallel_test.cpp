@@ -149,6 +149,19 @@ TEST(ParallelConfig, ParseRejectsMalformedValues) {
   }
 }
 
+TEST(ParallelConfig, ParseRejectsValuesThatOverflowSizeT) {
+  // Regression: digit accumulation used to wrap on values past 2^64, so
+  // e.g. 2^64 + 1 parsed as "1" and silently configured a 1-thread pool.
+  for (const char* huge :
+       {"18446744073709551616",    // 2^64: wraps to 0
+        "18446744073709551617",    // 2^64 + 1: wraps to 1, the nasty case
+        "184467440737095516160",   // 10 * 2^64
+        "99999999999999999999999999"}) {
+    EXPECT_THROW(parse_thread_count(huge), std::invalid_argument)
+        << "value: \"" << huge << '"';
+  }
+}
+
 TEST(ParallelConfig, EnvironmentIsValidatedOnReResolve) {
   // set_thread_count(0) re-reads STF_THREADS: a bad value must throw and
   // leave the previous configuration intact.

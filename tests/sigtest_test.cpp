@@ -1,7 +1,9 @@
 // Tests for the signature-test core: acquisition, sensitivity, the
 // Eq. 8-10 objective, calibration regression.
 #include <cmath>
+#include <cstring>
 #include <memory>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -430,6 +432,146 @@ TEST(Calibration, ConstantBinHandledGracefully) {
   CalibrationModel model(opts);
   EXPECT_NO_THROW(model.fit(sig, specs));
   EXPECT_NEAR(model.predict({0.7, 0.5})[0], 1.0, 1e-6);
+}
+
+TEST(Calibration, PredictBatchMatchesPredictExactly) {
+  // predict_batch is the batched pipeline's one-GEMV-per-batch path; the
+  // determinism contract requires it to reproduce predict() bit for bit,
+  // so the comparison is EXPECT_EQ, not NEAR.
+  stf::stats::Rng rng(21);
+  const std::size_t n = 50, m = 4;
+  stf::la::Matrix sig(n, m), specs(n, 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) sig(i, j) = rng.uniform(0.0, 1.0);
+    specs(i, 0) = 3.0 * sig(i, 0) - sig(i, 2);
+    specs(i, 1) = sig(i, 1) * sig(i, 1) + 0.5;
+    specs(i, 2) = sig(i, 3) - 2.0 * sig(i, 0) * sig(i, 1);
+  }
+  CalibrationOptions opts;
+  opts.poly_degree = 2;
+  opts.ridge_lambda = 1e-6;
+  CalibrationModel model(opts);
+  model.fit(sig, specs);
+
+  stf::stats::Rng probe_rng(23);
+  const std::size_t batch = 17;
+  stf::la::Matrix probes(batch, m);
+  for (std::size_t i = 0; i < batch; ++i)
+    for (std::size_t j = 0; j < m; ++j)
+      probes(i, j) = probe_rng.uniform(-0.5, 1.5);
+  const stf::la::Matrix out = model.predict_batch(probes);
+  ASSERT_EQ(out.rows(), batch);
+  ASSERT_EQ(out.cols(), 3u);
+  for (std::size_t i = 0; i < batch; ++i) {
+    const auto one = model.predict(probes.row(i));
+    ASSERT_EQ(one.size(), out.cols());
+    for (std::size_t s = 0; s < one.size(); ++s)
+      EXPECT_EQ(out(i, s), one[s]) << "row " << i << " spec " << s;
+  }
+}
+
+TEST(Calibration, PredictBatchRejectsMisuse) {
+  CalibrationModel unfitted;
+  EXPECT_THROW(unfitted.predict_batch(stf::la::Matrix(2, 2)),
+               std::logic_error);
+  stf::stats::Rng rng(25);
+  stf::la::Matrix sig(10, 3), specs(10, 1);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) sig(i, j) = rng.uniform(0.0, 1.0);
+    specs(i, 0) = sig(i, 0);
+  }
+  CalibrationModel model;
+  model.fit(sig, specs);
+  EXPECT_THROW(model.predict_batch(stf::la::Matrix(4, 2)),
+               std::invalid_argument);
+  const auto empty = model.predict_batch(stf::la::Matrix(0, 3));
+  EXPECT_EQ(empty.rows(), 0u);
+}
+
+// A fitted model whose serialized text the corruption tests can mutate.
+static std::string fitted_model_text() {
+  stf::stats::Rng rng(27);
+  stf::la::Matrix sig(20, 3), specs(20, 2);
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) sig(i, j) = rng.uniform(0.0, 1.0);
+    specs(i, 0) = sig(i, 0) + sig(i, 1);
+    specs(i, 1) = sig(i, 2);
+  }
+  CalibrationOptions opts;
+  opts.poly_degree = 2;
+  opts.ridge_lambda = 1e-6;
+  CalibrationModel model(opts);
+  model.fit(sig, specs);
+  return model.serialize();
+}
+
+TEST(Calibration, DeserializeErrorsAreTypedAndDescriptive) {
+  // Regression: corruption used to surface as a raw stream failure or, for
+  // a flipped length field, a giant allocation. Every malformed input must
+  // now throw CalibrationParseError with a message naming the bad field.
+  const std::string good = fitted_model_text();
+  ASSERT_NO_THROW(CalibrationModel::deserialize(good));
+
+  auto expect_parse_error = [](const std::string& text,
+                               const std::string& needle) {
+    try {
+      CalibrationModel::deserialize(text);
+      FAIL() << "expected CalibrationParseError for: " << needle;
+    } catch (const CalibrationParseError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("CalibrationModel::deserialize"), std::string::npos)
+          << what;
+      EXPECT_NE(what.find(needle), std::string::npos) << what;
+    }
+  };
+
+  expect_parse_error("", "bad header");
+  expect_parse_error("garbage v9", "bad header");
+  expect_parse_error("sigtest-calibration v2\n", "bad header");
+
+  // Truncation mid-vector (not at the tail, where a partial double could
+  // still parse).
+  const auto mid = good.find("bin_scale");
+  ASSERT_NE(mid, std::string::npos);
+  expect_parse_error(good.substr(0, mid + 12), "bin_scale");
+
+  // A flipped length field must be rejected before any allocation.
+  std::string huge = good;
+  const auto bm = huge.find("bin_mean 3");
+  ASSERT_NE(bm, std::string::npos);
+  huge.replace(bm, std::strlen("bin_mean 3"), "bin_mean 2000000");
+  expect_parse_error(huge, "exceeds limit");
+
+  std::string bad_degree = good;
+  const auto pd = bad_degree.find("poly_degree 2");
+  ASSERT_NE(pd, std::string::npos);
+  bad_degree.replace(pd, std::strlen("poly_degree 2"), "poly_degree 9");
+  expect_parse_error(bad_degree, "poly_degree");
+
+  std::string bad_lambda = good;
+  const auto rl = bad_lambda.find("ridge_lambda ");
+  const auto rl_end = bad_lambda.find('\n', rl);
+  ASSERT_NE(rl, std::string::npos);
+  bad_lambda.replace(rl, rl_end - rl, "ridge_lambda -1");
+  expect_parse_error(bad_lambda, "ridge_lambda");
+
+  // And the typed error still satisfies the legacy catch sites.
+  EXPECT_THROW(CalibrationModel::deserialize("nope"), std::invalid_argument);
+}
+
+TEST(Calibration, DeserializeRoundTripSurvivesPredictBatch) {
+  const std::string text = fitted_model_text();
+  const auto restored = CalibrationModel::deserialize(text);
+  stf::stats::Rng rng(29);
+  stf::la::Matrix probes(7, 3);
+  for (std::size_t i = 0; i < 7; ++i)
+    for (std::size_t j = 0; j < 3; ++j) probes(i, j) = rng.uniform(0.0, 1.0);
+  const auto batch = restored.predict_batch(probes);
+  for (std::size_t i = 0; i < 7; ++i) {
+    const auto one = restored.predict(probes.row(i));
+    for (std::size_t s = 0; s < one.size(); ++s)
+      EXPECT_EQ(batch(i, s), one[s]);
+  }
 }
 
 }  // namespace

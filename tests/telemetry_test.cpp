@@ -276,6 +276,30 @@ TEST_F(TelemetryTest, ResetClearsCollectedData) {
   EXPECT_EQ(telem::span_stats("test.reset_span").count, 0u);
 }
 
+TEST_F(TelemetryTest, EventCapBoundsMemoryAndSurfacesDrops) {
+  const std::size_t saved = telem::max_events_per_thread();
+  telem::set_max_events_per_thread(8);
+  EXPECT_EQ(telem::max_events_per_thread(), 8u);
+  telem::reset();  // the cap applies per reset epoch
+  for (int i = 0; i < 24; ++i) {
+    STF_TRACE_SPAN("test.capped_span");
+  }
+  EXPECT_LE(telem::span_event_count(), 8u);
+  EXPECT_GE(telem::dropped_event_count(), 16u);
+  // Dropped events must be visible, not silent: summary() flags them and
+  // to_json() exports the count for CI assertions.
+  EXPECT_NE(telem::summary().find("DROPPED"), std::string::npos);
+  const std::string json = telem::to_json();
+  ASSERT_NE(json.find("\"dropped_events\":"), std::string::npos);
+  EXPECT_EQ(json.find("\"dropped_events\":0"), std::string::npos);
+
+  telem::set_max_events_per_thread(0);  // 0 restores the built-in default
+  EXPECT_GT(telem::max_events_per_thread(), 8u);
+  telem::set_max_events_per_thread(saved);
+  telem::reset();
+  EXPECT_EQ(telem::dropped_event_count(), 0u);
+}
+
 TEST(TelemetryDisabled, NothingIsRecordedAndValueIsNotEvaluated) {
   if (!telem::compiled()) GTEST_SKIP() << "built with SIGTEST_TELEMETRY=OFF";
   telem::set_enabled(false);

@@ -147,6 +147,10 @@ def summarize(path: Path) -> None:
                    "BM_OptimizeStimulusThreads/4/real_time"),
         ratio_line(times, "guarded test, faulted-chain cost (faulted/clean)",
                    "BM_GuardedTestDeviceFaulted", "BM_GuardedTestDevice"),
+        ratio_line(times, "batched lot speedup, clean (serial/batched)",
+                   "LotSerialGuarded", "LotBatched"),
+        ratio_line(times, "batched lot speedup, faulted (serial/batched)",
+                   "LotSerialGuardedFaulted", "LotBatchedFaulted"),
     ]
     printed = False
     for line in derived:
@@ -159,22 +163,35 @@ def summarize(path: Path) -> None:
 
 def compare(current: Path, baseline: Path, tolerance: float) -> int:
     cur, base = load_times(current), load_times(baseline)
-    common = sorted(set(cur) & set(base))
-    if not common:
-        print("bench_report: no common benchmarks to compare")
+    if not cur:
+        print("bench_report: no benchmarks in current report")
         return 0
     regressions = 0
-    width = max(len(n) for n in common)
+    names = sorted(cur)
+    width = max(len(n) for n in names)
     print(f"\ncomparison vs {baseline} (tolerance {tolerance:.2f}x):")
-    for name in common:
-        r = cur[name] / base[name] if base[name] > 0 else float("inf")
+    for name in names:
+        base_ns = base.get(name)
+        # A benchmark the baseline lacks (new bench) or records as zero
+        # (clock too coarse, or a corrupted report) has no meaningful ratio:
+        # report it as n/a rather than flagging a phantom regression or
+        # dividing by zero.
+        if base_ns is None:
+            print(f"  {name:<{width}}  n/a -> {fmt_ns(cur[name])}"
+                  f"  (no baseline entry)")
+            continue
+        if base_ns <= 0:
+            print(f"  {name:<{width}}  n/a -> {fmt_ns(cur[name])}"
+                  f"  (zero/invalid baseline time)")
+            continue
+        r = cur[name] / base_ns
         flag = ""
         if r > tolerance:
             flag = "  << REGRESSION"
             regressions += 1
         elif r < 1.0 / tolerance:
             flag = "  (faster)"
-        print(f"  {name:<{width}}  {fmt_ns(base[name])} -> {fmt_ns(cur[name])}"
+        print(f"  {name:<{width}}  {fmt_ns(base_ns)} -> {fmt_ns(cur[name])}"
               f"  ({r:.2f}x){flag}")
     if regressions:
         print(f"bench_report: {regressions} regression(s)")

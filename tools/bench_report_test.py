@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Regression tests for tools/bench_report.py.
+
+Plain-assert tests (no pytest dependency) run by ctest: the compare() path
+must report missing or zero baseline entries as n/a instead of dividing by
+zero or flagging phantom regressions, and must still catch real slowdowns.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import bench_report  # noqa: E402
+
+
+def write_report(directory: Path, name: str,
+                 entries: list[tuple[str, float]]) -> Path:
+    path = directory / name
+    path.write_text(json.dumps({
+        "benchmarks": [
+            {"name": bench, "run_type": "iteration", "iterations": 1,
+             "real_time": ns, "cpu_time": ns, "time_unit": "ns"}
+            for bench, ns in entries
+        ],
+    }))
+    return path
+
+
+def run_compare(current: Path, baseline: Path,
+                tolerance: float = 1.25) -> tuple[int, str]:
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        rc = bench_report.compare(current, baseline, tolerance)
+    return rc, out.getvalue()
+
+
+def test_missing_baseline_entry_is_na_not_regression(tmp: Path) -> None:
+    cur = write_report(tmp, "cur1.json",
+                       [("BM_Old", 100.0), ("BM_New", 50.0)])
+    base = write_report(tmp, "base1.json", [("BM_Old", 100.0)])
+    rc, out = run_compare(cur, base)
+    assert rc == 0, out
+    assert "BM_New" in out, out
+    assert "n/a" in out, out
+    assert "no baseline entry" in out, out
+    assert "REGRESSION" not in out, out
+
+
+def test_zero_baseline_time_is_na_not_regression(tmp: Path) -> None:
+    # A zeroed baseline used to produce ratio inf and a phantom regression.
+    cur = write_report(tmp, "cur2.json", [("BM_Zeroed", 100.0)])
+    base = write_report(tmp, "base2.json", [("BM_Zeroed", 0.0)])
+    rc, out = run_compare(cur, base)
+    assert rc == 0, out
+    assert "n/a" in out, out
+    assert "zero/invalid baseline" in out, out
+    assert "REGRESSION" not in out, out
+
+
+def test_real_regression_still_fails(tmp: Path) -> None:
+    cur = write_report(tmp, "cur3.json",
+                       [("BM_Slow", 200.0), ("BM_Same", 100.0)])
+    base = write_report(tmp, "base3.json",
+                        [("BM_Slow", 100.0), ("BM_Same", 100.0)])
+    rc, out = run_compare(cur, base)
+    assert rc == 1, out
+    assert out.count("REGRESSION") == 1, out
+
+
+def test_speedup_is_flagged_but_passes(tmp: Path) -> None:
+    cur = write_report(tmp, "cur4.json", [("BM_Fast", 50.0)])
+    base = write_report(tmp, "base4.json", [("BM_Fast", 100.0)])
+    rc, out = run_compare(cur, base)
+    assert rc == 0, out
+    assert "(faster)" in out, out
+
+
+def test_empty_current_report_is_benign(tmp: Path) -> None:
+    cur = write_report(tmp, "cur5.json", [])
+    base = write_report(tmp, "base5.json", [("BM_X", 1.0)])
+    rc, out = run_compare(cur, base)
+    assert rc == 0, out
+
+
+def test_aggregates_and_time_units_are_normalized(tmp: Path) -> None:
+    path = tmp / "units.json"
+    path.write_text(json.dumps({
+        "benchmarks": [
+            {"name": "BM_Us", "run_type": "iteration", "real_time": 2.0,
+             "cpu_time": 2.0, "time_unit": "us"},
+            {"name": "BM_Us_mean", "run_type": "aggregate", "real_time": 2.0,
+             "cpu_time": 2.0, "time_unit": "us"},
+        ],
+    }))
+    times = bench_report.load_times(path)
+    assert set(times) == {"BM_Us"}, times
+    assert times["BM_Us"] == 2000.0, times
+
+
+def test_throughput_ratio_lines_appear_in_summary(tmp: Path) -> None:
+    # The names tab_throughput emits must feed the derived-ratio block.
+    report = write_report(tmp, "tp.json", [
+        ("LotSerialGuarded", 200.0), ("LotBatched", 100.0),
+        ("LotSerialGuardedFaulted", 400.0), ("LotBatchedFaulted", 100.0),
+    ])
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        bench_report.summarize(report)
+    text = out.getvalue()
+    assert "batched lot speedup, clean (serial/batched): 2.00x" in text, text
+    assert "batched lot speedup, faulted (serial/batched): 4.00x" in text, text
+
+
+def main() -> int:
+    tests = [(name, fn) for name, fn in sorted(globals().items())
+             if name.startswith("test_") and callable(fn)]
+    failures = 0
+    with tempfile.TemporaryDirectory() as tmpdir:
+        tmp = Path(tmpdir)
+        for name, fn in tests:
+            try:
+                fn(tmp)
+                print(f"PASS {name}")
+            except AssertionError as exc:
+                failures += 1
+                print(f"FAIL {name}: {exc}")
+    if failures:
+        print(f"bench_report_test: {failures} failure(s)")
+        return 1
+    print(f"bench_report_test: {len(tests)} tests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@
 //   netlist-op  FILE                              DC operating point
 //   netlist-ac  FILE FREQ_HZ [OUT_NODE]           AC node voltages
 //   analog                                        baseband lineage demo
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +27,7 @@
 #include "core/telemetry.hpp"
 #include "rf/faults.hpp"
 #include "sigtest/analog.hpp"
+#include "sigtest/batch.hpp"
 #include "sigtest/guard.hpp"
 #include "stats/rng.hpp"
 
@@ -55,7 +57,10 @@ int usage() {
       "                     e.g. --fault clip:0.1,contact:0.02:0.05\n"
       "  --guard            test the lot with the guarded runtime (capture\n"
       "                     validation, retry/escalation, outlier routing)\n"
-      "                     instead of trusting every prediction\n");
+      "                     instead of trusting every prediction\n"
+      "  --batch N          with --guard: stream the lot through the batched\n"
+      "                     test-cell pipeline (acquire/screen/predict, N\n"
+      "                     devices per batch) and report devices/sec\n");
   return 2;
 }
 
@@ -129,7 +134,7 @@ bool has_flag(const std::vector<std::string>& args, const std::string& key) {
 // 200-part lot is tested against datasheet limits, unguarded (trust every
 // prediction) or guarded (validate / retry / escalate / route).
 int run_faulted_lot(const bench::SimStudyResult& study,
-                    const rf::FaultInjector& faults, bool guard) {
+                    const rf::FaultInjector& faults, bool guard, int batch) {
   constexpr double kInf = std::numeric_limits<double>::infinity();
   const auto cfg = sigtest::SignatureTestConfig::simulation_study();
   const auto cal = rf::make_lna_population(100, 0.2, 42);
@@ -148,7 +153,33 @@ int run_faulted_lot(const bench::SimStudyResult& study,
   for (const auto& dev : lot) truth.push_back(dev.specs.to_vector());
 
   ate::FlowResult flow;
-  if (guard) {
+  if (guard && batch > 0) {
+    // Batched test-cell pipeline: same guard semantics, lot streamed through
+    // acquire -> screen -> predict with one regression GEMV per batch.
+    sigtest::GuardPolicy policy;
+    policy.outlier_threshold = 2.5;
+    sigtest::BatchOptions bopts;
+    bopts.batch_size = static_cast<std::size_t>(batch);
+    sigtest::BatchRuntime runtime(cfg, study.stimulus,
+                                  circuit::LnaSpecs::names(), policy, bopts);
+    stats::Rng cal_rng(7);
+    runtime.calibrate(cal, cal_rng);
+    const stats::Rng lot_rng(9001);
+    const auto t0 = std::chrono::steady_clock::now();
+    const sigtest::LotResult result =
+        runtime.test_lot(lot, lot_rng, faults.empty() ? nullptr : &faults);
+    const double sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    int retries = 0;
+    for (const auto& d : result.dispositions) retries += d.attempts - 1;
+    flow = ate::run_production_flow(truth, result.dispositions, limits, 0.25);
+    std::printf("  batched pipeline: batch size %d, %.0f devices/sec\n", batch,
+                sec > 0.0 ? static_cast<double>(result.devices()) / sec : 0.0);
+    std::printf("  guard activity: %d retries, %zu routed to conventional,"
+                " %d retested\n",
+                retries, result.routed, flow.retested);
+  } else if (guard) {
     sigtest::GuardPolicy policy;
     policy.outlier_threshold = 2.5;
     sigtest::GuardedRuntime runtime(cfg, study.stimulus,
@@ -211,6 +242,7 @@ int cmd_sim_study(const std::vector<std::string>& args) {
   opts.n_val = static_cast<std::size_t>(opt_num(args, "--val", 25));
   const std::string fault_spec = opt_str(args, "--fault", "");
   const bool guard = has_flag(args, "--guard");
+  const int batch = static_cast<int>(opt_num(args, "--batch", 0));
   const auto result = bench::run_simulation_study(opts);
   std::printf("simulation study: %zu train / %zu validate, GA objective"
               " %.4e\n",
@@ -221,7 +253,7 @@ int cmd_sim_study(const std::vector<std::string>& args) {
     const auto faults = fault_spec.empty()
                             ? rf::FaultInjector{}
                             : rf::FaultInjector::parse(fault_spec);
-    return run_faulted_lot(result, faults, guard);
+    return run_faulted_lot(result, faults, guard, batch);
   }
   return 0;
 }
