@@ -59,6 +59,8 @@ std::vector<Phasor> AcAnalysis::solve_injections(
 void AcAnalysis::assemble(double freq_hz, stf::la::CMatrix* y_out,
                           std::vector<Phasor>* b_out,
                           bool use_sources) const {
+  STF_REQUIRE(y_out != nullptr && b_out != nullptr,
+              "AcAnalysis::assemble: null output matrix/vector");
   const Netlist& nl = *nl_;
   const std::size_t n = nl.unknown_count();
   const double omega = 2.0 * std::numbers::pi * freq_hz;
@@ -126,6 +128,8 @@ void AcAnalysis::assemble(double freq_hz, stf::la::CMatrix* y_out,
 std::vector<Phasor> AcAnalysis::solve_impl(
     double freq_hz, bool use_sources,
     const std::vector<CurrentInjection>& injections) const {
+  STF_REQUIRE(std::isfinite(freq_hz) && freq_hz >= 0.0,
+              "AcAnalysis::solve: frequency must be finite and >= 0");
   const Netlist& nl = *nl_;
   stf::la::CMatrix y;
   std::vector<Phasor> b;

@@ -53,6 +53,7 @@ RfPort AttenuatorPad::port() {
   return p;
 }
 
+// stf-analyze: allow(api-contract) -- build() carries the kNumParams contract.
 AttenuatorSpecs AttenuatorPad::measure(const std::vector<double>& process) {
   const Netlist nl = build(process);
   const DcSolution dc = solve_dc(nl);

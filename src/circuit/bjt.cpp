@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "circuit/constants.hpp"
+#include "core/contracts.hpp"
 
 namespace stf::circuit {
 
@@ -30,6 +31,8 @@ double is_at_temperature(double is_t0, double temp_k) {
 
 void bjt_currents(const BjtParams& p, double vbe, double vbc, double* ic,
                   double* ib, double temp_k) {
+  STF_REQUIRE(ic != nullptr && ib != nullptr, "bjt_currents: null output");
+  STF_REQUIRE(temp_k > 0.0, "bjt_currents: temp_k must be > 0");
   const double vt = thermal_voltage(temp_k);
   const double is = is_at_temperature(p.is, temp_k);
   const double ef = safe_exp(vbe, vt);
@@ -52,6 +55,7 @@ void bjt_currents(const BjtParams& p, double vbe, double vbc, double* ic,
 
 BjtOperatingPoint bjt_evaluate(const BjtParams& p, double vbe, double vbc,
                                double temp_k) {
+  STF_REQUIRE(temp_k > 0.0, "bjt_evaluate: temp_k must be > 0");
   BjtOperatingPoint op;
   bjt_currents(p, vbe, vbc, &op.ic, &op.ib, temp_k);
 

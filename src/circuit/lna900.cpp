@@ -106,6 +106,7 @@ RfPort Lna900::port() {
   return p;
 }
 
+// stf-analyze: allow(api-contract) -- build() carries the kNumParams contract.
 LnaSpecs Lna900::measure(const std::vector<double>& process) {
   const Netlist nl = build(process);
   const DcSolution dc = solve_dc(nl);

@@ -91,6 +91,7 @@ RfPort Pa900::port() {
   return p;
 }
 
+// stf-analyze: allow(api-contract) -- build() carries the kNumParams contract.
 PaSpecs Pa900::measure(const std::vector<double>& process) {
   const Netlist nl = build(process);
   const DcSolution dc = solve_dc(nl);

@@ -66,6 +66,7 @@ double parse_spice_number(const std::string& token) {
   }
 }
 
+// stf-analyze: allow(api-contract) -- bad input throws with line numbers.
 Netlist parse_netlist(const std::string& text) {
   Netlist nl;
   std::istringstream is(text);

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace stf::circuit {
 
 namespace {
@@ -39,6 +41,8 @@ double noise_figure_db(const AcAnalysis& ac, double freq_hz,
 
 double iip3_dbm(const AcAnalysis& ac, double f1, double f2,
                 const RfPort& port) {
+  STF_REQUIRE(f1 > 0.0 && f2 > 0.0 && f1 != f2,
+              "iip3_dbm: need two distinct positive tones");
   TwoToneSetup setup;
   setup.f1 = f1;
   setup.f2 = f2;

@@ -1,7 +1,9 @@
 #include "circuit/transient.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "circuit/stamps.hpp"
 #include "core/contracts.hpp"
@@ -52,9 +54,17 @@ TransientResult simulate_transient(const Netlist& nl,
               "simulate_transient: bad time grid");
   const std::size_t n_unknowns = nl.unknown_count();
   STF_REQUIRE(n_unknowns != 0, "simulate_transient: empty circuit");
-  for (const auto& [name, wf] : waveforms) {
+  // Validate in sorted name order, not unordered_map order: with several bad
+  // entries the reported name must not depend on the hash seed (diagnostics
+  // are part of the reproducibility contract -- two runs over the same bad
+  // input must fail identically).
+  std::vector<std::string> wf_names;
+  wf_names.reserve(waveforms.size());
+  for (const auto& [name, wf] : waveforms) wf_names.push_back(name);
+  std::sort(wf_names.begin(), wf_names.end());
+  for (const std::string& name : wf_names) {
     nl.vsource_index(name);  // throws for unknown source names
-    if (!wf)
+    if (!waveforms.at(name))
       throw std::invalid_argument("simulate_transient: null waveform: " +
                                   name);
   }

@@ -1,5 +1,7 @@
 #include "core/parallel.hpp"
 
+#include "core/annotations.hpp"
+#include "core/contracts.hpp"
 #include "core/telemetry.hpp"
 
 #include <atomic>
@@ -8,7 +10,6 @@
 #include <cstdlib>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 
@@ -37,19 +38,30 @@ struct Job {
   // shows pool threads working under (e.g.) "ga.generation".
   telemetry::ParallelRegion region;
 
-  std::mutex error_mutex;
-  std::exception_ptr error;
-  std::size_t error_chunk = std::numeric_limits<std::size_t>::max();
+  Mutex error_mutex;
+  std::exception_ptr error STF_GUARDED_BY(error_mutex);
+  std::size_t error_chunk STF_GUARDED_BY(error_mutex) =
+      std::numeric_limits<std::size_t>::max();
 
-  std::mutex done_mutex;
+  Mutex done_mutex;
   std::condition_variable done_cv;
+
+  /// The lowest-chunk exception, for rethrow after the job drained. Taking
+  /// the lock is not strictly needed for visibility (the final chunks_done
+  /// acq_rel publish orders the write) but it keeps the access pattern
+  /// uniform and analyzable.
+  std::exception_ptr take_error() STF_EXCLUDES(error_mutex) {
+    const LockGuard lock(error_mutex);
+    return error;
+  }
 };
 
 /// Record the exception thrown by the chunk starting at chunk_begin, keeping
 /// only the lowest-indexed one so the rethrown error does not depend on
 /// thread scheduling.
-void record_error(Job& job, std::size_t chunk_begin) {
-  const std::lock_guard<std::mutex> lock(job.error_mutex);
+void record_error(Job& job, std::size_t chunk_begin)
+    STF_EXCLUDES(job.error_mutex) {
+  const LockGuard lock(job.error_mutex);
   if (chunk_begin < job.error_chunk) {
     job.error_chunk = chunk_begin;
     job.error = std::current_exception();
@@ -82,7 +94,7 @@ std::size_t work_on(Job& job) {
     if (done == job.chunks_total) {
       // Empty critical section pairs with the caller's predicate read: the
       // notify cannot slot between the caller's check and its wait.
-      { const std::lock_guard<std::mutex> lock(job.done_mutex); }
+      { const LockGuard lock(job.done_mutex); }
       job.done_cv.notify_all();
     }
   }
@@ -101,17 +113,17 @@ class Pool {
 
   ~Pool() {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const LockGuard lock(mutex_);
       stop_ = true;
     }
     cv_.notify_all();
     for (auto& w : workers_) w.join();
   }
 
-  void run(const std::shared_ptr<Job>& job) {
-    const std::lock_guard<std::mutex> serialize(run_mutex_);
+  void run(const std::shared_ptr<Job>& job) STF_EXCLUDES(run_mutex_, mutex_) {
+    const LockGuard serialize(run_mutex_);
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const LockGuard lock(mutex_);
       current_ = job;
       ++seq_;
     }
@@ -122,30 +134,35 @@ class Pool {
     work_on(*job);
     t_in_parallel_region = false;
 
-    std::unique_lock<std::mutex> done_lock(job->done_mutex);
-    job->done_cv.wait(done_lock, [&] {
-      return job->chunks_done.load(std::memory_order_acquire) ==
-             job->chunks_total;
-    });
-    done_lock.unlock();
+    {
+      UniqueLock done_lock(job->done_mutex);
+      // Predicate touches only the job's atomics, never done_mutex-guarded
+      // state, so the lambda needs no capability claim.
+      job->done_cv.wait(done_lock.native(), [&] {
+        return job->chunks_done.load(std::memory_order_acquire) ==
+               job->chunks_total;
+      });
+    }
 
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const LockGuard lock(mutex_);
       if (current_ == job) current_.reset();
     }
   }
 
  private:
-  void worker_loop() {
+  void worker_loop() STF_EXCLUDES(mutex_) {
     std::uint64_t seen = 0;
     t_in_parallel_region = true;
     while (true) {
       std::shared_ptr<Job> job;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        cv_.wait(lock, [&] {
-          return stop_ || (current_ != nullptr && seq_ != seen);
-        });
+        UniqueLock lock(mutex_);
+        // Explicit wait loop (not the predicate overload): the analysis does
+        // not carry lock state into lambda bodies, while here it sees the
+        // guarded reads happen with mutex_ held.
+        while (!stop_ && (current_ == nullptr || seq_ == seen))
+          cv_.wait(lock.native());
         if (stop_) return;
         job = current_;
         seen = seq_;
@@ -156,18 +173,18 @@ class Pool {
     }
   }
 
-  std::mutex run_mutex_;
-  std::mutex mutex_;
+  Mutex run_mutex_;
+  Mutex mutex_;
   std::condition_variable cv_;
-  std::shared_ptr<Job> current_;
-  std::uint64_t seq_ = 0;
-  bool stop_ = false;
+  std::shared_ptr<Job> current_ STF_GUARDED_BY(mutex_);
+  std::uint64_t seq_ STF_GUARDED_BY(mutex_) = 0;
+  bool stop_ STF_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };
 
-std::mutex g_config_mutex;
-std::unique_ptr<Pool> g_pool;       // guarded by g_config_mutex
-std::size_t g_thread_count = 0;     // 0 = not yet resolved
+Mutex g_config_mutex;
+std::unique_ptr<Pool> g_pool STF_GUARDED_BY(g_config_mutex);
+std::size_t g_thread_count STF_GUARDED_BY(g_config_mutex) = 0;  // 0: unset
 
 std::size_t resolve_from_environment() {
   if (const char* env = std::getenv("STF_THREADS"); env != nullptr)
@@ -176,7 +193,7 @@ std::size_t resolve_from_environment() {
   return hw != 0 ? static_cast<std::size_t>(hw) : 1;
 }
 
-std::size_t thread_count_locked() {
+std::size_t thread_count_locked() STF_REQUIRES(g_config_mutex) {
   if (g_thread_count == 0) g_thread_count = resolve_from_environment();
   return g_thread_count;
 }
@@ -216,7 +233,7 @@ std::size_t parse_thread_count(const std::string& text) {
 }
 
 std::size_t thread_count() {
-  const std::lock_guard<std::mutex> lock(g_config_mutex);
+  const LockGuard lock(g_config_mutex);
   return thread_count_locked();
 }
 
@@ -225,7 +242,7 @@ void set_thread_count(std::size_t n) {
   // Resolve outside the critical section: parse_thread_count may throw and
   // must leave the current configuration untouched.
   const std::size_t resolved = n != 0 ? n : resolve_from_environment();
-  const std::lock_guard<std::mutex> lock(g_config_mutex);
+  const LockGuard lock(g_config_mutex);
   if (resolved == g_thread_count) return;
   g_pool.reset();  // joins workers; rebuilt lazily at the new size
   g_thread_count = resolved;
@@ -236,13 +253,14 @@ bool in_parallel_region() noexcept { return t_in_parallel_region; }
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body,
                   std::size_t grain) {
+  STF_REQUIRE(body, "parallel_for: null body");
   if (begin >= end) return;
   const std::size_t n = end - begin;
 
   std::size_t threads = 1;
   Pool* pool = nullptr;
   if (!t_in_parallel_region) {
-    const std::lock_guard<std::mutex> lock(g_config_mutex);
+    const LockGuard lock(g_config_mutex);
     threads = thread_count_locked();
     if (threads > 1 && n > 1) {
       if (!g_pool) g_pool = std::make_unique<Pool>(threads - 1);
@@ -281,7 +299,7 @@ void parallel_for(std::size_t begin, std::size_t end,
 
   pool->run(job);
 
-  if (job->error) std::rethrow_exception(job->error);
+  if (auto error = job->take_error(); error) std::rethrow_exception(error);
 }
 
 }  // namespace stf::core

@@ -23,17 +23,26 @@ struct PipelineRun {
   std::atomic<std::size_t> cursor{0};   // stage-0 item claims
   std::atomic<bool> cancelled{false};
 
-  std::mutex error_mutex;
-  std::exception_ptr error;
-  std::size_t error_item = std::numeric_limits<std::size_t>::max();
-  std::size_t error_stage = std::numeric_limits<std::size_t>::max();
+  Mutex error_mutex;
+  std::exception_ptr error STF_GUARDED_BY(error_mutex);
+  std::size_t error_item STF_GUARDED_BY(error_mutex) =
+      std::numeric_limits<std::size_t>::max();
+  std::size_t error_stage STF_GUARDED_BY(error_mutex) =
+      std::numeric_limits<std::size_t>::max();
+
+  /// The lowest-item exception, for rethrow after every worker joined.
+  std::exception_ptr take_error() STF_EXCLUDES(error_mutex) {
+    const LockGuard lock(error_mutex);
+    return error;
+  }
 };
 
 /// Keep only the exception of the lowest item (ties: earliest stage), the
 /// pipeline flavor of parallel_for's lowest-index rule, so the rethrown
 /// error does not depend on worker scheduling.
-void record_error(PipelineRun& run, std::size_t item, std::size_t stage) {
-  const std::lock_guard<std::mutex> lock(run.error_mutex);
+void record_error(PipelineRun& run, std::size_t item, std::size_t stage)
+    STF_EXCLUDES(run.error_mutex) {
+  const LockGuard lock(run.error_mutex);
   if (item < run.error_item ||
       (item == run.error_item && stage < run.error_stage)) {
     run.error_item = item;
@@ -130,7 +139,7 @@ void run_pipeline(std::size_t n_items, const std::vector<PipelineStage>& stages,
   for (const auto& q : run.queues) waits += q->blocked_pushes();
   if (waits != 0) STF_COUNT("pipeline.backpressure_waits", waits);
 
-  if (run.error) std::rethrow_exception(run.error);
+  if (auto error = run.take_error(); error) std::rethrow_exception(error);
 }
 
 }  // namespace stf::core

@@ -35,10 +35,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "core/contracts.hpp"
 
 namespace stf::core {
@@ -55,11 +55,14 @@ class BoundedQueue {
 
   /// Blocks while the queue is full. Returns false (dropping the value)
   /// only if the queue was closed.
-  bool push(T value) {
-    std::unique_lock<std::mutex> lock(mutex_);
+  bool push(T value) STF_EXCLUDES(mutex_) {
+    UniqueLock lock(mutex_);
     if (items_.size() >= capacity_ && !closed_) {
       ++blocked_pushes_;
-      not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+      // Explicit wait loop: the analysis does not carry lock state into
+      // lambda bodies, while here every guarded read happens under mutex_.
+      while (items_.size() >= capacity_ && !closed_)
+        not_full_.wait(lock.native());
     }
     if (closed_) return false;
     items_.push_back(std::move(value));
@@ -70,48 +73,48 @@ class BoundedQueue {
 
   /// Blocks until an item arrives; returns false once the queue is closed
   /// AND drained (a closed queue still hands out its remaining items).
-  bool pop(T& out) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+  bool pop(T& out) STF_EXCLUDES(mutex_) {
+    UniqueLock lock(mutex_);
+    while (items_.empty() && !closed_) not_empty_.wait(lock.native());
     if (items_.empty()) return false;
-    out = std::move(items_.front());  // stf-lint: checked -- !empty() above
-    items_.pop_front();
+    out = std::move(items_.front());  // stf-analyze: allow(checked-access)
+    items_.pop_front();               // -- the !empty() test is 2 lines up
     lock.unlock();
     not_full_.notify_one();
     return true;
   }
 
   /// No more pushes; blocked producers and (once drained) consumers return.
-  void close() {
+  void close() STF_EXCLUDES(mutex_) {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const LockGuard lock(mutex_);
       closed_ = true;
     }
     not_full_.notify_all();
     not_empty_.notify_all();
   }
 
-  std::size_t size() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t size() const STF_EXCLUDES(mutex_) {
+    const LockGuard lock(mutex_);
     return items_.size();
   }
 
   std::size_t capacity() const { return capacity_; }
 
   /// Times a push found the queue full and had to wait (backpressure).
-  std::uint64_t blocked_pushes() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t blocked_pushes() const STF_EXCLUDES(mutex_) {
+    const LockGuard lock(mutex_);
     return blocked_pushes_;
   }
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
-  std::deque<T> items_;
-  std::uint64_t blocked_pushes_ = 0;
-  bool closed_ = false;
+  std::deque<T> items_ STF_GUARDED_BY(mutex_);
+  std::uint64_t blocked_pushes_ STF_GUARDED_BY(mutex_) = 0;
+  bool closed_ STF_GUARDED_BY(mutex_) = false;
 };
 
 /// One pipeline stage: a worker team running `body(item)` for every item.

@@ -1,12 +1,14 @@
 #include "core/telemetry.hpp"
 
+#include "core/annotations.hpp"
+#include "core/contracts.hpp"
+
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <iomanip>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <unordered_map>
 #include <vector>
@@ -43,25 +45,27 @@ struct ThreadLog {
   explicit ThreadLog(std::uint32_t tid) : tid(tid) {}
 
   const std::uint32_t tid;
-  std::mutex mutex;                 // guards events + dropped
-  std::vector<Event> events;
-  std::uint64_t dropped = 0;
+  Mutex mutex;
+  std::vector<Event> events STF_GUARDED_BY(mutex);
+  std::uint64_t dropped STF_GUARDED_BY(mutex) = 0;
   std::vector<const char*> open;    // touched only by the owning thread
 };
 
 struct Histogram {
-  std::mutex mutex;
-  HistogramStats stats;
+  Mutex mutex;
+  HistogramStats stats STF_GUARDED_BY(mutex);
 };
 
 /// Global registry. Leaked on purpose: pool worker threads and thread_local
 /// caches may outlive static destruction order, so the registry must never
 /// be destroyed.
 struct Registry {
-  std::mutex mutex;  // guards logs / counters / histograms maps
-  std::vector<std::unique_ptr<ThreadLog>> logs;
-  std::unordered_map<std::string, std::unique_ptr<Counter>> counters;
-  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms;
+  Mutex mutex;
+  std::vector<std::unique_ptr<ThreadLog>> logs STF_GUARDED_BY(mutex);
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters
+      STF_GUARDED_BY(mutex);
+  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms
+      STF_GUARDED_BY(mutex);
   std::atomic<std::uint64_t> next_flow{1};
 };
 
@@ -74,7 +78,7 @@ ThreadLog& thread_log() {
   thread_local ThreadLog* t_log = nullptr;
   if (t_log == nullptr) {
     Registry& reg = registry();
-    const std::lock_guard<std::mutex> lock(reg.mutex);
+    const LockGuard lock(reg.mutex);
     reg.logs.push_back(
         std::make_unique<ThreadLog>(static_cast<std::uint32_t>(reg.logs.size())));
     // stf-lint: checked -- the push_back on the previous line is the element.
@@ -84,7 +88,7 @@ ThreadLog& thread_log() {
 }
 
 void append_event(ThreadLog& log, const Event& e) {
-  const std::lock_guard<std::mutex> lock(log.mutex);
+  const LockGuard lock(log.mutex);
   if (log.events.size() >=
       g_max_events_per_thread.load(std::memory_order_relaxed)) {
     ++log.dropped;
@@ -158,9 +162,9 @@ struct SpanAccumulator {
 std::map<std::string, SpanAccumulator> aggregate_spans() {
   std::map<std::string, SpanAccumulator> agg;
   Registry& reg = registry();
-  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const LockGuard lock(reg.mutex);
   for (const auto& log : reg.logs) {
-    const std::lock_guard<std::mutex> log_lock(log->mutex);
+    const LockGuard log_lock(log->mutex);
     for (const Event& e : log->events) {
       if (e.kind == Kind::flow_start) continue;
       SpanAccumulator& acc = agg[event_key(e)];
@@ -210,15 +214,15 @@ std::size_t max_events_per_thread() {
 
 void reset() {
   Registry& reg = registry();
-  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const LockGuard lock(reg.mutex);
   for (const auto& log : reg.logs) {
-    const std::lock_guard<std::mutex> log_lock(log->mutex);
+    const LockGuard log_lock(log->mutex);
     log->events.clear();
     log->dropped = 0;
   }
   for (const auto& [name, c] : reg.counters) c->zero();
   for (const auto& [name, h] : reg.histograms) {
-    const std::lock_guard<std::mutex> h_lock(h->mutex);
+    const LockGuard h_lock(h->mutex);
     h->stats = HistogramStats{};
   }
 }
@@ -233,7 +237,7 @@ std::uint64_t now_ns() {
 
 Counter& counter(std::string_view name) {
   Registry& reg = registry();
-  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const LockGuard lock(reg.mutex);
   auto it = reg.counters.find(std::string(name));
   if (it == reg.counters.end())
     it = reg.counters.emplace(std::string(name), std::make_unique<Counter>())
@@ -243,7 +247,7 @@ Counter& counter(std::string_view name) {
 
 std::uint64_t counter_value(std::string_view name) {
   Registry& reg = registry();
-  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const LockGuard lock(reg.mutex);
   const auto it = reg.counters.find(std::string(name));
   return it != reg.counters.end() ? it->second->value() : 0;
 }
@@ -253,16 +257,17 @@ void count_event(const char* name, std::uint64_t delta) {
 }
 
 void record_value(const char* name, double value) {
+  STF_REQUIRE(name != nullptr, "telemetry::record_value: null name");
   Histogram* hist = nullptr;
   {
     Registry& reg = registry();
-    const std::lock_guard<std::mutex> lock(reg.mutex);
+    const LockGuard lock(reg.mutex);
     auto it = reg.histograms.find(name);
     if (it == reg.histograms.end())
       it = reg.histograms.emplace(name, std::make_unique<Histogram>()).first;
     hist = it->second.get();
   }
-  const std::lock_guard<std::mutex> lock(hist->mutex);
+  const LockGuard lock(hist->mutex);
   HistogramStats& s = hist->stats;
   if (s.count == 0 || value < s.min) s.min = value;
   if (s.count == 0 || value > s.max) s.max = value;
@@ -270,16 +275,17 @@ void record_value(const char* name, double value) {
   ++s.count;
 }
 
+// stf-analyze: allow(api-contract) -- unknown names read back empty stats.
 HistogramStats histogram_stats(std::string_view name) {
   Histogram* hist = nullptr;
   {
     Registry& reg = registry();
-    const std::lock_guard<std::mutex> lock(reg.mutex);
+    const LockGuard lock(reg.mutex);
     const auto it = reg.histograms.find(std::string(name));
     if (it == reg.histograms.end()) return HistogramStats{};
     hist = it->second.get();
   }
-  const std::lock_guard<std::mutex> lock(hist->mutex);
+  const LockGuard lock(hist->mutex);
   return hist->stats;
 }
 
@@ -308,6 +314,7 @@ SpanScope::~SpanScope() {
 }
 
 ParallelRegion parallel_region_begin(const char* fallback_name) {
+  STF_REQUIRE(fallback_name != nullptr, "parallel_region_begin: null name");
   ParallelRegion region;
   if (!enabled()) return region;
   ThreadLog& log = thread_log();
@@ -332,6 +339,8 @@ std::uint64_t parallel_worker_begin(const ParallelRegion& region) {
 
 void parallel_worker_end(const ParallelRegion& region, std::uint64_t start_ns,
                          std::size_t chunks) {
+  STF_REQUIRE(!region.active || region.name != nullptr,
+              "parallel_worker_end: active region lost its name");
   if (!region.active) return;
   const std::uint64_t end = now_ns();
   ThreadLog& log = thread_log();
@@ -357,9 +366,9 @@ SpanStats span_stats(std::string_view name) {
 std::size_t span_event_count() {
   std::size_t n = 0;
   Registry& reg = registry();
-  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const LockGuard lock(reg.mutex);
   for (const auto& log : reg.logs) {
-    const std::lock_guard<std::mutex> log_lock(log->mutex);
+    const LockGuard log_lock(log->mutex);
     for (const Event& e : log->events)
       if (e.kind != Kind::flow_start) ++n;
   }
@@ -369,9 +378,9 @@ std::size_t span_event_count() {
 std::uint64_t dropped_event_count() {
   std::uint64_t n = 0;
   Registry& reg = registry();
-  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const LockGuard lock(reg.mutex);
   for (const auto& log : reg.logs) {
-    const std::lock_guard<std::mutex> log_lock(log->mutex);
+    const LockGuard log_lock(log->mutex);
     n += log->dropped;
   }
   return n;
@@ -385,11 +394,11 @@ std::string summary() {
   std::map<std::string, HistogramStats> hists;
   {
     Registry& reg = registry();
-    const std::lock_guard<std::mutex> lock(reg.mutex);
+    const LockGuard lock(reg.mutex);
     threads = reg.logs.size();
     for (const auto& [name, c] : reg.counters) counters[name] = c->value();
     for (const auto& [name, h] : reg.histograms) {
-      const std::lock_guard<std::mutex> h_lock(h->mutex);
+      const LockGuard h_lock(h->mutex);
       hists[name] = h->stats;
     }
   }
@@ -443,7 +452,7 @@ std::string to_json() {
   os << "\"threads\":";
   {
     Registry& reg = registry();
-    const std::lock_guard<std::mutex> lock(reg.mutex);
+    const LockGuard lock(reg.mutex);
     os << reg.logs.size();
   }
   os << ",\"dropped_events\":" << dropped_event_count();
@@ -467,7 +476,7 @@ std::string to_json() {
   {
     std::map<std::string, std::uint64_t> counters;
     Registry& reg = registry();
-    const std::lock_guard<std::mutex> lock(reg.mutex);
+    const LockGuard lock(reg.mutex);
     for (const auto& [name, c] : reg.counters) counters[name] = c->value();
     first = true;
     for (const auto& [name, v] : counters) {
@@ -482,9 +491,9 @@ std::string to_json() {
   {
     std::map<std::string, HistogramStats> hists;
     Registry& reg = registry();
-    const std::lock_guard<std::mutex> lock(reg.mutex);
+    const LockGuard lock(reg.mutex);
     for (const auto& [name, h] : reg.histograms) {
-      const std::lock_guard<std::mutex> h_lock(h->mutex);
+      const LockGuard h_lock(h->mutex);
       hists[name] = h->stats;
     }
     first = true;
@@ -514,9 +523,9 @@ std::string chrome_trace() {
 
   std::uint64_t last_ts_ns = 0;
   Registry& reg = registry();
-  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const LockGuard lock(reg.mutex);
   for (const auto& log : reg.logs) {
-    const std::lock_guard<std::mutex> log_lock(log->mutex);
+    const LockGuard log_lock(log->mutex);
     emit_sep();
     os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << log->tid
        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"stf-thread-"

@@ -4,12 +4,12 @@
 #include <cmath>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <numbers>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
 
+#include "core/annotations.hpp"
 #include "core/contracts.hpp"
 #include "core/telemetry.hpp"
 
@@ -144,13 +144,15 @@ struct BluesteinPlan {
 // ---------------------------------------------------------------------------
 class PlanCache {
  public:
-  std::shared_ptr<const Radix2Plan> radix2(std::size_t n) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_ptr<const Radix2Plan> radix2(std::size_t n)
+      STF_EXCLUDES(mutex_) {
+    const core::LockGuard lock(mutex_);
     return radix2_locked(n);
   }
 
-  std::shared_ptr<const BluesteinPlan> bluestein(std::size_t n, int sign) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_ptr<const BluesteinPlan> bluestein(std::size_t n, int sign)
+      STF_EXCLUDES(mutex_) {
+    const core::LockGuard lock(mutex_);
     const std::size_t key = n * 2 + (sign > 0 ? 1 : 0);
     auto it = bluestein_.find(key);
     if (it == bluestein_.end()) {
@@ -171,24 +173,24 @@ class PlanCache {
     return it->second.plan;
   }
 
-  std::size_t size() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t size() const STF_EXCLUDES(mutex_) {
+    const core::LockGuard lock(mutex_);
     return radix2_.size() + bluestein_.size();
   }
 
-  void clear() {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  void clear() STF_EXCLUDES(mutex_) {
+    const core::LockGuard lock(mutex_);
     radix2_.clear();
     bluestein_.clear();
   }
 
-  std::size_t capacity() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t capacity() const STF_EXCLUDES(mutex_) {
+    const core::LockGuard lock(mutex_);
     return capacity_;
   }
 
-  void set_capacity(std::size_t cap) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  void set_capacity(std::size_t cap) STF_EXCLUDES(mutex_) {
+    const core::LockGuard lock(mutex_);
     capacity_ = std::max<std::size_t>(1, cap);
     while (radix2_.size() + bluestein_.size() > capacity_) evict_lru_locked();
   }
@@ -200,7 +202,8 @@ class PlanCache {
     std::uint64_t tick = 0;  // last access; smallest tick is the LRU victim
   };
 
-  std::shared_ptr<const Radix2Plan> radix2_locked(std::size_t n) {
+  std::shared_ptr<const Radix2Plan> radix2_locked(std::size_t n)
+      STF_REQUIRES(mutex_) {
     auto it = radix2_.find(n);
     if (it == radix2_.end()) {
       STF_COUNT("fft.plan_cache_miss");
@@ -217,12 +220,12 @@ class PlanCache {
   }
 
   /// Evict LRU entries until one insert fits under the capacity.
-  void make_room_locked() {
+  void make_room_locked() STF_REQUIRES(mutex_) {
     while (radix2_.size() + bluestein_.size() >= capacity_) evict_lru_locked();
   }
 
   /// Drop the single entry (across both maps) with the oldest access tick.
-  void evict_lru_locked() {
+  void evict_lru_locked() STF_REQUIRES(mutex_) {
     auto oldest_r = radix2_.end();
     for (auto it = radix2_.begin(); it != radix2_.end(); ++it)
       if (oldest_r == radix2_.end() || it->second.tick < oldest_r->second.tick)
@@ -243,11 +246,13 @@ class PlanCache {
     STF_COUNT("fft.plan_cache_evictions");
   }
 
-  mutable std::mutex mutex_;
-  std::size_t capacity_ = 64;
-  std::uint64_t tick_ = 0;
-  std::unordered_map<std::size_t, Entry<Radix2Plan>> radix2_;
-  std::unordered_map<std::size_t, Entry<BluesteinPlan>> bluestein_;
+  mutable core::Mutex mutex_;
+  std::size_t capacity_ STF_GUARDED_BY(mutex_) = 64;
+  std::uint64_t tick_ STF_GUARDED_BY(mutex_) = 0;
+  std::unordered_map<std::size_t, Entry<Radix2Plan>> radix2_
+      STF_GUARDED_BY(mutex_);
+  std::unordered_map<std::size_t, Entry<BluesteinPlan>> bluestein_
+      STF_GUARDED_BY(mutex_);
 };
 
 PlanCache& plan_cache() {
@@ -345,6 +350,7 @@ std::vector<double> fft_frequencies(std::size_t n, double fs) {
   return f;
 }
 
+// stf-analyze: allow(api-contract) -- defined for every input, even empty.
 std::vector<cplx> dft_reference(const std::vector<cplx>& x) {
   const std::size_t n = x.size();
   std::vector<cplx> out(n, cplx{});

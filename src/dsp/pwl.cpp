@@ -30,6 +30,7 @@ PwlWaveform PwlWaveform::uniform(double duration,
 }
 
 double PwlWaveform::sample(double t) const {
+  STF_REQUIRE(std::isfinite(t), "PwlWaveform::sample: t must be finite");
   // stf-lint: checked -- ctor enforces >= 2 breakpoints.
   if (t <= points_.front().t) return points_.front().v;
   // stf-lint: checked -- ctor enforces >= 2 breakpoints.

@@ -141,6 +141,7 @@ std::vector<double> welch_psd(const std::vector<double>& x, double fs,
 }
 
 std::vector<double> amplitude_spectrum(const std::vector<double>& x) {
+  STF_REQUIRE(!x.empty(), "amplitude_spectrum: empty input");
   const auto spec = fft_real(x);
   const auto n = x.size();
   std::vector<double> amp(n / 2 + 1);

@@ -124,6 +124,8 @@ SvdResult svd(const Matrix& a) {
 }
 
 Matrix pinv(const Matrix& a, double rcond) {
+  STF_REQUIRE(std::isfinite(rcond) && rcond >= 0.0,
+              "pinv: rcond must be finite and >= 0");
   const SvdResult d = svd(a);
   const double cutoff = d.s.empty() ? 0.0 : rcond * d.s.front();
   // pinv(A) = V * Sigma^+ * U^T, dropping singular values <= cutoff.

@@ -19,6 +19,7 @@ BehavioralLna::BehavioralLna(Cplx gain, double iip3_v, double nf_db,
 
 EnvelopeSignal BehavioralLna::process(const EnvelopeSignal& in,
                                       stf::stats::Rng* rng) const {
+  STF_REQUIRE(in.fs > 0.0, "BehavioralLna::process: input fs must be > 0");
   EnvelopeSignal out = in;
   const double inv_a2 =
       std::isinf(iip3_v_) ? 0.0 : 1.0 / (iip3_v_ * iip3_v_);
@@ -54,6 +55,7 @@ double iip3_dbm_to_source_amplitude(double iip3_dbm, double rs_ohms) {
   return std::sqrt(8.0 * rs_ohms * p_watts);
 }
 
+// stf-analyze: allow(api-contract) -- Lna900::build checks kNumParams.
 LnaCharacterization extract_lna_dut(const std::vector<double>& process) {
   using namespace stf::circuit;
   const Netlist nl = Lna900::build(process);

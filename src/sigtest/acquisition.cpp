@@ -51,6 +51,8 @@ SignatureAcquirer::SignatureAcquirer(const SignatureTestConfig& config,
               "SignatureAcquirer: capture_s must be > 0");
 }
 
+// The ctor validates config_; a null rng selects the noiseless path.
+// stf-analyze: allow(api-contract)
 std::vector<double> SignatureAcquirer::raw_capture(
     const stf::rf::RfDut& dut, const stf::dsp::PwlWaveform& stimulus,
     stf::stats::Rng* rng) const {
@@ -112,6 +114,8 @@ Signature SignatureAcquirer::acquire(const stf::rf::RfDut& dut,
 
 Signature SignatureAcquirer::to_signature(
     const std::vector<double>& capture) const {
+  STF_REQUIRE(!capture.empty(),
+              "SignatureAcquirer::to_signature: empty capture");
   if (!config_.use_fft_magnitude)
     return pool_bins(capture, max_bins_);
 

@@ -65,6 +65,10 @@ AnalogSignatureRuntime::AnalogSignatureRuntime(AnalogSignatureConfig config,
 void AnalogSignatureRuntime::calibrate(
     const std::vector<AnalogDeviceRecord>& training, stf::stats::Rng& rng,
     int n_avg) {
+  STF_REQUIRE(!training.empty(),
+              "AnalogSignatureRuntime::calibrate: no training devices");
+  STF_REQUIRE(n_avg >= 1,
+              "AnalogSignatureRuntime::calibrate: n_avg must be >= 1");
   fit_from_captures(
       model_, training.size(),
       [&](std::size_t i) {

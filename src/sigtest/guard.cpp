@@ -41,6 +41,8 @@ void GuardedRuntime::calibrate(
 
 CaptureFlaw GuardedRuntime::inspect_capture(
     const std::vector<double>& capture) const {
+  STF_REQUIRE(!capture.empty(),
+              "GuardedRuntime::inspect_capture: empty capture");
   double peak = 0.0;
   for (double v : capture) {
     if (!std::isfinite(v)) return CaptureFlaw::kNonFinite;

@@ -1,5 +1,6 @@
 #include "sigtest/optimizer.hpp"
 
+#include "core/contracts.hpp"
 #include "core/telemetry.hpp"
 
 namespace stf::sigtest {
@@ -25,6 +26,8 @@ ObjectiveBreakdown evaluate_stimulus(const PerturbationSet& perturbations,
 OptimizedStimulus optimize_stimulus(const PerturbationSet& perturbations,
                                     const SignatureAcquirer& acquirer,
                                     const StimulusOptimizerConfig& config) {
+  STF_REQUIRE(config.encoding.duration_s > 0.0,
+              "optimize_stimulus: encoding duration must be > 0");
   STF_TRACE_SPAN("optimizer.optimize_stimulus");
   // A_p is stimulus-independent: compute it once outside the GA loop.
   const stf::la::Matrix a_p = perturbations.spec_sensitivity();

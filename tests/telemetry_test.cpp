@@ -300,6 +300,44 @@ TEST_F(TelemetryTest, EventCapBoundsMemoryAndSurfacesDrops) {
   EXPECT_EQ(telem::dropped_event_count(), 0u);
 }
 
+TEST_F(TelemetryTest, RepeatedExportsOfTheSameStateAreByteIdentical) {
+  // The exporters feed golden files, CI artifacts and cross-run diffs, so
+  // their output must be a pure function of the collected state: counters
+  // and histograms are exported in sorted key order (never raw
+  // unordered_map order, which is hash-seed-dependent), and no timestamps
+  // or addresses leak in. Two exports of the same state must match byte
+  // for byte.
+  { STF_TRACE_SPAN("test.export_span"); }
+  STF_COUNT("test.export_counter_b", 2);
+  STF_COUNT("test.export_counter_a");
+  STF_COUNT("test.export_counter_c", 7);
+  STF_RECORD("test.export_hist_z", 1.5);
+  STF_RECORD("test.export_hist_a", -3.0);
+  stf::core::parallel_for(0, 64, [](std::size_t) {
+    STF_TRACE_SPAN("test.export_worker_span");
+  });
+
+  EXPECT_EQ(telem::summary(), telem::summary());
+  EXPECT_EQ(telem::to_json(), telem::to_json());
+  EXPECT_EQ(telem::chrome_trace(), telem::chrome_trace());
+
+  // Sorted-key contract, spot-checked on the JSON export.
+  const std::string json = telem::to_json();
+  const auto pos_a = json.find("test.export_counter_a");
+  const auto pos_b = json.find("test.export_counter_b");
+  const auto pos_c = json.find("test.export_counter_c");
+  ASSERT_NE(pos_a, std::string::npos);
+  ASSERT_NE(pos_b, std::string::npos);
+  ASSERT_NE(pos_c, std::string::npos);
+  EXPECT_LT(pos_a, pos_b);
+  EXPECT_LT(pos_b, pos_c);
+  const auto hist_a = json.find("test.export_hist_a");
+  const auto hist_z = json.find("test.export_hist_z");
+  ASSERT_NE(hist_a, std::string::npos);
+  ASSERT_NE(hist_z, std::string::npos);
+  EXPECT_LT(hist_a, hist_z);
+}
+
 TEST(TelemetryDisabled, NothingIsRecordedAndValueIsNotEvaluated) {
   if (!telem::compiled()) GTEST_SKIP() << "built with SIGTEST_TELEMETRY=OFF";
   telem::set_enabled(false);

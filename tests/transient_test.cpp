@@ -203,6 +203,30 @@ TEST(Transient, InvalidArgumentsThrow) {
   EXPECT_THROW(simulate_transient(nl, opts, null_wf), std::invalid_argument);
 }
 
+TEST(Transient, WaveformValidationErrorIsHashOrderIndependent) {
+  // With several invalid entries the reported name must be the
+  // lexicographically first one, not whichever the unordered_map's hash
+  // seed happens to yield -- diagnostics are part of the reproducibility
+  // contract (see tools/stf_analyze.py rule unordered-export).
+  Netlist nl;
+  nl.add_vsource("VS", "a", "0", 1.0);
+  nl.add_resistor("R", "a", "0", 100.0);
+  TransientOptions opts;
+  opts.dt = 1e-6;
+  opts.t_stop = 1e-3;
+  SourceWaveforms wf;
+  wf["ZZZ_BAD"] = [](double) { return 0.0; };
+  wf["AAA_BAD"] = [](double) { return 0.0; };
+  wf["MMM_BAD"] = [](double) { return 0.0; };
+  try {
+    simulate_transient(nl, opts, wf);
+    FAIL() << "unknown waveform names must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("AAA_BAD"), std::string::npos)
+        << "expected the lexicographically first bad name, got: " << e.what();
+  }
+}
+
 TEST(Transient, TrapezoidalRuleBarelyDampsHighQTank) {
   // A parallel LC tank kicked through a 1 MOhm source resistor has
   // Q = R*sqrt(C/L) = 1000: over 16 ring cycles the physical amplitude

@@ -1,219 +1,22 @@
 #!/usr/bin/env python3
-"""Project-convention linter for the signature-test framework.
+"""Compatibility shim: the conventions linter grew into tools/stf_analyze.py.
 
-Runs as a CTest test (see the stf_lint entry in the top-level CMakeLists) and
-standalone:
-
-    python3 tools/stf_lint.py [repo-root]
-
-Rules, all scoped to src/:
-
-  header-doc       every public header opens with a file-level // comment
-                   describing the unit (the API reference for a reader who
-                   never opens the .cpp)
-  pragma-once      every header starts with #pragma once (after comments)
-  include-order    every .cpp includes its own header first
-  no-rand          no rand()/srand() -- use stf::stats::Rng (seeded,
-                   reproducible); no printf-family -- use iostreams
-  checked-access   .front()/.back() only near an emptiness guard or an
-                   explicit "// stf-lint: checked" escape comment
-  test-coverage    every src/<mod>/<name>.cpp has <mod>/<name>.hpp
-                   referenced somewhere under tests/
-  raw-thread       no std::thread/std::jthread/std::async/pthread_create
-                   outside src/core/ -- use stf::core::parallel_for /
-                   parallel_map so thread counts, determinism and nested
-                   parallelism stay centrally managed
-  no-empty-catch   no empty `catch (...) {}` outside src/core/ -- silently
-                   swallowing every exception hides contract violations and
-                   corrupted-capture errors the guarded runtime must surface
-                   as typed dispositions; handle, translate, or let it
-                   propagate (the pool-teardown catches in src/core/ are the
-                   single sanctioned exception)
-
-The checked-access rule is a heuristic: a call is accepted when "empty(" or
-the escape comment appears on the same line or in the 15 lines above it.
-That window is deliberate -- a guard far from the access is worth re-stating
-with STF_ASSERT anyway.
+The eight stf_lint rules (header-doc, pragma-once, include-order, no-rand,
+checked-access, test-coverage, raw-thread, no-empty-catch) live on in
+stf_analyze.py alongside the determinism and locking rules, now running over
+a real tokenizer instead of line regexes. This entry point forwards so
+existing invocations -- `python3 tools/stf_lint.py [root]`, the `stf_lint`
+ctest entry, CI -- keep working unchanged.
 """
 
 from __future__ import annotations
 
-import re
 import sys
 from pathlib import Path
 
-GUARD_WINDOW = 15
-GUARD_RE = re.compile(r"empty\s*\(|stf-lint:\s*checked")
-ACCESS_RE = re.compile(r"\.\s*(?:front|back)\s*\(\s*\)")
-BANNED_CALL_RE = re.compile(r"\b(rand|srand|printf|fprintf|sprintf)\s*\(")
-RAW_THREAD_RE = re.compile(
-    r"\bstd\s*::\s*(thread|jthread|async)\b|\bpthread_create\s*\(")
-INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-
-def strip_line_comment(line: str) -> str:
-    # Good enough for this codebase: no multi-line comment spans code lines.
-    return line.split("//", 1)[0]
-
-
-def check_header_doc(path: Path, lines: list[str], errors: list[str]) -> None:
-    for line in lines:
-        text = line.strip()
-        if not text:
-            continue
-        if text.startswith("//"):
-            return
-        break
-    errors.append(f"{path}: header-doc: public header must open with a "
-                  "file-level '//' doc comment describing the unit")
-
-
-def check_pragma_once(path: Path, lines: list[str], errors: list[str]) -> None:
-    in_block_comment = False
-    for line in lines:
-        text = line.strip()
-        if in_block_comment:
-            if "*/" in text:
-                in_block_comment = False
-            continue
-        if not text or text.startswith("//"):
-            continue
-        if text.startswith("/*"):
-            in_block_comment = "*/" not in text
-            continue
-        if text.startswith("#pragma once"):
-            return
-        break
-    errors.append(f"{path}: pragma-once: header must start with #pragma once")
-
-
-def check_include_order(path: Path, lines: list[str],
-                        errors: list[str]) -> None:
-    own_header = path.with_suffix(".hpp")
-    if not own_header.exists():
-        return  # e.g. a main-only translation unit
-    expected = f"{path.parent.name}/{own_header.name}"
-    for idx, line in enumerate(lines):
-        m = INCLUDE_RE.match(line)
-        if not m:
-            continue
-        if m.group(1) != expected:
-            errors.append(
-                f"{path}:{idx + 1}: include-order: first include must be the "
-                f'unit\'s own header "{expected}", found "{m.group(1)}"')
-        return
-    errors.append(f"{path}: include-order: no quoted include found; expected "
-                  f'"{expected}" first')
-
-
-def check_banned_calls(path: Path, lines: list[str],
-                       errors: list[str]) -> None:
-    for idx, line in enumerate(lines):
-        code = strip_line_comment(line)
-        m = BANNED_CALL_RE.search(code)
-        if m:
-            hint = ("use stf::stats::Rng" if m.group(1) in ("rand", "srand")
-                    else "use iostreams")
-            errors.append(f"{path}:{idx + 1}: no-rand: call to {m.group(1)}() "
-                          f"in src/ ({hint})")
-
-
-def check_raw_threads(path: Path, lines: list[str],
-                      errors: list[str]) -> None:
-    # The parallel execution core owns every worker thread in the process;
-    # ad-hoc threading elsewhere would bypass STF_THREADS, the nested-region
-    # inlining that prevents pool deadlock, and the determinism contract.
-    if "core" == path.parent.name:
-        return
-    for idx, line in enumerate(lines):
-        m = RAW_THREAD_RE.search(strip_line_comment(line))
-        if m:
-            errors.append(
-                f"{path}:{idx + 1}: raw-thread: {m.group(0).strip()} outside "
-                "src/core/; use stf::core::parallel_for or parallel_map")
-
-
-EMPTY_CATCH_RE = re.compile(r"catch\s*\(\s*\.\.\.\s*\)\s*\{\s*\}")
-
-
-def check_empty_catch(path: Path, lines: list[str],
-                      errors: list[str]) -> None:
-    # The worker-pool teardown in src/core/ legitimately swallows exceptions
-    # from detached workers; everywhere else an empty catch-all turns a
-    # detectable failure into a silent wrong answer. The guarded runtime
-    # exists precisely to classify bad data -- not to ignore it.
-    if path.parent.name == "core":
-        return
-    # Join so `catch (...) {` / `}` split across lines is still caught.
-    code = "\n".join(strip_line_comment(l) for l in lines)
-    for m in EMPTY_CATCH_RE.finditer(code):
-        line_no = code.count("\n", 0, m.start()) + 1
-        errors.append(
-            f"{path}:{line_no}: no-empty-catch: empty 'catch (...)' outside "
-            "src/core/; handle the error, translate it, or let it propagate")
-
-
-def check_front_back(path: Path, lines: list[str], errors: list[str]) -> None:
-    for idx, line in enumerate(lines):
-        if not ACCESS_RE.search(strip_line_comment(line)):
-            continue
-        lo = max(0, idx - GUARD_WINDOW)
-        window = lines[lo:idx + 1]
-        if any(GUARD_RE.search(w) for w in window):
-            continue
-        errors.append(
-            f"{path}:{idx + 1}: checked-access: .front()/.back() without a "
-            "nearby emptiness guard; add a check or an STF_REQUIRE/STF_ASSERT "
-            "(or '// stf-lint: checked' with a justification)")
-
-
-def check_test_coverage(root: Path, errors: list[str]) -> None:
-    tests_dir = root / "tests"
-    blob = "\n".join(
-        p.read_text(errors="replace")
-        for p in sorted(tests_dir.rglob("*.cpp")))
-    for cpp in sorted((root / "src").rglob("*.cpp")):
-        header = f"{cpp.parent.name}/{cpp.stem}.hpp"
-        if header not in blob:
-            errors.append(
-                f"{cpp}: test-coverage: no file under tests/ references "
-                f"{header}")
-
-
-def main(argv: list[str]) -> int:
-    root = Path(argv[1]).resolve() if len(argv) > 1 else Path.cwd()
-    src = root / "src"
-    if not src.is_dir():
-        print(f"stf_lint: no src/ under {root}", file=sys.stderr)
-        return 2
-
-    errors: list[str] = []
-    for path in sorted(src.rglob("*.hpp")):
-        lines = path.read_text(errors="replace").splitlines()
-        check_header_doc(path, lines, errors)
-        check_pragma_once(path, lines, errors)
-        check_banned_calls(path, lines, errors)
-        check_raw_threads(path, lines, errors)
-        check_empty_catch(path, lines, errors)
-        check_front_back(path, lines, errors)
-    for path in sorted(src.rglob("*.cpp")):
-        lines = path.read_text(errors="replace").splitlines()
-        check_include_order(path, lines, errors)
-        check_banned_calls(path, lines, errors)
-        check_raw_threads(path, lines, errors)
-        check_empty_catch(path, lines, errors)
-        check_front_back(path, lines, errors)
-    check_test_coverage(root, errors)
-
-    for e in errors:
-        print(e)
-    n_files = len(list(src.rglob("*.hpp"))) + len(list(src.rglob("*.cpp")))
-    if errors:
-        print(f"stf_lint: {len(errors)} violation(s) in {n_files} files")
-        return 1
-    print(f"stf_lint: OK ({n_files} files)")
-    return 0
-
+import stf_analyze  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    sys.exit(stf_analyze.main(["stf_analyze"] + sys.argv[1:]))
