@@ -13,6 +13,8 @@
 #include "core/parallel.hpp"
 #include "core/telemetry.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/iir.hpp"
+#include "linalg/matrix.hpp"
 #include "rf/dut.hpp"
 #include "rf/faults.hpp"
 #include "rf/population.hpp"
@@ -150,6 +152,54 @@ void BM_SignatureAcquisition(benchmark::State& state) {
 }
 BENCHMARK(BM_SignatureAcquisition);
 
+// Butterworth cascade over interleaved channels: the SIMD biquad kernel's
+// home turf. Arg is the channel count -- 1 is the scalar recurrence floor,
+// lane-multiple widths run fully vectorized, and the interleaved/scalar
+// time-per-sample ratio is the kernel's effective lane utilization.
+void BM_BiquadCascade(benchmark::State& state) {
+  const auto cascade = dsp::butterworth_lowpass(4, 10e6, 200e6);
+  const auto n_channels = static_cast<std::size_t>(state.range(0));
+  const std::size_t n_samples = 4096;
+  stats::Rng rng(11);
+  std::vector<double> x(n_samples * n_channels);
+  for (auto& v : x) v = rng.normal();
+  std::vector<double> work(x.size());
+  for (auto _ : state) {
+    std::copy(x.begin(), x.end(), work.begin());
+    cascade.filter_interleaved(work, n_channels);
+    benchmark::DoNotOptimize(work.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(x.size()));
+}
+BENCHMARK(BM_BiquadCascade)->Arg(1)->Arg(4)->Arg(8);
+
+// Register-blocked batch GEMV: the per-lot regression evaluation the batch
+// pipeline issues once per batch. Row count matches the pipeline's batch
+// window; the per-device cost here is the floor BM_CalibrationPredict's
+// one-at-a-time path is compared against.
+void BM_PredictBatchGemv(benchmark::State& state) {
+  stats::Rng rng(5);
+  const std::size_t n = 100, m = 16, n_specs = 3;
+  la::Matrix sig(n, m), specs(n, n_specs);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) sig(i, j) = rng.uniform(0.0, 1.0);
+    for (std::size_t s = 0; s < n_specs; ++s) specs(i, s) = rng.normal();
+  }
+  sigtest::CalibrationModel model;
+  model.fit(sig, specs);
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  la::Matrix queries(batch, m);
+  for (std::size_t i = 0; i < batch; ++i)
+    for (std::size_t j = 0; j < m; ++j) queries(i, j) = rng.uniform(0.0, 1.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(model.predict_batch(queries));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_PredictBatchGemv)->Arg(32)->Arg(240);
+
 void BM_CalibrationPredict(benchmark::State& state) {
   // Regression evaluation is the per-part production cost.
   stats::Rng rng(5);
@@ -166,6 +216,38 @@ void BM_CalibrationPredict(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(model.predict(one));
 }
 BENCHMARK(BM_CalibrationPredict);
+
+// One full capture+signature per iteration, both memory disciplines. Arg 0
+// is the legacy heap path (raw_capture -> signature_from_capture, fresh
+// vectors per part); Arg 1 is the production path (raw_capture_into ->
+// signature_into against caller storage, internal scratch on the capture
+// arena). The published mem.* counters prove the arena path stays off the
+// heap; the time ratio is what that discipline is worth per part.
+void BM_ArenaVsHeapCapture(benchmark::State& state) {
+  const auto cfg = sigtest::SignatureTestConfig::simulation_study();
+  sigtest::SignatureAcquirer acq(cfg, 16);
+  const auto ch = rf::extract_lna_dut(circuit::Lna900::nominal());
+  const auto stim = dsp::PwlWaveform::uniform(
+      cfg.capture_s, {0.0, 0.2, -0.2, 0.1, -0.1, 0.25, -0.25, 0.0});
+  stats::Rng rng(13);
+  const bool arena_path = state.range(0) != 0;
+  std::vector<double> capture(acq.capture_length());
+  std::vector<double> sig(acq.signature_length());
+  const TelemetryCounters counters(
+      state, {"mem.arena_bytes", "mem.heap_fallbacks"});
+  for (auto _ : state) {
+    if (arena_path) {
+      acq.raw_capture_into(*ch.dut, stim, &rng, capture);
+      acq.signature_into(capture, sig);
+      benchmark::DoNotOptimize(sig.data());
+    } else {
+      const auto heap_capture = acq.raw_capture(*ch.dut, stim, &rng);
+      benchmark::DoNotOptimize(acq.signature_from_capture(heap_capture));
+    }
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ArenaVsHeapCapture)->Arg(0)->Arg(1);
 
 void BM_CalibrationFit(benchmark::State& state) {
   // Training-time cost: the per-spec ridge solves fan out over the pool.

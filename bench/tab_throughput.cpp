@@ -163,11 +163,13 @@ int main(int argc, char** argv) {
         << ", \"lot_devices\": " << lot.size() << "},\n  \"benchmarks\": [\n";
     for (std::size_t i = 0; i < bench_times.size(); ++i) {
       const double ns = bench_times[i].second * 1e9;
+      const double dps =
+          static_cast<double>(lot.size()) / bench_times[i].second;
       out << "    {\"name\": \"" << bench_times[i].first
           << "\", \"run_type\": \"iteration\", \"iterations\": 1, "
           << "\"real_time\": " << ns << ", \"cpu_time\": " << ns
-          << ", \"time_unit\": \"ns\"}"
-          << (i + 1 < bench_times.size() ? "," : "") << "\n";
+          << ", \"time_unit\": \"ns\", \"devices_per_second\": " << dps
+          << "}" << (i + 1 < bench_times.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
     std::fprintf(stderr, "tab_throughput: wrote %s\n", out_path.c_str());

@@ -1,0 +1,40 @@
+#include "core/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+namespace stf::core::simd {
+
+namespace {
+
+// -1 = follow the environment, 0 = forced off, 1 = forced on.
+std::atomic<int> g_override{-1};
+
+bool env_enabled() {
+  // STF_SIMD is the documented runtime kill switch; it only selects between
+  // bit-identical code paths, so reading it does not break replay.
+  const char* raw = std::getenv("STF_SIMD");
+  if (raw == nullptr) return true;
+  const std::string_view v(raw);
+  return !(v == "off" || v == "OFF" || v == "0" || v == "false" ||
+           v == "FALSE");
+}
+
+}  // namespace
+
+bool runtime_enabled() noexcept {
+  static const bool from_env = env_enabled();
+  const int o = g_override.load(std::memory_order_relaxed);
+  return o < 0 ? from_env : (o != 0);
+}
+
+void set_enabled(bool on) noexcept {
+  g_override.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void clear_enabled_override() noexcept {
+  g_override.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace stf::core::simd

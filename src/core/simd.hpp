@@ -1,0 +1,315 @@
+// Explicit SIMD abstraction for the signature hot path.
+//
+// Every vector kernel in the repo is written against this one header: a
+// fixed-width pack of doubles (VecD) with the handful of lane operations the
+// DSP kernels need (arithmetic, IEEE sqrt/div, pair swaps for interleaved
+// complex data, addsub for complex multiplies, deinterleave). The backend is
+// selected at compile time from the target ISA:
+//
+//   AVX2  (4 lanes)  x86-64 translation units compiled with -mavx2
+//   SSE2  (2 lanes)  any x86-64 translation unit
+//   NEON  (2 lanes)  aarch64
+//   scalar (1 lane)  everything else, and any build with SIGTEST_SIMD=OFF
+//
+// Raw intrinsics are confined to this header by the stf_analyze rule
+// `simd-confinement`; kernels must be expressible in these primitives so the
+// scalar reference path stays the single source of numeric truth.
+//
+// Determinism contract: every operation here is an IEEE-754 exact lane-wise
+// op (add/sub/mul/div/sqrt are correctly rounded; shuffles move bits). A
+// kernel that vectorizes ACROSS independent elements while keeping each
+// element's scalar operation order therefore produces bit-identical results
+// to the scalar reference. Kernels must not use fused multiply-add (the
+// kernel translation units are compiled with -ffp-contract=off and without
+// -mfma) and must not reorder reductions.
+//
+// Runtime kill switch: enabled() gates every kernel dispatch and is false
+// when the STF_SIMD environment variable is "off"/"0"/"false" (or after
+// set_enabled(false), which tests use to compare both paths in one process).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+#if !defined(STF_SIMD_COMPILE)
+#define STF_SIMD_COMPILE 1
+#endif
+
+// Backend id: 0 scalar, 1 NEON, 2 SSE2, 3 AVX2.
+#if STF_SIMD_COMPILE && defined(__AVX2__)
+#define STF_SIMD_BACKEND 3
+#include <immintrin.h>
+#elif STF_SIMD_COMPILE && \
+    (defined(__SSE2__) || defined(__x86_64__) || defined(_M_X64))
+#define STF_SIMD_BACKEND 2
+#include <immintrin.h>
+#elif STF_SIMD_COMPILE && defined(__aarch64__)
+#define STF_SIMD_BACKEND 1
+#include <arm_neon.h>
+#else
+#define STF_SIMD_BACKEND 0
+#endif
+
+namespace stf::core::simd {
+
+/// Alignment (bytes) for storage the vector kernels stream through. One
+/// cache line: enough for AVX-512 lanes and keeps hot tables line-aligned.
+inline constexpr std::size_t kAlignment = 64;
+
+/// True when the runtime STF_SIMD switch allows vector dispatch (default
+/// on; STF_SIMD=off/0/false disables). Implemented in simd.cpp.
+bool runtime_enabled() noexcept;
+
+/// Override the environment at runtime (tests compare both paths with
+/// this). Thread-safe; affects subsequent kernel dispatches.
+void set_enabled(bool on) noexcept;
+
+/// Reset set_enabled() overrides back to the environment default.
+void clear_enabled_override() noexcept;
+
+/// Minimal aligned allocator so plan tables and scratch buffers start on a
+/// kAlignment boundary (cached FFT plans must never force the kernels onto
+/// split-line loads).
+template <class T>
+struct AlignedAllocator {
+  using value_type = T;
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}  // NOLINT
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(
+        n * sizeof(T), std::align_val_t{kAlignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kAlignment});
+  }
+  bool operator==(const AlignedAllocator&) const noexcept { return true; }
+  bool operator!=(const AlignedAllocator&) const noexcept { return false; }
+};
+
+/// std::vector with kAlignment-aligned storage.
+template <class T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+/// True when p sits on an `align`-byte boundary.
+inline bool is_aligned(const void* p, std::size_t align) noexcept {
+  return (reinterpret_cast<std::uintptr_t>(p) & (align - 1)) == 0;
+}
+
+#if STF_SIMD_BACKEND == 3  // ----------------------------------------- AVX2
+
+inline namespace b_avx2 {
+
+inline constexpr std::size_t kLanes = 4;
+constexpr bool compiled() noexcept { return true; }
+constexpr const char* backend_name() noexcept { return "avx2"; }
+
+/// Pack of kLanes doubles.
+struct VecD {
+  __m256d v;
+};
+
+inline VecD load(const double* p) noexcept { return {_mm256_loadu_pd(p)}; }
+inline void store(double* p, VecD a) noexcept { _mm256_storeu_pd(p, a.v); }
+inline VecD broadcast(double x) noexcept { return {_mm256_set1_pd(x)}; }
+/// Repeat an (even, odd) pair across every pair of lanes: [e o e o].
+inline VecD set_pair(double e, double o) noexcept {
+  return {_mm256_setr_pd(e, o, e, o)};
+}
+inline VecD operator+(VecD a, VecD b) noexcept {
+  return {_mm256_add_pd(a.v, b.v)};
+}
+inline VecD operator-(VecD a, VecD b) noexcept {
+  return {_mm256_sub_pd(a.v, b.v)};
+}
+inline VecD operator*(VecD a, VecD b) noexcept {
+  return {_mm256_mul_pd(a.v, b.v)};
+}
+inline VecD operator/(VecD a, VecD b) noexcept {
+  return {_mm256_div_pd(a.v, b.v)};
+}
+inline VecD sqrt(VecD a) noexcept { return {_mm256_sqrt_pd(a.v)}; }
+/// [a1 a0 a3 a2]: swap the members of each (even, odd) pair.
+inline VecD swap_pairs(VecD a) noexcept {
+  return {_mm256_permute_pd(a.v, 0b0101)};
+}
+/// [a0 a0 a2 a2]: duplicate even lanes over their pair.
+inline VecD dup_even(VecD a) noexcept { return {_mm256_movedup_pd(a.v)}; }
+/// [a1 a1 a3 a3]: duplicate odd lanes over their pair.
+inline VecD dup_odd(VecD a) noexcept {
+  return {_mm256_permute_pd(a.v, 0b1111)};
+}
+/// Even lanes a-b, odd lanes a+b (the complex-multiply cross term).
+inline VecD addsub(VecD a, VecD b) noexcept {
+  return {_mm256_addsub_pd(a.v, b.v)};
+}
+/// Negate odd lanes: conjugates (re, im) pairs by flipping the sign bit.
+inline VecD conj_pairs(VecD a) noexcept {
+  return {_mm256_xor_pd(a.v, _mm256_set_pd(-0.0, 0.0, -0.0, 0.0))};
+}
+/// Split two interleaved vectors into even lanes and odd lanes:
+/// (a,b) = [x0 x1 x2 x3][x4 x5 x6 x7] -> ev = [x0 x2 x4 x6], od = odds.
+inline void deinterleave(VecD a, VecD b, VecD& ev, VecD& od) noexcept {
+  const __m256d lo = _mm256_unpacklo_pd(a.v, b.v);  // [x0 x4 x2 x6]
+  const __m256d hi = _mm256_unpackhi_pd(a.v, b.v);  // [x1 x5 x3 x7]
+  ev = {_mm256_permute4x64_pd(lo, 0b11011000)};
+  od = {_mm256_permute4x64_pd(hi, 0b11011000)};
+}
+
+}  // namespace b_avx2
+
+#elif STF_SIMD_BACKEND == 2  // --------------------------------------- SSE2
+
+inline namespace b_sse2 {
+
+inline constexpr std::size_t kLanes = 2;
+constexpr bool compiled() noexcept { return true; }
+constexpr const char* backend_name() noexcept { return "sse2"; }
+
+struct VecD {
+  __m128d v;
+};
+
+inline VecD load(const double* p) noexcept { return {_mm_loadu_pd(p)}; }
+inline void store(double* p, VecD a) noexcept { _mm_storeu_pd(p, a.v); }
+inline VecD broadcast(double x) noexcept { return {_mm_set1_pd(x)}; }
+inline VecD set_pair(double e, double o) noexcept {
+  return {_mm_setr_pd(e, o)};
+}
+inline VecD operator+(VecD a, VecD b) noexcept {
+  return {_mm_add_pd(a.v, b.v)};
+}
+inline VecD operator-(VecD a, VecD b) noexcept {
+  return {_mm_sub_pd(a.v, b.v)};
+}
+inline VecD operator*(VecD a, VecD b) noexcept {
+  return {_mm_mul_pd(a.v, b.v)};
+}
+inline VecD operator/(VecD a, VecD b) noexcept {
+  return {_mm_div_pd(a.v, b.v)};
+}
+inline VecD sqrt(VecD a) noexcept { return {_mm_sqrt_pd(a.v)}; }
+inline VecD swap_pairs(VecD a) noexcept {
+  return {_mm_shuffle_pd(a.v, a.v, 0b01)};
+}
+inline VecD dup_even(VecD a) noexcept {
+  return {_mm_shuffle_pd(a.v, a.v, 0b00)};
+}
+inline VecD dup_odd(VecD a) noexcept {
+  return {_mm_shuffle_pd(a.v, a.v, 0b11)};
+}
+inline VecD addsub(VecD a, VecD b) noexcept {
+  // a + (b with the even lane negated): x - y and x + (-y) are the same
+  // IEEE operation, so this matches a dedicated addsub instruction bit for
+  // bit without needing SSE3.
+  const __m128d flip = _mm_set_pd(0.0, -0.0);
+  return {_mm_add_pd(a.v, _mm_xor_pd(b.v, flip))};
+}
+inline VecD conj_pairs(VecD a) noexcept {
+  return {_mm_xor_pd(a.v, _mm_set_pd(-0.0, 0.0))};
+}
+inline void deinterleave(VecD a, VecD b, VecD& ev, VecD& od) noexcept {
+  ev = {_mm_unpacklo_pd(a.v, b.v)};
+  od = {_mm_unpackhi_pd(a.v, b.v)};
+}
+
+}  // namespace b_sse2
+
+#elif STF_SIMD_BACKEND == 1  // --------------------------------------- NEON
+
+inline namespace b_neon {
+
+inline constexpr std::size_t kLanes = 2;
+constexpr bool compiled() noexcept { return true; }
+constexpr const char* backend_name() noexcept { return "neon"; }
+
+struct VecD {
+  float64x2_t v;
+};
+
+inline VecD load(const double* p) noexcept { return {vld1q_f64(p)}; }
+inline void store(double* p, VecD a) noexcept { vst1q_f64(p, a.v); }
+inline VecD broadcast(double x) noexcept { return {vdupq_n_f64(x)}; }
+inline VecD set_pair(double e, double o) noexcept {
+  return {float64x2_t{e, o}};
+}
+inline VecD operator+(VecD a, VecD b) noexcept { return {vaddq_f64(a.v, b.v)}; }
+inline VecD operator-(VecD a, VecD b) noexcept { return {vsubq_f64(a.v, b.v)}; }
+inline VecD operator*(VecD a, VecD b) noexcept { return {vmulq_f64(a.v, b.v)}; }
+inline VecD operator/(VecD a, VecD b) noexcept { return {vdivq_f64(a.v, b.v)}; }
+inline VecD sqrt(VecD a) noexcept { return {vsqrtq_f64(a.v)}; }
+inline VecD swap_pairs(VecD a) noexcept { return {vextq_f64(a.v, a.v, 1)}; }
+inline VecD dup_even(VecD a) noexcept { return {vdupq_laneq_f64(a.v, 0)}; }
+inline VecD dup_odd(VecD a) noexcept { return {vdupq_laneq_f64(a.v, 1)}; }
+inline VecD addsub(VecD a, VecD b) noexcept {
+  const uint64x2_t flip = {0x8000000000000000ULL, 0};
+  const float64x2_t nb = vreinterpretq_f64_u64(
+      veorq_u64(vreinterpretq_u64_f64(b.v), flip));
+  return {vaddq_f64(a.v, nb)};
+}
+inline VecD conj_pairs(VecD a) noexcept {
+  const uint64x2_t flip = {0, 0x8000000000000000ULL};
+  return {vreinterpretq_f64_u64(
+      veorq_u64(vreinterpretq_u64_f64(a.v), flip))};
+}
+inline void deinterleave(VecD a, VecD b, VecD& ev, VecD& od) noexcept {
+  ev = {vuzp1q_f64(a.v, b.v)};
+  od = {vuzp2q_f64(a.v, b.v)};
+}
+
+}  // namespace b_neon
+
+#else  // ------------------------------------------------------------ scalar
+
+inline namespace b_scalar {
+
+inline constexpr std::size_t kLanes = 1;
+constexpr bool compiled() noexcept { return false; }
+constexpr const char* backend_name() noexcept { return "scalar"; }
+
+/// One-lane "vector" so shared helper code still compiles; kernels guard
+/// their pair-wise paths with `if constexpr (kLanes >= 2)`.
+struct VecD {
+  double v;
+};
+
+inline VecD load(const double* p) noexcept { return {*p}; }
+inline void store(double* p, VecD a) noexcept { *p = a.v; }
+inline VecD broadcast(double x) noexcept { return {x}; }
+inline VecD set_pair(double e, double) noexcept { return {e}; }
+inline VecD operator+(VecD a, VecD b) noexcept { return {a.v + b.v}; }
+inline VecD operator-(VecD a, VecD b) noexcept { return {a.v - b.v}; }
+inline VecD operator*(VecD a, VecD b) noexcept { return {a.v * b.v}; }
+inline VecD operator/(VecD a, VecD b) noexcept { return {a.v / b.v}; }
+inline VecD sqrt(VecD a) noexcept { return {__builtin_sqrt(a.v)}; }
+inline VecD swap_pairs(VecD a) noexcept { return a; }
+inline VecD dup_even(VecD a) noexcept { return a; }
+inline VecD dup_odd(VecD a) noexcept { return a; }
+inline VecD addsub(VecD a, VecD b) noexcept { return {a.v - b.v}; }
+inline VecD conj_pairs(VecD a) noexcept { return a; }
+inline void deinterleave(VecD a, VecD b, VecD& ev, VecD& od) noexcept {
+  ev = a;
+  od = b;
+}
+
+}  // namespace b_scalar
+
+#endif  // STF_SIMD_BACKEND
+
+/// Interleaved complex multiply: lanes hold (re, im) pairs; returns x * w
+/// per pair with the scalar operation order (re: xr*wr - xi*wi, im:
+/// xi*wr + xr*wi -- the same products and sums std::complex multiplication
+/// performs on finite values, so results are bit-identical to the scalar
+/// reference).
+inline VecD complex_mul(VecD x, VecD w) noexcept {
+  return addsub(x * dup_even(w), swap_pairs(x) * dup_odd(w));
+}
+
+/// Whether this translation unit has a vector backend AND the runtime
+/// switch allows it. Kernels branch on this per call; the scalar branch is
+/// the bit-exact reference path.
+inline bool enabled() noexcept { return compiled() && runtime_enabled(); }
+
+}  // namespace stf::core::simd

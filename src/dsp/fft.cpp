@@ -5,17 +5,21 @@
 #include <cstdint>
 #include <memory>
 #include <numbers>
+#include <span>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
 
 #include "core/annotations.hpp"
 #include "core/contracts.hpp"
+#include "core/simd.hpp"
 #include "core/telemetry.hpp"
 
 namespace stf::dsp {
 
 namespace {
+
+namespace simd = stf::core::simd;
 
 constexpr double kTwoPi = 2.0 * std::numbers::pi;
 
@@ -31,7 +35,8 @@ constexpr double kTwoPi = 2.0 * std::numbers::pi;
 // per stage -- stage `len` owns the len/2 entries w[j] = exp(-j 2 pi j /
 // len) starting at offset len/2 - 1 (n - 1 entries total), so every
 // butterfly loop walks its twiddles at unit stride. The inverse transform
-// conjugates on the fly.
+// conjugates on the fly. Twiddles live in lane-aligned storage so cached
+// plans never push the vector butterfly onto split-cache-line loads.
 struct Radix2Plan {
   explicit Radix2Plan(std::size_t n) : n(n), bitrev(n), packed(n - 1) {
     for (std::size_t i = 1, j = 0; i < n; ++i) {
@@ -58,16 +63,18 @@ struct Radix2Plan {
 
   std::size_t n;
   std::vector<std::size_t> bitrev;
-  std::vector<cplx> packed;
+  simd::AlignedVector<cplx> packed;
 };
 
 // In-place iterative Cooley-Tukey over a precomputed plan. The direction is
 // a template parameter so the conjugation choice is hoisted out of the
 // butterfly, and the twiddle product is written out in real arithmetic to
 // avoid the library complex-multiply (whose NaN-recovery guard the
-// butterfly can never need: twiddles are finite by construction).
+// butterfly can never need: twiddles are finite by construction). This is
+// the scalar reference path; the vector kernel below must match it bit for
+// bit on finite data.
 template <bool Inverse>
-void fft_radix2_impl(std::vector<cplx>& a, const Radix2Plan& plan) {
+void fft_radix2_impl(cplx* a, const Radix2Plan& plan) {
   const std::size_t n = plan.n;
   for (std::size_t i = 1; i < n; ++i) {
     const std::size_t j = plan.bitrev[i];
@@ -77,7 +84,7 @@ void fft_radix2_impl(std::vector<cplx>& a, const Radix2Plan& plan) {
     const std::size_t half = len / 2;
     const cplx* w = plan.packed.data() + (half - 1);
     for (std::size_t i = 0; i < n; i += len) {
-      cplx* lo = a.data() + i;
+      cplx* lo = a + i;
       cplx* hi = lo + half;
       for (std::size_t k = 0; k < half; ++k) {
         const double wr = w[k].real();
@@ -93,8 +100,64 @@ void fft_radix2_impl(std::vector<cplx>& a, const Radix2Plan& plan) {
   }
 }
 
+// Vector butterfly: identical stage/element order to the scalar reference,
+// vectorized ACROSS the independent k-butterflies of one block. Each lane
+// performs exactly the scalar element's operations (products, one
+// subtraction/addition pair via addsub, then u+v / u-v), so finite results
+// are bit-identical; kernel TUs compile with -ffp-contract=off so no FMA
+// can sneak a different rounding in.
+template <bool Inverse>
+void fft_radix2_vec(cplx* a, const Radix2Plan& plan) {
+  const std::size_t n = plan.n;
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t j = plan.bitrev[i];
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  // Complexes per vector register (interleaved re/im pairs fill lanes).
+  constexpr std::size_t kC = simd::kLanes / 2;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len / 2;
+    const cplx* w = plan.packed.data() + (half - 1);
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx* lo = a + i;
+      cplx* hi = lo + half;
+      std::size_t k = 0;
+      for (; k + kC <= half; k += kC) {
+        simd::VecD wv = simd::load(reinterpret_cast<const double*>(w + k));
+        if constexpr (Inverse) wv = simd::conj_pairs(wv);
+        const simd::VecD x =
+            simd::load(reinterpret_cast<const double*>(hi + k));
+        const simd::VecD v = simd::complex_mul(x, wv);
+        const simd::VecD u =
+            simd::load(reinterpret_cast<const double*>(lo + k));
+        simd::store(reinterpret_cast<double*>(lo + k), u + v);
+        simd::store(reinterpret_cast<double*>(hi + k), u - v);
+      }
+      for (; k < half; ++k) {
+        const double wr = w[k].real();
+        const double wi = Inverse ? -w[k].imag() : w[k].imag();
+        const double xr = hi[k].real();
+        const double xi = hi[k].imag();
+        const cplx v(xr * wr - xi * wi, xr * wi + xi * wr);
+        const cplx u = lo[k];
+        lo[k] = u + v;
+        hi[k] = u - v;
+      }
+    }
+  }
+}
+
 // sign = -1 forward, +1 inverse (without normalization).
-void fft_radix2(std::vector<cplx>& a, const Radix2Plan& plan, int sign) {
+void fft_radix2(cplx* a, const Radix2Plan& plan, int sign) {
+  if constexpr (simd::kLanes >= 2) {
+    if (simd::enabled()) {
+      if (sign < 0)
+        fft_radix2_vec<false>(a, plan);
+      else
+        fft_radix2_vec<true>(a, plan);
+      return;
+    }
+  }
   if (sign < 0)
     fft_radix2_impl<false>(a, plan);
   else
@@ -123,14 +186,14 @@ struct BluesteinPlan {
     kernel_spectrum[0] = std::conj(chirp[0]);
     for (std::size_t k = 1; k < n; ++k)
       kernel_spectrum[k] = kernel_spectrum[m - k] = std::conj(chirp[k]);
-    fft_radix2(kernel_spectrum, *conv_plan, -1);
+    fft_radix2(kernel_spectrum.data(), *conv_plan, -1);
   }
 
   std::size_t n;
   std::size_t m;
   double inv_m;
-  std::vector<cplx> chirp;
-  std::vector<cplx> kernel_spectrum;
+  simd::AlignedVector<cplx> chirp;
+  simd::AlignedVector<cplx> kernel_spectrum;
   std::shared_ptr<const Radix2Plan> conv_plan;
 };
 
@@ -262,9 +325,36 @@ PlanCache& plan_cache() {
 
 // Per-thread scratch for the Bluestein convolution buffer: reused across
 // calls so the hot loop's only allocation is the returned spectrum.
-std::vector<cplx>& bluestein_scratch() {
-  thread_local std::vector<cplx> scratch;
+simd::AlignedVector<cplx>& bluestein_scratch() {
+  thread_local simd::AlignedVector<cplx> scratch;
   return scratch;
+}
+
+// Elementwise complex product dst[k] = dst[k] * src[k] with the scalar
+// operation order per element; used by the Bluestein chirp modulation and
+// kernel-spectrum convolution. `src` is always finite (plan tables), so the
+// vector path is bit-identical for finite dst.
+void pointwise_mul(cplx* dst, const cplx* src, std::size_t count) {
+  std::size_t k = 0;
+  if constexpr (simd::kLanes >= 2) {
+    constexpr std::size_t kC = simd::kLanes / 2;
+    if (simd::enabled()) {
+      for (; k + kC <= count; k += kC) {
+        const simd::VecD d =
+            simd::load(reinterpret_cast<const double*>(dst + k));
+        const simd::VecD s =
+            simd::load(reinterpret_cast<const double*>(src + k));
+        simd::store(reinterpret_cast<double*>(dst + k),
+                    simd::complex_mul(d, s));
+      }
+    }
+  }
+  for (; k < count; ++k) {
+    const cplx d = dst[k];
+    const cplx s = src[k];
+    dst[k] = cplx(d.real() * s.real() - d.imag() * s.imag(),
+                  d.real() * s.imag() + d.imag() * s.real());
+  }
 }
 
 // Bluestein chirp-z transform for arbitrary N, built on the radix-2 kernel.
@@ -273,17 +363,19 @@ std::vector<cplx> bluestein(const std::vector<cplx>& x, int sign) {
   const auto plan = plan_cache().bluestein(n, sign);
   const std::size_t m = plan->m;
 
-  std::vector<cplx>& a = bluestein_scratch();
+  simd::AlignedVector<cplx>& a = bluestein_scratch();
   a.assign(m, cplx{});
-  for (std::size_t k = 0; k < n; ++k) a[k] = x[k] * plan->chirp[k];
+  for (std::size_t k = 0; k < n; ++k) a[k] = x[k];
+  pointwise_mul(a.data(), plan->chirp.data(), n);
 
-  fft_radix2(a, *plan->conv_plan, -1);
-  for (std::size_t k = 0; k < m; ++k) a[k] *= plan->kernel_spectrum[k];
-  fft_radix2(a, *plan->conv_plan, +1);
+  fft_radix2(a.data(), *plan->conv_plan, -1);
+  pointwise_mul(a.data(), plan->kernel_spectrum.data(), m);
+  fft_radix2(a.data(), *plan->conv_plan, +1);
 
   std::vector<cplx> out(n);
-  for (std::size_t k = 0; k < n; ++k)
-    out[k] = a[k] * plan->inv_m * plan->chirp[k];
+  const double inv_m = plan->inv_m;
+  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * inv_m;
+  pointwise_mul(out.data(), plan->chirp.data(), n);
   return out;
 }
 
@@ -293,7 +385,7 @@ std::vector<cplx> transform(const std::vector<cplx>& x, int sign) {
   if (is_pow2(x.size())) {
     const auto plan = plan_cache().radix2(x.size());
     std::vector<cplx> a = x;
-    fft_radix2(a, *plan, sign);
+    fft_radix2(a.data(), *plan, sign);
     return a;
   }
   return bluestein(x, sign);
@@ -320,6 +412,28 @@ void fft_plan_cache_set_capacity(std::size_t capacity) {
 }
 
 std::vector<cplx> fft(const std::vector<cplx>& x) { return transform(x, -1); }
+
+void fft_pow2_inplace(std::span<cplx> x) {
+  STF_REQUIRE(is_pow2(x.size()),
+              "fft_pow2_inplace: length must be a power of two");
+  STF_COUNT("fft.transforms");
+  const auto plan = plan_cache().radix2(x.size());
+  fft_radix2(x.data(), *plan, -1);
+}
+
+std::size_t fft_plan_table_alignment() { return simd::kAlignment; }
+
+bool fft_plan_tables_aligned(std::size_t n) {
+  STF_REQUIRE(n >= 1, "fft_plan_tables_aligned: n must be >= 1");
+  if (is_pow2(n)) {
+    const auto plan = plan_cache().radix2(n);
+    return simd::is_aligned(plan->packed.data(), simd::kAlignment);
+  }
+  const auto plan = plan_cache().bluestein(n, -1);
+  return simd::is_aligned(plan->chirp.data(), simd::kAlignment) &&
+         simd::is_aligned(plan->kernel_spectrum.data(), simd::kAlignment) &&
+         simd::is_aligned(plan->conv_plan->packed.data(), simd::kAlignment);
+}
 
 std::vector<cplx> ifft(const std::vector<cplx>& x) {
   std::vector<cplx> y = transform(x, +1);

@@ -15,6 +15,7 @@
 
 #include <complex>
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace stf::dsp {
@@ -36,6 +37,21 @@ std::vector<cplx> ifft(const std::vector<cplx>& x);
 
 /// Forward DFT of a real signal; returns the full complex spectrum.
 std::vector<cplx> fft_real(const std::vector<double>& x);
+
+/// In-place forward DFT of a power-of-two-length buffer. Allocation-free
+/// (the plan comes from the cache, scratch is the caller's buffer), so the
+/// per-device signature path can run out of arena memory. Same results as
+/// fft() on the same data.
+void fft_pow2_inplace(std::span<cplx> x);
+
+/// Alignment (bytes) the plan cache guarantees for twiddle/chirp tables.
+std::size_t fft_plan_table_alignment();
+
+/// True when every cached table for size n (radix-2 twiddles, or Bluestein
+/// chirp + kernel spectrum + convolution twiddles for non-power-of-two n)
+/// starts on an fft_plan_table_alignment() boundary. Builds the plan if it
+/// is not cached yet; regression hook for the lane-alignment contract.
+bool fft_plan_tables_aligned(std::size_t n);
 
 /// Elementwise magnitudes of a complex spectrum.
 std::vector<double> magnitude(const std::vector<cplx>& x);

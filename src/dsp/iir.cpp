@@ -5,8 +5,11 @@
 #include <stdexcept>
 
 #include "core/contracts.hpp"
+#include "core/simd.hpp"
 
 namespace stf::dsp {
+
+namespace simd = stf::core::simd;
 
 std::complex<double> Biquad::response(double freq, double fs) const {
   const double w = 2.0 * std::numbers::pi * freq / fs;
@@ -22,33 +25,109 @@ BiquadCascade::BiquadCascade(std::vector<Biquad> sections)
 
 namespace {
 
-// Direct form II transposed, one-shot over the whole buffer.
+// Direct form II transposed, one-shot over the whole buffer. This is the
+// scalar reference the vector kernel must reproduce bit for bit: every
+// per-sample operation below appears in the same order in the lane code.
 template <class T>
-std::vector<T> run_cascade(const std::vector<Biquad>& sections,
-                           const std::vector<T>& x) {
-  std::vector<T> y = x;
+void run_cascade_inplace(const std::vector<Biquad>& sections, T* x,
+                         std::size_t n) {
   for (const Biquad& s : sections) {
     T z1{}, z2{};
-    for (auto& v : y) {
-      const T in = v;
+    for (std::size_t i = 0; i < n; ++i) {
+      const T in = x[i];
       const T out = s.b0 * in + z1;
       z1 = s.b1 * in - s.a1 * out + z2;
       z2 = s.b2 * in - s.a2 * out;
-      v = out;
+      x[i] = out;
     }
   }
-  return y;
+}
+
+// Channel-interleaved cascade: data[t * k + c] is channel c at time t.
+// Channels are independent recurrences, so lane-sized channel groups step
+// through time together; within each lane the operation order matches the
+// scalar reference exactly (products, then the same sum/difference chain,
+// no FMA -- this TU compiles with -ffp-contract=off).
+void run_interleaved(const std::vector<Biquad>& sections, double* x,
+                     std::size_t k, std::size_t n) {
+  std::size_t c0 = 0;
+  if constexpr (simd::kLanes >= 2) {
+    if (simd::enabled()) {
+      for (; c0 + simd::kLanes <= k; c0 += simd::kLanes) {
+        for (const Biquad& s : sections) {
+          const simd::VecD b0 = simd::broadcast(s.b0);
+          const simd::VecD b1 = simd::broadcast(s.b1);
+          const simd::VecD b2 = simd::broadcast(s.b2);
+          const simd::VecD a1 = simd::broadcast(s.a1);
+          const simd::VecD a2 = simd::broadcast(s.a2);
+          simd::VecD z1 = simd::broadcast(0.0);
+          simd::VecD z2 = simd::broadcast(0.0);
+          double* p = x + c0;
+          for (std::size_t t = 0; t < n; ++t, p += k) {
+            const simd::VecD in = simd::load(p);
+            const simd::VecD out = b0 * in + z1;
+            z1 = (b1 * in - a1 * out) + z2;
+            z2 = b2 * in - a2 * out;
+            simd::store(p, out);
+          }
+        }
+      }
+    }
+  }
+  // Remaining channels (all of them on the scalar backend or with the
+  // runtime switch off): the reference recurrence, one channel at a time.
+  for (; c0 < k; ++c0) {
+    for (const Biquad& s : sections) {
+      double z1 = 0.0;
+      double z2 = 0.0;
+      double* p = x + c0;
+      for (std::size_t t = 0; t < n; ++t, p += k) {
+        const double in = *p;
+        const double out = s.b0 * in + z1;
+        z1 = s.b1 * in - s.a1 * out + z2;
+        z2 = s.b2 * in - s.a2 * out;
+        *p = out;
+      }
+    }
+  }
 }
 
 }  // namespace
 
 std::vector<double> BiquadCascade::filter(const std::vector<double>& x) const {
-  return run_cascade(sections_, x);
+  std::vector<double> y = x;
+  filter_inplace(y);
+  return y;
 }
 
 std::vector<std::complex<double>> BiquadCascade::filter(
     const std::vector<std::complex<double>>& x) const {
-  return run_cascade(sections_, x);
+  std::vector<std::complex<double>> y = x;
+  filter_inplace(y);
+  return y;
+}
+
+void BiquadCascade::filter_inplace(std::span<double> x) const {
+  run_cascade_inplace(sections_, x.data(), x.size());
+}
+
+void BiquadCascade::filter_inplace(
+    std::span<std::complex<double>> x) const {
+  // std::complex<double> is layout-compatible with double[2], and every
+  // scalar cascade operation on complex values is component-wise, so the
+  // envelope is exactly two interleaved real channels (I, Q).
+  run_interleaved(sections_, reinterpret_cast<double*>(x.data()), 2,
+                  x.size());
+}
+
+void BiquadCascade::filter_interleaved(std::span<double> x,
+                                       std::size_t n_channels) const {
+  STF_REQUIRE(n_channels != 0,
+              "BiquadCascade::filter_interleaved: n_channels must be > 0");
+  STF_REQUIRE(x.size() % n_channels == 0,
+              "BiquadCascade::filter_interleaved: buffer length must be a "
+              "multiple of n_channels");
+  run_interleaved(sections_, x.data(), n_channels, x.size() / n_channels);
 }
 
 std::complex<double> BiquadCascade::response(double freq, double fs) const {

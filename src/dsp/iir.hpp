@@ -8,6 +8,7 @@
 
 #include <complex>
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace stf::dsp {
@@ -34,6 +35,24 @@ class BiquadCascade {
   /// Filter a complex envelope (identical filter on I and Q).
   std::vector<std::complex<double>> filter(
       const std::vector<std::complex<double>>& x) const;
+
+  /// In-place one-shot filter of a real signal. A single real channel is a
+  /// loop-carried recurrence (every output feeds the next sample through
+  /// z1/z2), so this path is inherently scalar; it exists for the
+  /// allocation-free hot path, not for lanes.
+  void filter_inplace(std::span<double> x) const;
+
+  /// In-place filter of a complex envelope. I and Q are independent real
+  /// channels run in lockstep, so they fill vector lanes; bit-identical to
+  /// the two-pass scalar reference.
+  void filter_inplace(std::span<std::complex<double>> x) const;
+
+  /// In-place filter of `n_channels` equal-length real channels stored
+  /// interleaved (x[t * n_channels + c] is channel c at time t). Channels
+  /// are independent; lane-sized channel groups run vectorized and the
+  /// remainder runs scalar, with per-channel results bit-identical either
+  /// way. x.size() must be a multiple of n_channels.
+  void filter_interleaved(std::span<double> x, std::size_t n_channels) const;
 
   /// Combined complex frequency response.
   std::complex<double> response(double freq, double fs) const;

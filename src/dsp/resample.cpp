@@ -11,31 +11,47 @@ namespace stf::dsp {
 namespace {
 
 template <class T>
-std::vector<T> resample_impl(const std::vector<T>& x, double fs_in,
-                             double fs_out) {
-  STF_REQUIRE(x.size() >= 2, "resample_linear: need >= 2 samples");
-  STF_REQUIRE(!(fs_in <= 0.0 || fs_out <= 0.0),
-              "resample_linear: rates must be > 0");
-  const double duration = static_cast<double>(x.size() - 1) / fs_in;
-  const auto n_out =
-      static_cast<std::size_t>(std::floor(duration * fs_out)) + 1;
-  std::vector<T> y(n_out);
+void resample_into_impl(const T* x, std::size_t n_in, double fs_in,
+                        double fs_out, T* y, std::size_t n_out) {
   for (std::size_t i = 0; i < n_out; ++i) {
     const double t = static_cast<double>(i) / fs_out;
     const double pos = t * fs_in;
     const auto lo = static_cast<std::size_t>(pos);
-    const std::size_t hi = std::min(lo + 1, x.size() - 1);
+    const std::size_t hi = std::min(lo + 1, n_in - 1);
     const double frac = pos - static_cast<double>(lo);
     y[i] = x[lo] * (1.0 - frac) + x[hi] * frac;
   }
+}
+
+template <class T>
+std::vector<T> resample_impl(const std::vector<T>& x, double fs_in,
+                             double fs_out) {
+  std::vector<T> y(resample_length(x.size(), fs_in, fs_out));
+  resample_into_impl(x.data(), x.size(), fs_in, fs_out, y.data(), y.size());
   return y;
 }
 
 }  // namespace
 
+std::size_t resample_length(std::size_t n_in, double fs_in, double fs_out) {
+  STF_REQUIRE(n_in >= 2, "resample_linear: need >= 2 samples");
+  STF_REQUIRE(!(fs_in <= 0.0 || fs_out <= 0.0),
+              "resample_linear: rates must be > 0");
+  const double duration = static_cast<double>(n_in - 1) / fs_in;
+  return static_cast<std::size_t>(std::floor(duration * fs_out)) + 1;
+}
+
 std::vector<double> resample_linear(const std::vector<double>& x, double fs_in,
                                     double fs_out) {
   return resample_impl(x, fs_in, fs_out);
+}
+
+void resample_linear_into(std::span<const double> x, double fs_in,
+                          double fs_out, std::span<double> out) {
+  STF_REQUIRE(out.size() == resample_length(x.size(), fs_in, fs_out),
+              "resample_linear_into: output span has the wrong length");
+  resample_into_impl(x.data(), x.size(), fs_in, fs_out, out.data(),
+                     out.size());
 }
 
 std::vector<std::complex<double>> resample_linear(

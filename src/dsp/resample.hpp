@@ -8,14 +8,27 @@
 
 #include <complex>
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace stf::dsp {
+
+/// Output length of resample_linear for an n_in-sample input:
+/// floor(duration * fs_out) + 1 with duration = (n_in - 1) / fs_in.
+std::size_t resample_length(std::size_t n_in, double fs_in, double fs_out);
 
 /// Linear-interpolation resample from fs_in to fs_out over the same time
 /// span (output length = floor(duration * fs_out) + 1).
 std::vector<double> resample_linear(const std::vector<double>& x, double fs_in,
                                     double fs_out);
+
+/// Allocation-free resample_linear: out.size() must equal
+/// resample_length(x.size(), fs_in, fs_out). Bit-identical to the
+/// allocating overload (interpolation is a per-output gather, so there is
+/// nothing to vectorize deterministically -- this variant exists for the
+/// zero-allocation capture path, not for lanes).
+void resample_linear_into(std::span<const double> x, double fs_in,
+                          double fs_out, std::span<double> out);
 
 /// Complex variant of resample_linear.
 std::vector<std::complex<double>> resample_linear(

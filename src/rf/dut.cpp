@@ -7,8 +7,27 @@
 #include "circuit/constants.hpp"
 #include "circuit/dc.hpp"
 #include "core/contracts.hpp"
+#include "core/simd.hpp"
 
 namespace stf::rf {
+
+namespace simd = stf::core::simd;
+
+void RfDut::process_into(std::span<const Cplx> in, double fs,
+                         stf::stats::Rng* rng, std::span<Cplx> out) const {
+  STF_REQUIRE(out.size() == in.size(),
+              "RfDut::process_into: in/out length mismatch");
+  // Bridge for models that only implement process(). The temporary envelope
+  // carries fc = 0; a model whose response depends on the carrier frequency
+  // must override process_into directly.
+  EnvelopeSignal tmp;
+  tmp.fs = fs;
+  tmp.x.assign(in.begin(), in.end());
+  const EnvelopeSignal res = process(tmp, rng);
+  STF_ASSERT(res.x.size() == out.size(),
+             "RfDut::process_into: process() changed the sample count");
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = res.x[i];
+}
 
 BehavioralLna::BehavioralLna(Cplx gain, double iip3_v, double nf_db,
                              double rs_ohms)
@@ -19,35 +38,103 @@ BehavioralLna::BehavioralLna(Cplx gain, double iip3_v, double nf_db,
 
 EnvelopeSignal BehavioralLna::process(const EnvelopeSignal& in,
                                       stf::stats::Rng* rng) const {
-  STF_REQUIRE(in.fs > 0.0, "BehavioralLna::process: input fs must be > 0");
   EnvelopeSignal out = in;
+  process_into(out.x, in.fs, rng, out.x);
+  return out;
+}
+
+void BehavioralLna::process_into(std::span<const Cplx> in, double fs,
+                                 stf::stats::Rng* rng,
+                                 std::span<Cplx> out) const {
+  STF_REQUIRE(fs > 0.0, "BehavioralLna::process_into: fs must be > 0");
+  STF_REQUIRE(out.size() == in.size(),
+              "BehavioralLna::process_into: in/out length mismatch");
   const double inv_a2 =
       std::isinf(iip3_v_) ? 0.0 : 1.0 / (iip3_v_ * iip3_v_);
-  for (auto& v : out.x) {
-    const double mag2 = std::norm(v);
-    v = gain_ * v / std::sqrt(1.0 + 2.0 * mag2 * inv_a2);
+  const double gr = gain_.real();
+  const double gi = gain_.imag();
+  // Saturating AM/AM: v <- gain * v / sqrt(1 + 2|v|^2 / A^2). Each sample
+  // is independent, so pairs of (re, im) lanes run vectorized with exactly
+  // the scalar operation order; the remainder (and the SIMD-off path) runs
+  // the reference loop below. Both spell the complex product out in real
+  // arithmetic -- the same products and sums std::complex multiplication
+  // performs on finite values.
+  std::size_t i = 0;
+  if constexpr (simd::kLanes >= 2) {
+    if (simd::enabled()) {
+      constexpr std::size_t kC = simd::kLanes / 2;  // complexes per vector
+      const simd::VecD g = simd::set_pair(gr, gi);
+      const simd::VecD one = simd::broadcast(1.0);
+      const simd::VecD two = simd::broadcast(2.0);
+      const simd::VecD ia2 = simd::broadcast(inv_a2);
+      const double* src = reinterpret_cast<const double*>(in.data());
+      double* dst = reinterpret_cast<double*>(out.data());
+      for (; i + kC <= in.size();
+           i += kC, src += simd::kLanes, dst += simd::kLanes) {
+        const simd::VecD v = simd::load(src);
+        const simd::VecD mag2 = simd::dup_even(v) * simd::dup_even(v) +
+                                simd::dup_odd(v) * simd::dup_odd(v);
+        const simd::VecD denom = simd::sqrt(one + two * mag2 * ia2);
+        simd::store(dst, simd::complex_mul(v, g) / denom);
+      }
+    }
+  }
+  for (; i < in.size(); ++i) {
+    const Cplx v = in[i];
+    const double mag2 = v.real() * v.real() + v.imag() * v.imag();
+    const double denom = std::sqrt(1.0 + 2.0 * mag2 * inv_a2);
+    out[i] = Cplx((v.real() * gr - v.imag() * gi) / denom,
+                  (v.imag() * gr + v.real() * gi) / denom);
   }
   if (rng != nullptr && nf_db_ > 0.0) {
     // Excess input-referred noise PSD over the source floor:
     // (F - 1) * 4 k T Rs (V^2/Hz as a source EMF), amplified by |H|^2.
     // Complex envelope noise in the simulation bandwidth fs has per-sample
     // variance PSD * fs (so each real quadrature carries PSD * fs / 2).
+    // The draws stay scalar and strictly ordered (re before im): the rng
+    // stream is part of the determinism contract.
     const double f_lin = std::pow(10.0, nf_db_ / 10.0);
     const double psd_in = (f_lin - 1.0) * 4.0 * stf::circuit::kBoltzmann *
                           stf::circuit::kNoiseTemperature * rs_ohms_;
-    const double sigma =
-        std::sqrt(psd_in * in.fs / 2.0) * std::abs(gain_);
-    for (auto& v : out.x)
-      v += Cplx(rng->normal(0.0, sigma), rng->normal(0.0, sigma));
+    const double sigma = std::sqrt(psd_in * fs / 2.0) * std::abs(gain_);
+    for (auto& v : out) {
+      const double nr = rng->normal(0.0, sigma);
+      const double ni = rng->normal(0.0, sigma);
+      v += Cplx(nr, ni);
+    }
   }
-  return out;
 }
 
 EnvelopeSignal IdealGainDut::process(const EnvelopeSignal& in,
-                                     stf::stats::Rng*) const {
+                                     stf::stats::Rng* rng) const {
   EnvelopeSignal out = in;
-  for (auto& v : out.x) v *= gain_;
+  process_into(out.x, in.fs, rng, out.x);
   return out;
+}
+
+void IdealGainDut::process_into(std::span<const Cplx> in, double,
+                                stf::stats::Rng*, std::span<Cplx> out) const {
+  STF_REQUIRE(out.size() == in.size(),
+              "IdealGainDut::process_into: in/out length mismatch");
+  const double gr = gain_.real();
+  const double gi = gain_.imag();
+  std::size_t i = 0;
+  if constexpr (simd::kLanes >= 2) {
+    if (simd::enabled()) {
+      constexpr std::size_t kC = simd::kLanes / 2;
+      const simd::VecD g = simd::set_pair(gr, gi);
+      const double* src = reinterpret_cast<const double*>(in.data());
+      double* dst = reinterpret_cast<double*>(out.data());
+      for (; i + kC <= in.size();
+           i += kC, src += simd::kLanes, dst += simd::kLanes)
+        simd::store(dst, simd::complex_mul(simd::load(src), g));
+    }
+  }
+  for (; i < in.size(); ++i) {
+    const Cplx v = in[i];
+    out[i] = Cplx(v.real() * gr - v.imag() * gi,
+                  v.imag() * gr + v.real() * gi);
+  }
 }
 
 double iip3_dbm_to_source_amplitude(double iip3_dbm, double rs_ohms) {

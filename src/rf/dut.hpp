@@ -18,6 +18,7 @@
 
 #include <complex>
 #include <memory>
+#include <span>
 
 #include "circuit/lna900.hpp"
 #include "rf/envelope.hpp"
@@ -34,6 +35,15 @@ class RfDut {
   /// noise; pass nullptr for noiseless (sensitivity/optimization) runs.
   virtual EnvelopeSignal process(const EnvelopeSignal& in,
                                  stf::stats::Rng* rng) const = 0;
+
+  /// Allocation-free span variant: process `in` (envelope samples at rate
+  /// fs) into `out` (same length; in and out may alias). The default
+  /// bridges through process() with a temporary EnvelopeSignal, so
+  /// third-party DUT models keep working unchanged; the built-in models
+  /// override it with kernels that allocate nothing and produce values
+  /// bit-identical to their process() path on finite inputs.
+  virtual void process_into(std::span<const Cplx> in, double fs,
+                            stf::stats::Rng* rng, std::span<Cplx> out) const;
 };
 
 /// Memoryless polynomial LNA model with additive excess noise.
@@ -49,6 +59,8 @@ class BehavioralLna : public RfDut {
 
   EnvelopeSignal process(const EnvelopeSignal& in,
                          stf::stats::Rng* rng) const override;
+  void process_into(std::span<const Cplx> in, double fs, stf::stats::Rng* rng,
+                    std::span<Cplx> out) const override;
 
   Cplx gain() const { return gain_; }
   double iip3_v() const { return iip3_v_; }
@@ -68,6 +80,8 @@ class IdealGainDut : public RfDut {
   explicit IdealGainDut(Cplx gain) : gain_(gain) {}
   EnvelopeSignal process(const EnvelopeSignal& in,
                          stf::stats::Rng*) const override;
+  void process_into(std::span<const Cplx> in, double fs, stf::stats::Rng*,
+                    std::span<Cplx> out) const override;
 
  private:
   Cplx gain_;

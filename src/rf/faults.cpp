@@ -37,7 +37,7 @@ void FaultInjector::add(const FaultSpec& fault) { faults_.push_back(fault); }
 
 namespace {
 
-void apply_one(const FaultSpec& f, std::vector<double>& x, double fs_hz,
+void apply_one(const FaultSpec& f, std::span<double> x, double fs_hz,
                std::uint64_t sequence, stf::stats::Rng& rng) {
   const double dt = 1.0 / fs_hz;
   switch (f.kind) {
@@ -80,11 +80,17 @@ void apply_one(const FaultSpec& f, std::vector<double>& x, double fs_hz,
 
 }  // namespace
 
-void FaultInjector::apply(std::vector<double>& capture, double fs_hz,
+void FaultInjector::apply(std::span<double> capture, double fs_hz,
                           std::uint64_t sequence,
                           stf::stats::Rng& rng) const {
   STF_REQUIRE(fs_hz > 0.0, "FaultInjector::apply: fs_hz must be > 0");
   for (const FaultSpec& f : faults_) apply_one(f, capture, fs_hz, sequence, rng);
+}
+
+void FaultInjector::apply(std::vector<double>& capture, double fs_hz,
+                          std::uint64_t sequence,
+                          stf::stats::Rng& rng) const {
+  apply(std::span<double>(capture), fs_hz, sequence, rng);
 }
 
 namespace {

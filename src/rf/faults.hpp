@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -84,6 +85,11 @@ class FaultInjector {
   /// random draw, so a (seed, sequence) pair replays exactly.
   void apply(std::vector<double>& capture, double fs_hz,
              std::uint64_t sequence, stf::stats::Rng& rng) const;
+
+  /// Span variant for captures living in caller-managed (arena) storage;
+  /// the vector overload forwards here.
+  void apply(std::span<double> capture, double fs_hz, std::uint64_t sequence,
+             stf::stats::Rng& rng) const;
 
   /// Parse a CLI scenario: comma-separated `name:p1[:p2]` terms, e.g.
   /// "clip:0.1,lo:2e3:0.8,contact:0.02:0.5". Names: lo, clip, stuck, drop,

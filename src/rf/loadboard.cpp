@@ -1,23 +1,54 @@
 #include "rf/loadboard.hpp"
 
 #include <cmath>
+#include <numbers>
 #include <stdexcept>
 
+#include "core/arena.hpp"
 #include "core/contracts.hpp"
+#include "core/simd.hpp"
 #include "core/telemetry.hpp"
 #include "dsp/resample.hpp"
 
 namespace stf::rf {
 
+namespace simd = stf::core::simd;
+
 void MixerModel::apply(EnvelopeSignal& s) const {
+  apply(std::span<Cplx>(s.x));
+}
+
+void MixerModel::apply(std::span<Cplx> x) const {
   const double g = std::pow(10.0, conversion_gain_db / 20.0);
   const double a_ip3 = iip3_dbm_to_source_amplitude(iip3_dbm);
+  STF_REQUIRE(a_ip3 > 0.0, "MixerModel::apply: IP3 amplitude must be > 0");
   const double inv_a2 = 1.0 / (a_ip3 * a_ip3);
   // Saturating AM/AM with the same third-order expansion as the classic
-  // cubic (see BehavioralLna).
-  for (auto& v : s.x) {
-    const double mag2 = std::norm(v);
-    v = g * v / std::sqrt(1.0 + 2.0 * mag2 * inv_a2);
+  // cubic (see BehavioralLna). The gain is real, so both quadratures scale
+  // by g / sqrt(1 + 2|v|^2/A^2): lanes hold interleaved (re, im) pairs and
+  // run exactly the scalar operation order; the tail (and the SIMD-off
+  // path) is the scalar reference.
+  std::size_t i = 0;
+  if constexpr (simd::kLanes >= 2) {
+    if (simd::enabled()) {
+      constexpr std::size_t kC = simd::kLanes / 2;  // complexes per vector
+      const simd::VecD gv = simd::broadcast(g);
+      const simd::VecD one = simd::broadcast(1.0);
+      const simd::VecD two = simd::broadcast(2.0);
+      const simd::VecD ia2 = simd::broadcast(inv_a2);
+      double* p = reinterpret_cast<double*>(x.data());
+      for (; i + kC <= x.size(); i += kC, p += simd::kLanes) {
+        const simd::VecD v = simd::load(p);
+        const simd::VecD mag2 = simd::dup_even(v) * simd::dup_even(v) +
+                                simd::dup_odd(v) * simd::dup_odd(v);
+        const simd::VecD denom = simd::sqrt(one + two * mag2 * ia2);
+        simd::store(p, gv * v / denom);
+      }
+    }
+  }
+  for (; i < x.size(); ++i) {
+    const double mag2 = std::norm(x[i]);
+    x[i] = g * x[i] / std::sqrt(1.0 + 2.0 * mag2 * inv_a2);
   }
 }
 
@@ -34,68 +65,158 @@ LoadBoard::LoadBoard(const LoadBoardConfig& config, double planned_fs_hz)
         config_.lpf_order, config_.lpf_cutoff_hz, planned_fs_hz_);
 }
 
+namespace {
+
+// Per-thread cache of the beat-rotation phasors e^{j(dphi k + phase)}. The
+// production flow demodulates every capture with the same (n, dphi, phase)
+// triple, so the cos/sin evaluations -- by far the most expensive part of
+// the downconversion -- are hoisted out of the per-device path entirely.
+struct RotationTable {
+  std::size_t n = 0;
+  double dphi = 0.0;
+  double phase = 0.0;
+  bool valid = false;
+  simd::AlignedVector<Cplx> rot;
+};
+
+const simd::AlignedVector<Cplx>& rotation_table(std::size_t n, double dphi,
+                                                double phase) {
+  thread_local RotationTable t;
+  if (!t.valid || t.n != n || t.dphi != dphi || t.phase != phase) {
+    t.rot.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const double ang = dphi * static_cast<double>(k) + phase;
+      t.rot[k] = Cplx(std::cos(ang), std::sin(ang));
+    }
+    t.n = n;
+    t.dphi = dphi;
+    t.phase = phase;
+    t.valid = true;
+  }
+  return t.rot;
+}
+
+}  // namespace
+
 std::vector<double> LoadBoard::run(const std::vector<double>& stimulus,
                                    double fs_sim, const RfDut& dut,
                                    stf::stats::Rng* rng) const {
+  std::vector<double> out(stimulus.size());
+  run_into(stimulus, fs_sim, dut, rng, out);
+  return out;
+}
+
+void LoadBoard::run_into(std::span<const double> stimulus, double fs_sim,
+                         const RfDut& dut, stf::stats::Rng* rng,
+                         std::span<double> out) const {
   STF_REQUIRE(!stimulus.empty(), "LoadBoard::run: empty stimulus");
   STF_REQUIRE(fs_sim > 2.0 * config_.lpf_cutoff_hz,
               "LoadBoard::run: fs_sim must exceed twice the LPF cutoff");
+  STF_REQUIRE(out.size() == stimulus.size(),
+              "LoadBoard::run_into: out length must match the stimulus");
+  const std::size_t n = stimulus.size();
+
+  // One envelope buffer from the per-thread arena carries the signal
+  // through every board stage in place; the scope rewinds it on exit.
+  stf::core::Arena& arena = stf::core::capture_arena();
+  const stf::core::ArenaScope scope(arena);
+  stf::core::ArenaVector<Cplx> env(n, Cplx{},
+                                   stf::core::ArenaAllocator<Cplx>(&arena));
+  const std::span<Cplx> env_span(env.data(), n);
 
   // Mixer 1: x_t(t) * sin(w1 t) -- in envelope terms the stimulus *is* the
   // envelope at the carrier; the mixer contributes gain/compression.
-  EnvelopeSignal rf =
-      EnvelopeSignal::from_real(stimulus, fs_sim, config_.carrier_hz);
+  for (std::size_t i = 0; i < n; ++i) env[i] = Cplx(stimulus[i], 0.0);
   {
     STF_TRACE_SPAN("board.upconvert");
-    config_.up_mixer.apply(rf);
+    config_.up_mixer.apply(env_span);
   }
 
-  // The device under test.
-  EnvelopeSignal resp = [&] {
+  // The device under test (in place: the models are memoryless).
+  {
     STF_TRACE_SPAN("board.dut");
-    return dut.process(rf, rng);
-  }();
+    dut.process_into(env_span, fs_sim, rng, env_span);
+  }
 
   // Mixer 2 at f2 = f1 - lo_offset with path phase phi: the real product
   // after discarding the 2*fc image is Re{ y~ e^{j(2 pi (f1-f2) t + phi)} }
-  // (Eq. 5; lo_offset = 0 degenerates to the Eq. 4 cos(phi) scaling).
-  std::vector<double> mixed;
+  // (Eq. 5; lo_offset = 0 degenerates to the Eq. 4 cos(phi) scaling). The
+  // DC offset from LO self-mixing appears at the demodulator output.
   {
     STF_TRACE_SPAN("board.downconvert");
-    config_.down_mixer.apply(resp);  // conversion gain + compression
-    mixed = resp.to_real(config_.lo_offset_hz, config_.path_phase_rad);
-    // DC offset from LO self-mixing appears at the demodulator output.
-    for (auto& v : mixed) v += config_.down_mixer.lo_feedthrough_v;
+    config_.down_mixer.apply(env_span);
+    const double dphi =
+        2.0 * std::numbers::pi * config_.lo_offset_hz / fs_sim;
+    const auto& rot = rotation_table(n, dphi, config_.path_phase_rad);
+    const double feed = config_.down_mixer.lo_feedthrough_v;
+    // Re{y * rot} + feedthrough: the even lane of the interleaved complex
+    // product is exactly the scalar yr*c - yi*s, so two product vectors
+    // deinterleave into one vector of real outputs.
+    std::size_t i = 0;
+    if constexpr (simd::kLanes >= 2) {
+      if (simd::enabled()) {
+        const simd::VecD fv = simd::broadcast(feed);
+        const double* e = reinterpret_cast<const double*>(env.data());
+        const double* r = reinterpret_cast<const double*>(rot.data());
+        for (; i + simd::kLanes <= n; i += simd::kLanes) {
+          const simd::VecD m1 =
+              simd::complex_mul(simd::load(e + 2 * i), simd::load(r + 2 * i));
+          const simd::VecD m2 =
+              simd::complex_mul(simd::load(e + 2 * i + simd::kLanes),
+                                simd::load(r + 2 * i + simd::kLanes));
+          simd::VecD ev, od;
+          simd::deinterleave(m1, m2, ev, od);
+          simd::store(out.data() + i, ev + fv);
+        }
+      }
+    }
+    for (; i < n; ++i)
+      out[i] =
+          (env[i].real() * rot[i].real() - env[i].imag() * rot[i].imag()) +
+          feed;
   }
 
-  // Post-mixer anti-alias lowpass: the planned design when the rate
-  // matches, an identical on-the-fly design otherwise.
+  // Post-mixer anti-alias lowpass, in place: the planned design when the
+  // rate matches, an identical on-the-fly design otherwise.
   STF_TRACE_SPAN("board.lpf");
-  if (planned_lpf_ && fs_sim == planned_fs_hz_)
-    return planned_lpf_->filter(mixed);
+  if (planned_lpf_ && fs_sim == planned_fs_hz_) {
+    planned_lpf_->filter_inplace(out);
+    return;
+  }
   const auto lpf = stf::dsp::butterworth_lowpass(
       config_.lpf_order, config_.lpf_cutoff_hz, fs_sim);
-  return lpf.filter(mixed);
+  lpf.filter_inplace(out);
+}
+
+std::size_t Digitizer::capture_length(std::size_t n_in, double fs_in) const {
+  STF_REQUIRE(fs_hz > 0.0, "Digitizer: fs_hz must be > 0");
+  return stf::dsp::resample_length(n_in, fs_in, fs_hz);
 }
 
 std::vector<double> Digitizer::capture(const std::vector<double>& analog,
                                        double fs_in,
                                        stf::stats::Rng* rng) const {
+  std::vector<double> samples(capture_length(analog.size(), fs_in));
+  capture_into(analog, fs_in, rng, samples);
+  return samples;
+}
+
+void Digitizer::capture_into(std::span<const double> analog, double fs_in,
+                             stf::stats::Rng* rng,
+                             std::span<double> out) const {
   STF_REQUIRE(fs_hz > 0.0, "Digitizer: fs_hz must be > 0");
-  std::vector<double> samples =
-      stf::dsp::resample_linear(analog, fs_in, fs_hz);
+  stf::dsp::resample_linear_into(analog, fs_in, fs_hz, out);
   if (rng != nullptr && noise_rms_v > 0.0)
-    for (auto& v : samples) v += rng->normal(0.0, noise_rms_v);
+    for (auto& v : out) v += rng->normal(0.0, noise_rms_v);
   if (bits > 0) {
     const double levels = std::pow(2.0, bits - 1);
     const double lsb = full_scale_v / levels;
-    for (auto& v : samples) {
+    for (auto& v : out) {
       double q = std::round(v / lsb) * lsb;
       q = std::min(std::max(q, -full_scale_v), full_scale_v);
       v = q;
     }
   }
-  return samples;
 }
 
 }  // namespace stf::rf

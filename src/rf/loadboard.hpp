@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "dsp/iir.hpp"
@@ -31,6 +32,10 @@ struct MixerModel {
 
   /// Apply gain + cubic compression to an envelope in place.
   void apply(EnvelopeSignal& s) const;
+
+  /// Span variant of apply() for envelopes in caller-managed storage;
+  /// vectorized across samples, bit-identical to the scalar reference.
+  void apply(std::span<Cplx> x) const;
 };
 
 /// Signature-path configuration (paper Section 4.1 defaults).
@@ -63,6 +68,16 @@ class LoadBoard {
   std::vector<double> run(const std::vector<double>& stimulus, double fs_sim,
                           const RfDut& dut, stf::stats::Rng* rng) const;
 
+  /// Allocation-free variant of run(): writes the analog signature into
+  /// `out` (same length as `stimulus`, which it must not alias). Scratch
+  /// envelopes come from the per-thread capture arena and the beat-rotation
+  /// table is cached per thread, so steady-state calls at the planned rate
+  /// touch the heap zero times. run() forwards here, so both entry points
+  /// produce bit-identical samples.
+  void run_into(std::span<const double> stimulus, double fs_sim,
+                const RfDut& dut, stf::stats::Rng* rng,
+                std::span<double> out) const;
+
   const LoadBoardConfig& config() const { return config_; }
 
  private:
@@ -82,6 +97,15 @@ struct Digitizer {
   /// Sample the analog waveform. rng may be null (no noise added).
   std::vector<double> capture(const std::vector<double>& analog, double fs_in,
                               stf::stats::Rng* rng) const;
+
+  /// Number of samples capture() produces for an n_in-sample input at
+  /// fs_in.
+  std::size_t capture_length(std::size_t n_in, double fs_in) const;
+
+  /// Allocation-free capture into caller storage (out.size() must equal
+  /// capture_length(analog.size(), fs_in)). Bit-identical to capture().
+  void capture_into(std::span<const double> analog, double fs_in,
+                    stf::stats::Rng* rng, std::span<double> out) const;
 };
 
 }  // namespace stf::rf

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/arena.hpp"
 #include "core/contracts.hpp"
 #include "core/telemetry.hpp"
 #include "dsp/fft.hpp"
@@ -51,43 +52,125 @@ SignatureAcquirer::SignatureAcquirer(const SignatureTestConfig& config,
               "SignatureAcquirer: capture_s must be > 0");
 }
 
+SignatureAcquirer::SignatureAcquirer(const SignatureAcquirer& other)
+    : config_(other.config_),
+      max_bins_(other.max_bins_),
+      board_(other.board_) {
+  const stf::core::LockGuard lock(other.render_mutex_);
+  render_key_ = other.render_key_;
+  render_cache_ = other.render_cache_;
+}
+
+SignatureAcquirer& SignatureAcquirer::operator=(
+    const SignatureAcquirer& other) {
+  if (this == &other) return *this;
+  config_ = other.config_;
+  max_bins_ = other.max_bins_;
+  board_ = other.board_;
+  std::vector<stf::dsp::PwlPoint> key;
+  std::shared_ptr<const std::vector<double>> cache;
+  {
+    const stf::core::LockGuard lock(other.render_mutex_);
+    key = other.render_key_;
+    cache = other.render_cache_;
+  }
+  const stf::core::LockGuard lock(render_mutex_);
+  render_key_ = std::move(key);
+  render_cache_ = std::move(cache);
+  return *this;
+}
+
+std::size_t SignatureAcquirer::capture_length() const {
+  const auto n_sim = static_cast<std::size_t>(
+                         std::floor(config_.capture_s * config_.fs_sim_hz)) +
+                     1;
+  return config_.digitizer.capture_length(n_sim, config_.fs_sim_hz);
+}
+
+std::shared_ptr<const std::vector<double>>
+SignatureAcquirer::rendered_stimulus(const stf::dsp::PwlWaveform& stimulus,
+                                     std::size_t n_sim) const {
+  STF_REQUIRE(n_sim != 0, "SignatureAcquirer: n_sim must be > 0");
+  const std::vector<stf::dsp::PwlPoint>& pts = stimulus.points();
+  const stf::core::LockGuard lock(render_mutex_);
+  bool hit = render_cache_ != nullptr && render_cache_->size() == n_sim &&
+             render_key_.size() == pts.size();
+  for (std::size_t i = 0; hit && i < pts.size(); ++i)
+    hit = render_key_[i].t == pts[i].t && render_key_[i].v == pts[i].v;
+  if (!hit) {
+    render_key_ = pts;
+    render_cache_ = std::make_shared<const std::vector<double>>(
+        stimulus.render(config_.fs_sim_hz, n_sim));
+  }
+  return render_cache_;
+}
+
 // The ctor validates config_; a null rng selects the noiseless path.
 // stf-analyze: allow(api-contract)
 std::vector<double> SignatureAcquirer::raw_capture(
     const stf::rf::RfDut& dut, const stf::dsp::PwlWaveform& stimulus,
     stf::stats::Rng* rng) const {
+  std::vector<double> capture(capture_length());
+  raw_capture_into(dut, stimulus, rng, capture);
+  return capture;
+}
+
+void SignatureAcquirer::raw_capture_into(const stf::rf::RfDut& dut,
+                                         const stf::dsp::PwlWaveform& stimulus,
+                                         stf::stats::Rng* rng,
+                                         std::span<double> out) const {
   STF_TRACE_SPAN("acq.capture");
+  STF_REQUIRE(out.size() == capture_length(),
+              "SignatureAcquirer::raw_capture_into: out length must be "
+              "capture_length()");
   const auto n_sim = static_cast<std::size_t>(
                          std::floor(config_.capture_s * config_.fs_sim_hz)) +
                      1;
-  std::vector<double> rendered;
+  std::shared_ptr<const std::vector<double>> rendered;
   {
     STF_TRACE_SPAN("acq.render");
-    rendered = stimulus.render(config_.fs_sim_hz, n_sim);
+    rendered = rendered_stimulus(stimulus, n_sim);
   }
-  const std::vector<double> analog =
-      board_.run(rendered, config_.fs_sim_hz, dut, rng);
+  stf::core::Arena& arena = stf::core::capture_arena();
+  const stf::core::ArenaScope scope(arena);
+  stf::core::ArenaVector<double> analog(
+      rendered->size(), 0.0, stf::core::ArenaAllocator<double>(&arena));
+  board_.run_into(*rendered, config_.fs_sim_hz, dut, rng,
+                  {analog.data(), analog.size()});
   STF_TRACE_SPAN("acq.digitize");
-  return config_.digitizer.capture(analog, config_.fs_sim_hz, rng);
+  config_.digitizer.capture_into({analog.data(), analog.size()},
+                                 config_.fs_sim_hz, rng, out);
 }
 
 namespace {
 
-// Group-average a vector down to at most max_bins entries.
-std::vector<double> pool_bins(const std::vector<double>& bins,
-                              std::size_t max_bins) {
-  if (bins.size() <= max_bins) return bins;
+// Group-average `bins` down to out.size() entries (ceil-division groups of
+// size derived from max_bins, exactly the historical pool_bins semantics).
+void pool_bins_into(std::span<const double> bins, std::size_t max_bins,
+                    std::span<double> out) {
+  if (bins.size() <= max_bins) {
+    STF_ASSERT(out.size() == bins.size(), "pool_bins_into: length mismatch");
+    for (std::size_t i = 0; i < bins.size(); ++i) out[i] = bins[i];
+    return;
+  }
   const std::size_t group =
       (bins.size() + max_bins - 1) / max_bins;  // ceil division
-  std::vector<double> out;
-  out.reserve(max_bins);
+  std::size_t o = 0;
   for (std::size_t i = 0; i < bins.size(); i += group) {
     const std::size_t end = std::min(i + group, bins.size());
     double acc = 0.0;
     for (std::size_t j = i; j < end; ++j) acc += bins[j];
-    out.push_back(acc / static_cast<double>(end - i));
+    STF_ASSERT(o < out.size(), "pool_bins_into: length mismatch");
+    out[o++] = acc / static_cast<double>(end - i);
   }
-  return out;
+  STF_ASSERT(o == out.size(), "pool_bins_into: length mismatch");
+}
+
+// Output count pool_bins_into produces for n input bins.
+std::size_t pooled_count(std::size_t n, std::size_t max_bins) {
+  if (n <= max_bins) return n;
+  const std::size_t group = (n + max_bins - 1) / max_bins;
+  return (n + group - 1) / group;
 }
 
 }  // namespace
@@ -95,6 +178,21 @@ std::vector<double> pool_bins(const std::vector<double>& bins,
 Signature SignatureAcquirer::signature_from_capture(
     const std::vector<double>& capture) const {
   return to_signature(capture);
+}
+
+// Pure length arithmetic: any n_capture (including 0, which yields 0 bins)
+// maps to a well-defined count. stf-analyze: allow(api-contract)
+std::size_t SignatureAcquirer::signature_length_for(
+    std::size_t n_capture) const {
+  if (!config_.use_fft_magnitude) return pooled_count(n_capture, max_bins_);
+  const std::size_t n_fft = stf::dsp::next_pow2(n_capture);
+  const double band = config_.signature_band_hz > 0.0
+                          ? config_.signature_band_hz
+                          : config_.digitizer.fs_hz / 2.0;
+  auto n_keep = static_cast<std::size_t>(
+      band / config_.digitizer.fs_hz * static_cast<double>(n_fft));
+  n_keep = std::min(std::max<std::size_t>(n_keep, 2), n_fft / 2);
+  return pooled_count(n_keep, max_bins_);
 }
 
 Signature SignatureAcquirer::acquire(const stf::rf::RfDut& dut,
@@ -107,30 +205,51 @@ Signature SignatureAcquirer::acquire(const stf::rf::RfDut& dut,
   STF_COUNT("acq.faulted_signatures");
   STF_REQUIRE(rng != nullptr,
               "SignatureAcquirer::acquire: fault injection draws from rng");
-  std::vector<double> capture = raw_capture(dut, stimulus, rng);
-  faults.apply(capture, config_.digitizer.fs_hz, sequence, *rng);
-  return to_signature(capture);
+  stf::core::Arena& arena = stf::core::capture_arena();
+  const stf::core::ArenaScope scope(arena);
+  stf::core::ArenaVector<double> capture(
+      capture_length(), 0.0, stf::core::ArenaAllocator<double>(&arena));
+  const std::span<double> cap_span(capture.data(), capture.size());
+  raw_capture_into(dut, stimulus, rng, cap_span);
+  faults.apply(cap_span, config_.digitizer.fs_hz, sequence, *rng);
+  Signature s(signature_length_for(capture.size()));
+  signature_into(cap_span, s);
+  return s;
 }
 
 Signature SignatureAcquirer::to_signature(
     const std::vector<double>& capture) const {
+  Signature s(signature_length_for(capture.size()));
+  signature_into(capture, s);
+  return s;
+}
+
+void SignatureAcquirer::signature_into(std::span<const double> capture,
+                                       std::span<double> out) const {
   STF_REQUIRE(!capture.empty(),
-              "SignatureAcquirer::to_signature: empty capture");
-  if (!config_.use_fft_magnitude)
-    return pool_bins(capture, max_bins_);
+              "SignatureAcquirer::signature_into: empty capture");
+  STF_REQUIRE(out.size() == signature_length_for(capture.size()),
+              "SignatureAcquirer::signature_into: out length must be "
+              "signature_length_for(capture.size())");
+  if (!config_.use_fft_magnitude) {
+    pool_bins_into(capture, max_bins_, out);
+    return;
+  }
 
   // Zero-pad to a power of two, take the normalized magnitude spectrum and
   // keep the in-band bins: the magnitude step is what removes the Eq. 5
-  // phase term from the signature. The pad buffer is per-thread scratch:
-  // acquisitions run concurrently under the parallel core, and reusing it
-  // removes an n_fft-sized allocation from every capture.
+  // phase term from the signature. The pad buffer and the kept bins come
+  // from the per-thread capture arena and the transform runs in place, so
+  // the production signature stage allocates nothing on the heap.
   STF_TRACE_SPAN("acq.fft");
   const std::size_t n_fft = stf::dsp::next_pow2(capture.size());
-  thread_local std::vector<stf::dsp::cplx> padded;
-  padded.assign(n_fft, stf::dsp::cplx{});
+  stf::core::Arena& arena = stf::core::capture_arena();
+  const stf::core::ArenaScope scope(arena);
+  stf::core::ArenaVector<stf::dsp::cplx> padded(
+      n_fft, stf::dsp::cplx{}, stf::core::ArenaAllocator<stf::dsp::cplx>(&arena));
   for (std::size_t i = 0; i < capture.size(); ++i)
     padded[i] = stf::dsp::cplx(capture[i], 0.0);
-  const auto spec = stf::dsp::fft(padded);
+  stf::dsp::fft_pow2_inplace({padded.data(), padded.size()});
 
   const double band = config_.signature_band_hz > 0.0
                           ? config_.signature_band_hz
@@ -139,10 +258,17 @@ Signature SignatureAcquirer::to_signature(
       band / config_.digitizer.fs_hz * static_cast<double>(n_fft));
   n_keep = std::min(std::max<std::size_t>(n_keep, 2), n_fft / 2);
 
-  std::vector<double> bins(n_keep);
+  if (n_keep == out.size()) {
+    // No pooling: write the normalized magnitudes straight into out.
+    for (std::size_t k = 0; k < n_keep; ++k)
+      out[k] = std::abs(padded[k]) / static_cast<double>(capture.size());
+    return;
+  }
+  stf::core::ArenaVector<double> bins(
+      n_keep, 0.0, stf::core::ArenaAllocator<double>(&arena));
   for (std::size_t k = 0; k < n_keep; ++k)
-    bins[k] = std::abs(spec[k]) / static_cast<double>(capture.size());
-  return pool_bins(bins, max_bins_);
+    bins[k] = std::abs(padded[k]) / static_cast<double>(capture.size());
+  pool_bins_into({bins.data(), bins.size()}, max_bins_, out);
 }
 
 Signature SignatureAcquirer::acquire(const stf::rf::RfDut& dut,
@@ -154,7 +280,14 @@ Signature SignatureAcquirer::acquire(const stf::rf::RfDut& dut,
   // is the distribution of simulated capture-plus-FFT cost per device.
   const std::uint64_t t0 =
       stf::core::telemetry::enabled() ? stf::core::telemetry::now_ns() : 0;
-  Signature s = to_signature(raw_capture(dut, stimulus, rng));
+  stf::core::Arena& arena = stf::core::capture_arena();
+  const stf::core::ArenaScope scope(arena);
+  stf::core::ArenaVector<double> capture(
+      capture_length(), 0.0, stf::core::ArenaAllocator<double>(&arena));
+  const std::span<double> cap_span(capture.data(), capture.size());
+  raw_capture_into(dut, stimulus, rng, cap_span);
+  Signature s(signature_length_for(capture.size()));
+  signature_into(cap_span, s);
   STF_RECORD("acq.capture_us",
              static_cast<double>(stf::core::telemetry::now_ns() - t0) / 1e3);
   STF_ENSURE(stf::contracts::finite(s),

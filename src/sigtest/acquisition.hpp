@@ -4,8 +4,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "dsp/pwl.hpp"
 #include "rf/dut.hpp"
 #include "rf/faults.hpp"
@@ -33,6 +36,12 @@ class SignatureAcquirer {
   explicit SignatureAcquirer(const SignatureTestConfig& config,
                              std::size_t max_bins = 64);
 
+  /// Copyable (the guarded runtimes are copied in tests): the render-cache
+  /// mutex is per-instance and never copied; the cached rendered stimulus
+  /// is immutable and shared with the source.
+  SignatureAcquirer(const SignatureAcquirer& other);
+  SignatureAcquirer& operator=(const SignatureAcquirer& other);
+
   /// Acquire a signature. rng enables DUT + digitizer noise; nullptr gives
   /// the noiseless response used for sensitivity estimation.
   Signature acquire(const stf::rf::RfDut& dut,
@@ -54,6 +63,24 @@ class SignatureAcquirer {
                                   const stf::dsp::PwlWaveform& stimulus,
                                   stf::stats::Rng* rng) const;
 
+  /// Allocation-free raw_capture into caller storage (out.size() must be
+  /// capture_length()). The rendered stimulus is cached across calls and
+  /// all intermediate buffers come from the per-thread capture arena, so
+  /// steady-state acquisitions allocate nothing on the heap.
+  void raw_capture_into(const stf::rf::RfDut& dut,
+                        const stf::dsp::PwlWaveform& stimulus,
+                        stf::stats::Rng* rng, std::span<double> out) const;
+
+  /// Number of samples in one digitized capture.
+  std::size_t capture_length() const;
+
+  /// Allocation-free signature_from_capture into caller storage
+  /// (out.size() must equal the signature length for this capture size --
+  /// signature_length() for production captures). Bit-identical to the
+  /// allocating overload.
+  void signature_into(std::span<const double> capture,
+                      std::span<double> out) const;
+
   /// The signature stage alone: FFT-magnitude (or pooled time-domain) bins
   /// of an already-digitized capture. Lets callers that need to inspect or
   /// corrupt the capture (the guarded runtime, the fault benches) reuse
@@ -71,10 +98,23 @@ class SignatureAcquirer {
 
  private:
   Signature to_signature(const std::vector<double>& capture) const;
+  /// Signature length signature_into() produces for an n_capture-sample
+  /// capture (pool_bins ceil-division semantics).
+  std::size_t signature_length_for(std::size_t n_capture) const;
+  /// The rendered stimulus, cached: production tests replay one waveform
+  /// across the whole lot, so rendering is hoisted out of the per-device
+  /// path. Thread-safe; the returned buffer is immutable and shared.
+  std::shared_ptr<const std::vector<double>> rendered_stimulus(
+      const stf::dsp::PwlWaveform& stimulus, std::size_t n_sim) const;
 
   SignatureTestConfig config_;
   std::size_t max_bins_;
   stf::rf::LoadBoard board_;
+  mutable stf::core::Mutex render_mutex_;
+  mutable std::vector<stf::dsp::PwlPoint> render_key_
+      STF_GUARDED_BY(render_mutex_);
+  mutable std::shared_ptr<const std::vector<double>> render_cache_
+      STF_GUARDED_BY(render_mutex_);
 };
 
 }  // namespace stf::sigtest

@@ -1,6 +1,7 @@
 #include "sigtest/batch.hpp"
 
 #include <algorithm>
+#include <span>
 #include <utility>
 
 #include "core/contracts.hpp"
@@ -48,6 +49,7 @@ LotResult BatchRuntime::test_lot(const std::vector<const stf::rf::RfDut*>& lot,
   const SignatureAcquirer& acq = guarded_.runtime().acquirer();
   const double fs = acq.config().digitizer.fs_hz;
   const std::size_t m = acq.signature_length();
+  const std::size_t cap_len = acq.capture_length();
   const GuardPolicy& policy = guarded_.policy();
 
   // Per-device child rng streams: no draw ever crosses a device boundary,
@@ -57,15 +59,18 @@ LotResult BatchRuntime::test_lot(const std::vector<const stf::rf::RfDut*>& lot,
   for (std::size_t i = 0; i < n; ++i)
     rngs.push_back(rng.derive(first_sequence + i));
 
-  // SoA lot state, indexed by device. `captures` holds attempt-1 raw
-  // captures between the acquire and screen stages; `signatures` is the
-  // validated-average matrix the predict stage consumes batch-wise.
-  std::vector<std::vector<double>> captures(n);
+  // SoA lot state. `batch_captures[b]` holds one batch's attempt-1 raw
+  // captures as a flat row-major matrix (one allocation per batch, not per
+  // device) between the acquire and screen stages; the screen stage frees
+  // it, so in-flight capture memory stays bounded by the queue window.
+  // `signatures` is the validated-average matrix the predict stage consumes
+  // batch-wise; signatures are written straight into its rows.
+  const std::size_t n_batches =
+      (n + batch_.batch_size - 1) / batch_.batch_size;
+  std::vector<stf::la::Matrix> batch_captures(n_batches);
   stf::la::Matrix signatures(n, m);
   std::vector<char> needs_predict(n, 0);
 
-  const std::size_t n_batches =
-      (n + batch_.batch_size - 1) / batch_.batch_size;
   const auto batch_range = [&](std::size_t b) {
     const std::size_t lo = b * batch_.batch_size;
     return std::pair<std::size_t, std::size_t>{
@@ -74,18 +79,22 @@ LotResult BatchRuntime::test_lot(const std::vector<const stf::rf::RfDut*>& lot,
 
   // Stage 1: the tester front end -- raw capture + fault injection for each
   // device's first attempt. The wide stage: it dominates wall-clock, so it
-  // gets every worker the screen/predict stages do not need.
+  // gets every worker the screen/predict stages do not need. Captures land
+  // directly in the batch's flat matrix; all scratch is arena-backed, so
+  // the steady-state per-device heap allocation count here is zero.
   stf::core::PipelineStage acquire;
   acquire.name = "batch.acquire";
   const std::size_t threads = stf::core::thread_count();
   acquire.workers = threads > 3 ? threads - 2 : 1;
   acquire.body = [&](std::size_t b) {
     const auto [lo, hi] = batch_range(b);
+    batch_captures[b] = stf::la::Matrix(hi - lo, cap_len);
     for (std::size_t i = lo; i < hi; ++i) {
-      captures[i] =
-          acq.raw_capture(*lot[i], guarded_.runtime().stimulus(), &rngs[i]);
+      const std::span<double> cap(batch_captures[b].row_ptr(i - lo), cap_len);
+      acq.raw_capture_into(*lot[i], guarded_.runtime().stimulus(), &rngs[i],
+                           cap);
       if (faults != nullptr)
-        faults->apply(captures[i], fs, first_sequence + i, rngs[i]);
+        faults->apply(cap, fs, first_sequence + i, rngs[i]);
     }
   };
 
@@ -101,8 +110,10 @@ LotResult BatchRuntime::test_lot(const std::vector<const stf::rf::RfDut*>& lot,
       STF_COUNT("guard.devices");
       TestDisposition d;
       int n_avg = 1;
-      Signature validated;
       bool ok = false;
+      const std::span<const double> cap(batch_captures[b].row_ptr(i - lo),
+                                        cap_len);
+      const std::span<double> sig_row(signatures.row_ptr(i), m);
       for (int attempt = 1; attempt <= policy.max_attempts; ++attempt) {
         if (attempt > 1) {
           STF_COUNT("guard.retries");
@@ -111,26 +122,32 @@ LotResult BatchRuntime::test_lot(const std::vector<const stf::rf::RfDut*>& lot,
         }
         d.attempts = attempt;
 
-        CaptureAttempt a;
+        // Attempt 1 consumes the pre-acquired capture and writes its
+        // signature straight into the device's matrix row -- no per-device
+        // vectors. Retry attempts re-enter the guarded capture path.
+        CaptureFlaw flaw = CaptureFlaw::kNone;
         if (attempt == 1) {
-          a.captures = 1;
-          a.flaw = guarded_.inspect_capture(captures[i]);
-          if (a.flaw == CaptureFlaw::kNone) {
-            a.signature = acq.signature_from_capture(captures[i]);
+          d.captures += 1;
+          flaw = guarded_.inspect_capture(cap);
+          if (flaw == CaptureFlaw::kNone) acq.signature_into(cap, sig_row);
+        } else {
+          const CaptureAttempt a = guarded_.capture_attempt(
+              *lot[i], rngs[i], faults, first_sequence + i, n_avg);
+          d.captures += a.captures;
+          flaw = a.flaw;
+          if (flaw == CaptureFlaw::kNone) {
             STF_ASSERT(a.signature.size() == m,
                        "BatchRuntime: signature length mismatch");
+            std::copy(a.signature.begin(), a.signature.end(),
+                      sig_row.begin());
           }
-        } else {
-          a = guarded_.capture_attempt(*lot[i], rngs[i], faults,
-                                       first_sequence + i, n_avg);
         }
-        d.captures += a.captures;
-        if (a.flaw != CaptureFlaw::kNone) {
-          d.last_flaw = a.flaw;
+        if (flaw != CaptureFlaw::kNone) {
+          d.last_flaw = flaw;
           continue;  // retry with escalated averaging
         }
-        const CaptureFlaw flaw =
-            guarded_.screen_signature(a.signature, &d.outlier_score);
+        flaw = guarded_.screen_signature(
+            std::span<const double>(sig_row), &d.outlier_score);
         if (flaw != CaptureFlaw::kNone) {
           d.last_flaw = flaw;
           continue;
@@ -138,21 +155,20 @@ LotResult BatchRuntime::test_lot(const std::vector<const stf::rf::RfDut*>& lot,
         d.last_flaw = CaptureFlaw::kNone;
         d.kind = attempt == 1 ? DispositionKind::kPredicted
                               : DispositionKind::kPredictedAfterRetry;
-        validated = std::move(a.signature);
         ok = true;
         break;
       }
       if (ok) {
-        signatures.set_row(i, validated);
         needs_predict[i] = 1;
       } else {
         d.kind = DispositionKind::kRoutedToConventional;
         d.predicted.clear();
         STF_COUNT("guard.routed");
       }
-      captures[i] = {};  // the raw capture is dead weight past this point
       result.dispositions[i] = std::move(d);
     }
+    // The batch's raw captures are dead weight past this point.
+    batch_captures[b] = stf::la::Matrix();
   };
 
   // Stage 3: one predict_batch GEMV over the batch's validated rows.

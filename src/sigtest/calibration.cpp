@@ -7,10 +7,13 @@
 
 #include "core/contracts.hpp"
 #include "core/parallel.hpp"
+#include "core/simd.hpp"
 #include "core/telemetry.hpp"
 #include "linalg/lstsq.hpp"
 
 namespace stf::sigtest {
+
+namespace simd = stf::core::simd;
 
 CalibrationModel::CalibrationModel(CalibrationOptions options)
     : options_(options) {
@@ -31,8 +34,20 @@ std::vector<double> CalibrationModel::features(
   std::vector<double> z(m);
   for (std::size_t i = 0; i < m; ++i)
     z[i] = bin_alive_[i] ? (signature[i] - bin_mean_[i]) / bin_scale_[i] : 0.0;
-  for (std::size_t d = 1; d <= options_.poly_degree; ++d)
-    for (std::size_t i = 0; i < m; ++i) f.push_back(std::pow(z[i], d));
+  // Degrees 1 and 2 use plain arithmetic: std::pow(z, 1) == z and
+  // std::pow(z, 2) == z * z bit-exactly (both are correctly-rounded single
+  // operations), and pow costs ~20x a multiply. Degree 3 keeps std::pow --
+  // z * z * z rounds twice and would not match the historical values.
+  for (std::size_t d = 1; d <= options_.poly_degree; ++d) {
+    if (d == 1) {
+      for (std::size_t i = 0; i < m; ++i) f.push_back(z[i]);
+    } else if (d == 2) {
+      for (std::size_t i = 0; i < m; ++i) f.push_back(z[i] * z[i]);
+    } else {
+      for (std::size_t i = 0; i < m; ++i)
+        f.push_back(std::pow(z[i], static_cast<double>(d)));
+    }
+  }
   return f;
 }
 
@@ -126,7 +141,54 @@ void CalibrationModel::fit(const stf::la::Matrix& signatures,
             s, stf::la::ridge(design, target, options_.ridge_lambda));
       },
       1);
+  rebuild_transposed_weights();
   fitted_ = true;
+}
+
+void CalibrationModel::rebuild_transposed_weights() {
+  const std::size_t n_specs = weights_.rows();
+  const std::size_t n_features = weights_.cols();
+  wt_.assign(n_specs * n_features, 0.0);
+  for (std::size_t s = 0; s < n_specs; ++s)
+    for (std::size_t j = 0; j < n_features; ++j)
+      wt_[j * n_specs + s] = weights_(s, j);
+}
+
+// Private GEMV kernel: both public entry points (predict / predict_batch)
+// validate fit state and sizes before dispatching here, and the pointers
+// are always rows of matrices those callers sized.
+// stf-analyze: allow(api-contract)
+void CalibrationModel::predict_features_into(const double* f,
+                                             double* out) const {
+  const std::size_t n_specs = weights_.rows();
+  const std::size_t n_features = weights_.cols();
+  std::size_t s = 0;
+  if constexpr (simd::kLanes >= 2) {
+    // Register-blocked GEMV: lanes hold adjacent SPECS, the j loop stays
+    // ascending, so each lane accumulates exactly the scalar sequence
+    // acc = acc + w(s, j) * f[j] (multiplication commutes bitwise for the
+    // finite operands the screen guarantees). Never vectorize over j: a
+    // horizontal sum would reorder the accumulation and break disposition
+    // bit-identity.
+    if (simd::enabled() && wt_.size() == n_specs * n_features) {
+      for (; s + simd::kLanes <= n_specs; s += simd::kLanes) {
+        simd::VecD acc = simd::broadcast(0.0);
+        const double* col = wt_.data() + s;
+        for (std::size_t j = 0; j < n_features; ++j)
+          acc = acc + simd::broadcast(f[j]) * simd::load(col + j * n_specs);
+        const simd::VecD scaled =
+            acc * simd::load(spec_scale_.data() + s) +
+            simd::load(spec_mean_.data() + s);
+        simd::store(out + s, scaled);
+      }
+    }
+  }
+  for (; s < n_specs; ++s) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n_features; ++j)
+      acc += weights_(s, j) * f[j];
+    out[s] = acc * spec_scale_[s] + spec_mean_[s];
+  }
 }
 
 void fit_from_captures(CalibrationModel& model, std::size_t n_devices,
@@ -200,11 +262,7 @@ std::vector<double> CalibrationModel::predict(
   STF_REQUIRE(fitted_, "CalibrationModel::predict: model not fitted");
   const std::vector<double> f = features(signature);
   std::vector<double> out(weights_.rows());
-  for (std::size_t s = 0; s < weights_.rows(); ++s) {
-    double acc = 0.0;
-    for (std::size_t j = 0; j < f.size(); ++j) acc += weights_(s, j) * f[j];
-    out[s] = acc * spec_scale_[s] + spec_mean_[s];
-  }
+  predict_features_into(f.data(), out.data());
   return out;
 }
 
@@ -225,18 +283,13 @@ stf::la::Matrix CalibrationModel::predict_batch(
     feats.set_row(i, features(row));
   }
 
-  // Stage 2: GEMV per row. The inner j-ascending accumulation is the exact
-  // loop predict() runs, so every element is bit-identical to the serial
-  // path -- do not reorder or block this loop.
+  // Stage 2: GEMV per row through the same kernel predict() uses. The
+  // kernel may block across specs but keeps every spec's j-ascending
+  // accumulation, so batched results stay bit-identical to the serial
+  // path -- do not reorder the j loop.
   stf::la::Matrix out(n, weights_.rows());
-  for (std::size_t i = 0; i < n; ++i) {
-    const double* f = feats.row_ptr(i);
-    for (std::size_t s = 0; s < weights_.rows(); ++s) {
-      double acc = 0.0;
-      for (std::size_t j = 0; j < n_features; ++j) acc += weights_(s, j) * f[j];
-      out(i, s) = acc * spec_scale_[s] + spec_mean_[s];
-    }
-  }
+  for (std::size_t i = 0; i < n; ++i)
+    predict_features_into(feats.row_ptr(i), out.row_ptr(i));
   return out;
 }
 
@@ -366,6 +419,7 @@ CalibrationModel CalibrationModel::deserialize(const std::string& text) {
       model.weights_.cols() !=
           1 + model.bin_mean_.size() * opts.poly_degree)
     throw CalibrationParseError("inconsistent dimensions");
+  model.rebuild_transposed_weights();
   model.fitted_ = true;
   return model;
 }

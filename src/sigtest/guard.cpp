@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "core/arena.hpp"
 #include "core/contracts.hpp"
 #include "core/telemetry.hpp"
 
@@ -41,6 +42,11 @@ void GuardedRuntime::calibrate(
 
 CaptureFlaw GuardedRuntime::inspect_capture(
     const std::vector<double>& capture) const {
+  return inspect_capture(std::span<const double>(capture));
+}
+
+CaptureFlaw GuardedRuntime::inspect_capture(
+    std::span<const double> capture) const {
   STF_REQUIRE(!capture.empty(),
               "GuardedRuntime::inspect_capture: empty capture");
   double peak = 0.0;
@@ -76,25 +82,38 @@ CaptureAttempt GuardedRuntime::capture_attempt(
   // Acquire (and average) this attempt's captures, validating each one in
   // the time domain before it contributes to the signature. A flawed
   // capture aborts the attempt immediately (no division): its signature is
-  // never consumed.
+  // never consumed. The capture and per-capture signature live in the
+  // per-thread arena, so steady-state attempts touch the heap only for the
+  // returned (m-element) averaged signature.
   CaptureAttempt a;
   a.signature.assign(m, 0.0);
+  stf::core::Arena& arena = stf::core::capture_arena();
+  const stf::core::ArenaScope scope(arena);
+  stf::core::ArenaVector<double> capture(
+      acq.capture_length(), 0.0, stf::core::ArenaAllocator<double>(&arena));
+  stf::core::ArenaVector<double> sig(
+      m, 0.0, stf::core::ArenaAllocator<double>(&arena));
+  const std::span<double> cap_span(capture.data(), capture.size());
   for (int c = 0; c < n_avg; ++c) {
-    std::vector<double> capture =
-        acq.raw_capture(dut, runtime_.stimulus(), &rng);
+    acq.raw_capture_into(dut, runtime_.stimulus(), &rng, cap_span);
     ++a.captures;
-    if (faults != nullptr) faults->apply(capture, fs, sequence, rng);
-    a.flaw = inspect_capture(capture);
+    if (faults != nullptr) faults->apply(cap_span, fs, sequence, rng);
+    a.flaw = inspect_capture(cap_span);
     if (a.flaw != CaptureFlaw::kNone) return a;
-    const Signature s = acq.signature_from_capture(capture);
-    STF_ASSERT(s.size() == m, "GuardedRuntime: signature length mismatch");
-    for (std::size_t j = 0; j < m; ++j) a.signature[j] += s[j];
+    acq.signature_into(cap_span, {sig.data(), sig.size()});
+    STF_ASSERT(sig.size() == m, "GuardedRuntime: signature length mismatch");
+    for (std::size_t j = 0; j < m; ++j) a.signature[j] += sig[j];
   }
   for (double& v : a.signature) v /= static_cast<double>(n_avg);
   return a;
 }
 
 CaptureFlaw GuardedRuntime::screen_signature(const Signature& signature,
+                                             double* score) const {
+  return screen_signature(std::span<const double>(signature), score);
+}
+
+CaptureFlaw GuardedRuntime::screen_signature(std::span<const double> signature,
                                              double* score) const {
   // Finiteness, then the calibration envelope. score() maps non-finite bins
   // to +inf, so the order only affects the reported flaw label.

@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "dsp/pwl.hpp"
@@ -168,8 +169,17 @@ class GuardedRuntime {
   CaptureFlaw screen_signature(const Signature& signature,
                                double* score) const;
 
+  /// Span variant of screen_signature() for signatures in caller-managed
+  /// (arena or matrix-row) storage; the Signature overload forwards here.
+  CaptureFlaw screen_signature(std::span<const double> signature,
+                               double* score) const;
+
   /// Time-domain validation: finiteness + railing. Returns kNone if clean.
   CaptureFlaw inspect_capture(const std::vector<double>& capture) const;
+
+  /// Span variant of inspect_capture() for captures in caller-managed
+  /// (arena or matrix-row) storage; the vector overload forwards here.
+  CaptureFlaw inspect_capture(std::span<const double> capture) const;
 
  private:
   FastestRuntime runtime_;

@@ -36,6 +36,10 @@ void OutlierScreen::fit(const stf::la::Matrix& signatures,
 }
 
 double OutlierScreen::score(const Signature& signature) const {
+  return score(std::span<const double>(signature));
+}
+
+double OutlierScreen::score(std::span<const double> signature) const {
   STF_REQUIRE(fitted_, "OutlierScreen::score: not fitted");
   STF_REQUIRE(signature.size() == mean_.size(),
               "OutlierScreen::score: length mismatch");

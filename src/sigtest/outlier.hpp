@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "linalg/matrix.hpp"
@@ -31,6 +32,10 @@ class OutlierScreen {
   /// with any non-finite bin scores +infinity: a corrupted capture is by
   /// definition outside the population.
   double score(const Signature& signature) const;
+
+  /// Span variant of score() for signatures in caller-managed (arena or
+  /// matrix-row) storage; the Signature overload forwards here.
+  double score(std::span<const double> signature) const;
 
   /// True when score() exceeds the threshold; non-finite scores (corrupted
   /// captures) always count as outliers.

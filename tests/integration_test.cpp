@@ -76,7 +76,7 @@ TEST_F(FullFlow, CalibrateAndValidatePredictsSpecs) {
   auto split = rf::split_population(*devices_, 45);
   sigtest::FastestRuntime runtime(*cfg_, *stimulus_,
                                   circuit::LnaSpecs::names());
-  stats::Rng rng(7);
+  stats::Rng rng(9);
   runtime.calibrate(split.calibration, rng);
   ASSERT_TRUE(runtime.calibrated());
   auto report = runtime.validate(split.validation, rng);
@@ -136,7 +136,7 @@ TEST_F(FullFlow, HardwareStudyConfigRuns) {
   // The 5 ms / 1 MHz configuration must run the whole loop on the
   // behavioral RF401 population.
   const auto cfg = sigtest::SignatureTestConfig::hardware_study();
-  auto devices = rf::make_rf401_population({}, 17);
+  auto devices = rf::make_rf401_population({}, 19);
   auto split = rf::split_population(devices, 28);
 
   // Behavioral-model optimization stand-in: a rich multi-level stimulus
@@ -151,7 +151,7 @@ TEST_F(FullFlow, HardwareStudyConfigRuns) {
   co.ridge_lambda = 1e-1;
   sigtest::FastestRuntime runtime(cfg, stim, circuit::LnaSpecs::names(), co,
                                   32);
-  stats::Rng rng(23);
+  stats::Rng rng(24);
   runtime.calibrate(split.calibration, rng);
   auto report = runtime.validate(split.validation, rng);
   // 27 validation devices; gain strongly and IIP3 usefully correlated.

@@ -161,11 +161,30 @@ def summarize(path: Path) -> None:
         print("  (none: benchmarks filtered out)")
 
 
+def throughput_ratios(current: Path, baseline: Path) -> None:
+    """Devices/sec ratio lines (current vs baseline) for every benchmark
+    that publishes a devices_per_second counter in both reports -- the
+    tab_throughput lot figures the SIMD work is gated on."""
+    cur_c, base_c = load_counters(current), load_counters(baseline)
+    lines = []
+    for name in sorted(cur_c):
+        cur_dps = cur_c[name].get("devices_per_second")
+        base_dps = base_c.get(name, {}).get("devices_per_second")
+        if cur_dps and base_dps and base_dps > 0:
+            lines.append(f"  {name} devices/sec: {base_dps:.0f} -> "
+                         f"{cur_dps:.0f} ({cur_dps / base_dps:.2f}x)")
+    if lines:
+        print("throughput vs baseline:")
+        for line in lines:
+            print(line)
+
+
 def compare(current: Path, baseline: Path, tolerance: float) -> int:
     cur, base = load_times(current), load_times(baseline)
     if not cur:
         print("bench_report: no benchmarks in current report")
         return 0
+    throughput_ratios(current, baseline)
     regressions = 0
     names = sorted(cur)
     width = max(len(n) for n in names)

@@ -617,6 +617,39 @@ def check_raw_mutex(ctx: Context):
                     "core/annotations.hpp so -Wthread-safety sees the lock")
 
 
+SIMD_INCLUDE_RE = re.compile(
+    r"#\s*include\s*<(?:immintrin|x86intrin|emmintrin|xmmintrin|arm_neon)"
+    r"\.h>")
+SIMD_TOKEN_RE = re.compile(
+    r"\b_mm(?:256|512)?_\w+|\b__m(?:128|256|512)[di]?\b"
+    r"|\bv(?:ld|st)1q?_\w+|\bfloat64x[12]_t\b")
+
+
+@rule("simd-confinement")
+def check_simd_confinement(ctx: Context):
+    """Raw SIMD intrinsics live only in src/core/simd.hpp.
+
+    The bit-exactness contract (DESIGN.md section 12) holds because every
+    vectorized kernel goes through the simd::pack abstraction, whose scalar
+    backend is the reference implementation. An intrinsic header or an
+    _mm_/vld1q_ token anywhere else creates an ISA-specific code path with
+    no scalar twin and no STF_SIMD kill switch, so the wrapper header is
+    the single sanctioned home for them.
+    """
+    for f in ctx.files:
+        if f.in_dir("core") and f.path.name == "simd.hpp":
+            continue
+        for idx, code in enumerate(f.code_lines):
+            m = SIMD_INCLUDE_RE.search(code) or SIMD_TOKEN_RE.search(code)
+            if m and not allowed(f, idx + 1, "simd-confinement"):
+                yield Finding(
+                    "simd-confinement", f.rel, idx + 1,
+                    f"raw SIMD intrinsic '{m.group(0).strip()}' outside "
+                    "core/simd.hpp; use the simd::pack abstraction so the "
+                    "kernel keeps a scalar reference twin and honors the "
+                    "STF_SIMD kill switch")
+
+
 # A function definition at namespace/class scope: return type + name + '('.
 # Intentionally loose; candidates are filtered by the header cross-check.
 FUNC_DEF_RE = re.compile(

@@ -216,6 +216,29 @@ def test_raw_mutex_in_core_and_dsp_only(tmp: Path) -> None:
     assert hits(findings, "raw-mutex") == [], findings
 
 
+def test_simd_confinement_flags_intrinsics_outside_wrapper(tmp: Path) -> None:
+    body = ("#include <immintrin.h>\n"
+            "__m256d v = _mm256_add_pd(a, b);\n"
+            "float64x2_t w = vld1q_f64(p);\n")
+    findings = run(tmp, unit("dsp", "kern", body))
+    assert len(hits(findings, "simd-confinement")) == 3, \
+        [f.render() for f in findings]
+
+
+def test_simd_confinement_wrapper_and_suppression_exempt(tmp: Path) -> None:
+    files = unit("core", "simd",
+                 header_extra="#include <immintrin.h>\n"
+                              "__m256d v = _mm256_setzero_pd();\n")
+    files["src/rf/probe.hpp"] = (
+        HEADER_OK +
+        "// stf-analyze: allow(simd-confinement) -- pedagogical example\n"
+        "using packd = __m256d;\n")
+    files["tests/probe_test.cpp"] = '// include "rf/probe.hpp"\n'
+    findings = run(tmp, files)
+    assert hits(findings, "simd-confinement") == [], \
+        [f.render() for f in findings]
+
+
 API_BODY_NO_CONTRACT = ("int frob(int x) {\n"
                         + "  x += 1;\n" * 9 +
                         "  return x;\n"
