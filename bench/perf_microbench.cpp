@@ -10,6 +10,7 @@
 
 #include "circuit/dc.hpp"
 #include "circuit/lna900.hpp"
+#include "net/frame.hpp"
 #include "core/parallel.hpp"
 #include "core/telemetry.hpp"
 #include "dsp/fft.hpp"
@@ -375,6 +376,52 @@ BENCHMARK(BM_OptimizeStimulusThreads)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// A full 64-device disposition chunk on the service wire path: encode
+// must stay far under one device test (~us against the 5 us acquisition),
+// or streaming would gate production throughput.
+void BM_FrameEncodeDispositions(benchmark::State& state) {
+  net::DispositionChunk chunk;
+  chunk.request_id = 1;
+  chunk.first_index = 0;
+  for (int i = 0; i < 64; ++i) {
+    sigtest::TestDisposition d;
+    d.kind = sigtest::DispositionKind::kPredicted;
+    d.attempts = 1;
+    d.captures = 1;
+    d.outlier_score = 0.25 * i;
+    d.predicted = {14.5, 2.1, -9.0, 0.5};
+    chunk.dispositions.push_back(d);
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(net::encode_dispositions(chunk));
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_FrameEncodeDispositions);
+
+// The matching hardened decode: every length re-validated against the
+// parser ceilings, so this bounds the server's per-chunk parse cost too.
+void BM_FrameDecodeDispositions(benchmark::State& state) {
+  net::DispositionChunk chunk;
+  chunk.request_id = 1;
+  chunk.first_index = 0;
+  for (int i = 0; i < 64; ++i) {
+    sigtest::TestDisposition d;
+    d.kind = sigtest::DispositionKind::kPredicted;
+    d.attempts = 1;
+    d.captures = 1;
+    d.outlier_score = 0.25 * i;
+    d.predicted = {14.5, 2.1, -9.0, 0.5};
+    chunk.dispositions.push_back(d);
+  }
+  const auto frame = net::encode_dispositions(chunk);
+  const std::span<const std::uint8_t> payload(frame.data() + 5,
+                                              frame.size() - 5);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(net::decode_dispositions(payload));
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_FrameDecodeDispositions);
 
 // Overhead of one span with collection active: a timestamp pair plus an
 // event append (the per-thread log caps at ~1M events; past the cap the

@@ -1,9 +1,10 @@
 #include "core/arena.hpp"
 
-#include <cstdlib>
-#include <string>
+#include <cstddef>
+#include <new>
 
 #include "core/contracts.hpp"
+#include "core/env.hpp"
 #include "core/telemetry.hpp"
 
 namespace stf::core {
@@ -23,14 +24,14 @@ telemetry::Counter& heap_fallback_counter() {
 
 std::size_t default_capture_arena_bytes() {
   // STF_ARENA_BYTES only sizes the buffer; requests that do not fit fall
-  // back to the heap, so this cannot change any numeric result.
+  // back to the heap, so this cannot change any numeric result. Garbage or
+  // out-of-range values throw (core/env policy) instead of being silently
+  // reinterpreted as the default, surfacing at the first capture.
   constexpr std::size_t kDefault = std::size_t{1} << 20;  // 1 MiB
-  const char* raw = std::getenv("STF_ARENA_BYTES");
-  if (raw == nullptr) return kDefault;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(raw, &end, 10);
-  if (end == raw || v == 0) return kDefault;
-  return static_cast<std::size_t>(v);
+  constexpr std::uint64_t kMin = 4096;                    // one small capture
+  constexpr std::uint64_t kMax = std::uint64_t{1} << 40;  // 1 TiB sanity cap
+  return static_cast<std::size_t>(
+      env::read_u64("STF_ARENA_BYTES", kDefault, kMin, kMax));
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include "core/annotations.hpp"
 #include "core/contracts.hpp"
+#include "core/env.hpp"
 #include "core/telemetry.hpp"
 
 #include <atomic>
@@ -201,35 +202,11 @@ std::size_t thread_count_locked() STF_REQUIRES(g_config_mutex) {
 }  // namespace
 
 std::size_t parse_thread_count(const std::string& text) {
-  std::size_t begin = 0, end = text.size();
-  while (begin < end &&
-         std::isspace(static_cast<unsigned char>(text[begin])) != 0)
-    ++begin;
-  while (end > begin &&
-         std::isspace(static_cast<unsigned char>(text[end - 1])) != 0)
-    --end;
-  if (begin == end)
-    throw std::invalid_argument("STF_THREADS: empty value");
-  std::size_t value = 0;
-  for (std::size_t i = begin; i < end; ++i) {
-    const char c = text[i];
-    if (c < '0' || c > '9')
-      throw std::invalid_argument(
-          "STF_THREADS: expected a positive integer, got \"" + text + "\"");
-    const auto digit = static_cast<std::size_t>(c - '0');
-    // Overflow-safe accumulation: reject before the multiply/add could wrap,
-    // so an absurd value (e.g. 2^64 + 1) can never alias back into range.
-    if (value > (std::numeric_limits<std::size_t>::max() - digit) / 10 ||
-        value * 10 + digit > kMaxThreads)
-      throw std::invalid_argument(
-          "STF_THREADS: value out of range [1, " +
-          std::to_string(kMaxThreads) + "]: \"" + text + "\"");
-    value = value * 10 + digit;
-  }
-  if (value == 0)
-    throw std::invalid_argument("STF_THREADS: must be >= 1, got \"" + text +
-                                "\"");
-  return value;
+  // The overflow-safe digit accumulation now lives in core/env so every
+  // STF_* variable shares it; this wrapper keeps the historical API and
+  // the [1, kMaxThreads] range.
+  return static_cast<std::size_t>(
+      env::parse_u64("STF_THREADS", text, 1, kMaxThreads));
 }
 
 std::size_t thread_count() {

@@ -75,10 +75,15 @@ void stage_worker(PipelineRun& run, std::size_t s) {
         run.cancelled.store(true, std::memory_order_relaxed);
       }
     }
-    if (s < last)
-      run.queues[s]->push(item);
-    else
+    if (s < last) {
+      // queues[s] is closed by the *last stage-s worker to exit* (below), so
+      // it cannot be closed while this worker is still pushing.
+      const PushResult r = run.queues[s]->push(item);
+      STF_ASSERT(r == PushResult::kAccepted,
+                 "pipeline: inter-stage queue closed under a live producer");
+    } else {
       STF_COUNT("pipeline.items");
+    }
   }
   if (run.live_workers[s].fetch_sub(1, std::memory_order_acq_rel) == 1 &&
       s < last)

@@ -40,8 +40,20 @@
 
 #include "core/annotations.hpp"
 #include "core/contracts.hpp"
+#include "core/telemetry.hpp"
 
 namespace stf::core {
+
+/// Typed outcome of a BoundedQueue push. kFull is only ever returned by the
+/// non-blocking try_push (push() waits instead); kClosed means the value was
+/// NOT enqueued because the queue had been shut down -- a condition the
+/// caller must handle (reject upstream, count, or assert unreachable), never
+/// a silent drop.
+enum class PushResult {
+  kAccepted,  ///< Value enqueued.
+  kFull,      ///< try_push only: queue at capacity, value not enqueued.
+  kClosed,    ///< Queue closed: value not enqueued (typed rejection).
+};
 
 /// Bounded blocking FIFO connecting two pipeline stages. Multi-producer,
 /// multi-consumer; push blocks while full (that is the backpressure), pop
@@ -53,9 +65,11 @@ class BoundedQueue {
     STF_REQUIRE(capacity >= 1, "BoundedQueue: capacity < 1");
   }
 
-  /// Blocks while the queue is full. Returns false (dropping the value)
-  /// only if the queue was closed.
-  bool push(T value) STF_EXCLUDES(mutex_) {
+  /// Blocks while the queue is full (that is the backpressure window).
+  /// Returns kAccepted, or kClosed -- without enqueueing -- once the queue
+  /// has been closed; close() wakes every producer blocked here. A rejected
+  /// push counts into "pipeline.rejected_after_close".
+  [[nodiscard]] PushResult push(T value) STF_EXCLUDES(mutex_) {
     UniqueLock lock(mutex_);
     if (items_.size() >= capacity_ && !closed_) {
       ++blocked_pushes_;
@@ -64,11 +78,32 @@ class BoundedQueue {
       while (items_.size() >= capacity_ && !closed_)
         not_full_.wait(lock.native());
     }
-    if (closed_) return false;
+    if (closed_) {
+      lock.unlock();
+      STF_COUNT("pipeline.rejected_after_close");
+      return PushResult::kClosed;
+    }
     items_.push_back(std::move(value));
     lock.unlock();
     not_empty_.notify_one();
-    return true;
+    return PushResult::kAccepted;
+  }
+
+  /// Non-blocking push: kAccepted, kFull (queue at capacity -- the caller's
+  /// load-shedding signal), or kClosed. Never waits, so an admission layer
+  /// built on it can reject under overload instead of hanging.
+  [[nodiscard]] PushResult try_push(T value) STF_EXCLUDES(mutex_) {
+    UniqueLock lock(mutex_);
+    if (closed_) {
+      lock.unlock();
+      STF_COUNT("pipeline.rejected_after_close");
+      return PushResult::kClosed;
+    }
+    if (items_.size() >= capacity_) return PushResult::kFull;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return PushResult::kAccepted;
   }
 
   /// Blocks until an item arrives; returns false once the queue is closed

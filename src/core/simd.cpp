@@ -1,8 +1,8 @@
 #include "core/simd.hpp"
 
 #include <atomic>
-#include <cstdlib>
-#include <string_view>
+
+#include "core/env.hpp"
 
 namespace stf::core::simd {
 
@@ -13,12 +13,10 @@ std::atomic<int> g_override{-1};
 
 bool env_enabled() {
   // STF_SIMD is the documented runtime kill switch; it only selects between
-  // bit-identical code paths, so reading it does not break replay.
-  const char* raw = std::getenv("STF_SIMD");
-  if (raw == nullptr) return true;
-  const std::string_view v(raw);
-  return !(v == "off" || v == "OFF" || v == "0" || v == "false" ||
-           v == "FALSE");
+  // bit-identical code paths, so reading it does not break replay. Parsed
+  // through core/env: unrecognized tokens throw instead of silently meaning
+  // "on".
+  return env::read_flag("STF_SIMD", true);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include "core/annotations.hpp"
 #include "core/contracts.hpp"
+#include "core/env.hpp"
 
 #include <algorithm>
 #include <chrono>
@@ -100,10 +101,10 @@ void append_event(ThreadLog& log, const Event& e) {
 std::atomic<int> g_enabled{-1};  // -1: resolve from the environment
 
 bool resolve_enabled_from_env() {
-  const char* env = std::getenv("STF_TELEMETRY");
-  if (env == nullptr) return false;
-  const std::string v(env);
-  return !(v.empty() || v == "0" || v == "off" || v == "false");
+  // core/env policy: unset/empty means off, recognized tokens toggle, and
+  // garbage throws (at the first instrumented call) instead of silently
+  // enabling collection.
+  return env::read_flag("STF_TELEMETRY", false);
 }
 
 /// Aggregation key: worker spans fold under "<region>/workers".

@@ -1,0 +1,91 @@
+// Client library of the signature-test service: one call per lot, with
+// bounded timeouts, capped exponential backoff, and idempotent retry keyed
+// by request id.
+//
+// run_lot() opens a connection, sends the request frame, and reassembles
+// the streamed disposition chunks into lot order. Transport loss (reset,
+// timeout, injected fault, malformed server bytes) fails the ATTEMPT, not
+// the call: the client retries with the SAME request_id -- the server
+// recognizes a finished id and replays the cached response instead of
+// recomputing -- until ClientOptions::max_attempts is exhausted. A typed
+// server Reject is a final answer, never blind-retried.
+//
+// Determinism: the client needs no wall clock (timeouts ride on poll();
+// backoff sleeps go through an injectable sleep_ms hook, which tests pin
+// to a no-op), and injected transport faults draw from
+// fault_base.derive(request_id).derive(attempt) -- so an end-to-end run
+// with faults and retries still reproduces bit-identically from seeds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/transport_faults.hpp"
+#include "sigtest/guard.hpp"
+
+namespace stf::net {
+
+/// Knobs of the per-lot client call.
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  int connect_timeout_ms = 2000;
+  /// Bound on each wait for the next response frame (not the whole lot).
+  int response_timeout_ms = 10000;
+  /// Total attempts per run_lot call (first try + retries).
+  int max_attempts = 5;
+  /// Backoff before retry k (1-based) is min(base << (k-1), cap) ms.
+  int backoff_base_ms = 1;
+  int backoff_cap_ms = 50;
+  /// Sleep hook for the backoff (tests inject a recorder; default sleeps).
+  std::function<void(int ms)> sleep_ms;
+};
+
+/// How a run_lot call ended.
+enum class ClientStatus {
+  kOk,                ///< Full disposition set received.
+  kRejected,          ///< Server answered with a typed Reject.
+  kTransportFailure,  ///< Attempts exhausted without a complete answer.
+};
+
+/// Everything a run_lot call produced.
+struct ClientLotResult {
+  ClientStatus status = ClientStatus::kTransportFailure;
+  RejectCode reject_code = RejectCode::kNone;  ///< Set iff kRejected.
+  std::string message;        ///< Reject text or last transport error.
+  std::vector<stf::sigtest::TestDisposition> dispositions;  ///< Lot order.
+  std::uint32_t predicted = 0;  ///< LotDone tallies (iff kOk).
+  std::uint32_t retried = 0;
+  std::uint32_t routed = 0;
+  int attempts = 0;  ///< Attempts consumed (>= 1).
+};
+
+/// Per-lot client. Stateless between calls except for configuration, so
+/// one instance may be shared by threads issuing different requests.
+class SigtestClient {
+ public:
+  explicit SigtestClient(std::uint16_t port, ClientOptions options = {});
+
+  /// Arm deterministic transport fault injection. `faults` must outlive the
+  /// client; pass nullptr to disarm. `fault_seed` is the base of the
+  /// per-(request, attempt) derivation chain.
+  void set_transport_faults(const TransportFaultInjector* faults,
+                            std::uint64_t fault_seed);
+
+  /// Run one lot end to end (send request, collect every disposition).
+  /// Never throws on transport loss -- that is a typed kTransportFailure.
+  /// Throws std::invalid_argument only on malformed local input.
+  ClientLotResult run_lot(const LotRequest& request) const;
+
+  const ClientOptions& options() const { return options_; }
+
+ private:
+  std::uint16_t port_;
+  ClientOptions options_;
+  const TransportFaultInjector* faults_ = nullptr;
+  std::uint64_t fault_seed_ = 0;
+};
+
+}  // namespace stf::net

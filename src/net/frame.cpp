@@ -1,0 +1,354 @@
+#include "net/frame.hpp"
+
+#include <bit>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "core/contracts.hpp"
+
+namespace stf::net {
+
+namespace {
+
+using stf::sigtest::CaptureFlaw;
+using stf::sigtest::DispositionKind;
+using stf::sigtest::TestDisposition;
+
+constexpr std::size_t kHeaderBytes = 5;  // u32 length + u8 type
+
+/// Append-only little-endian encoder over trusted data.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v));
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    for (int shift = 0; shift < 32; shift += 8)
+      out_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+  void u64(std::uint64_t v) {
+    for (int shift = 0; shift < 64; shift += 8)
+      out_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+  void f64_bits(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void bytes(const std::string& s) {
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+/// Bounds-checked little-endian decoder over untrusted payload bytes. Every
+/// read names its field so a ProtocolError pinpoints the malformation.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8(const char* field) {
+    need(1, field);
+    return bytes_[pos_++];
+  }
+  std::uint16_t u16(const char* field) {
+    need(2, field);
+    const std::uint16_t v =
+        static_cast<std::uint16_t>(bytes_[pos_]) |
+        static_cast<std::uint16_t>(static_cast<std::uint16_t>(bytes_[pos_ + 1])
+                                   << 8);
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32(const char* field) {
+    need(4, field);
+    std::uint32_t v = 0;
+    for (int b = 3; b >= 0; --b)
+      v = (v << 8) |
+          static_cast<std::uint32_t>(
+              bytes_[pos_ + static_cast<std::size_t>(b)]);
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64(const char* field) {
+    need(8, field);
+    std::uint64_t v = 0;
+    for (int b = 7; b >= 0; --b)
+      v = (v << 8) |
+          static_cast<std::uint64_t>(
+              bytes_[pos_ + static_cast<std::size_t>(b)]);
+    pos_ += 8;
+    return v;
+  }
+  double f64_bits(const char* field) {
+    return std::bit_cast<double>(u64(field));
+  }
+  std::string string(std::size_t n, const char* field) {
+    need(n, field);
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  /// Decoders must consume the payload exactly; trailing garbage is a
+  /// malformation, not padding.
+  void expect_end(const char* what) const {
+    if (pos_ != bytes_.size())
+      throw ProtocolError(std::string("frame: trailing bytes after ") + what);
+  }
+
+ private:
+  void need(std::size_t n, const char* field) const {
+    if (bytes_.size() - pos_ < n)
+      throw ProtocolError(std::string("frame: truncated payload reading ") +
+                          field);
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// Prepend the 5-byte header once the payload is fully encoded.
+std::vector<std::uint8_t> finish_frame(FrameType type,
+                                       std::vector<std::uint8_t> payload) {
+  STF_ASSERT(payload.size() <= kMaxPayloadBytes,
+             "frame: encoder produced an oversized payload");
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  ByteWriter header(frame);
+  header.u32(static_cast<std::uint32_t>(payload.size()));
+  header.u8(static_cast<std::uint8_t>(type));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+bool known_frame_type(std::uint8_t raw) {
+  return raw >= static_cast<std::uint8_t>(FrameType::kRequest) &&
+         raw <= static_cast<std::uint8_t>(FrameType::kReject);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_request(const LotRequest& request) {
+  STF_REQUIRE(request.lot_size >= 1 && request.lot_size <= kMaxLotSize,
+              "encode_request: lot_size out of range");
+  STF_REQUIRE(request.batch >= 1, "encode_request: batch < 1");
+  STF_REQUIRE(request.scenario.size() <= kMaxStringBytes,
+              "encode_request: scenario too long");
+  STF_REQUIRE(request.fault_spec.size() <= kMaxStringBytes,
+              "encode_request: fault_spec too long");
+  std::vector<std::uint8_t> payload;
+  ByteWriter w(payload);
+  w.u64(request.request_id);
+  w.u64(request.seed);
+  w.u32(request.lot_size);
+  w.u32(request.batch);
+  w.u16(static_cast<std::uint16_t>(request.scenario.size()));
+  w.bytes(request.scenario);
+  w.u16(static_cast<std::uint16_t>(request.fault_spec.size()));
+  w.bytes(request.fault_spec);
+  return finish_frame(FrameType::kRequest, std::move(payload));
+}
+
+std::vector<std::uint8_t> encode_dispositions(const DispositionChunk& chunk) {
+  STF_REQUIRE(chunk.dispositions.size() <= kMaxChunkDevices,
+              "encode_dispositions: chunk too large");
+  std::vector<std::uint8_t> payload;
+  ByteWriter w(payload);
+  w.u64(chunk.request_id);
+  w.u32(chunk.first_index);
+  w.u32(static_cast<std::uint32_t>(chunk.dispositions.size()));
+  for (const TestDisposition& d : chunk.dispositions) {
+    STF_REQUIRE(d.predicted.size() <= kMaxSpecsPerDevice,
+                "encode_dispositions: too many predicted specs");
+    STF_REQUIRE(d.attempts >= 0 && d.captures >= 0,
+                "encode_dispositions: negative counters");
+    w.u8(static_cast<std::uint8_t>(d.kind));
+    w.u8(static_cast<std::uint8_t>(d.last_flaw));
+    w.u32(static_cast<std::uint32_t>(d.attempts));
+    w.u32(static_cast<std::uint32_t>(d.captures));
+    w.f64_bits(d.outlier_score);
+    w.u32(static_cast<std::uint32_t>(d.predicted.size()));
+    for (const double v : d.predicted) w.f64_bits(v);
+  }
+  return finish_frame(FrameType::kDispositions, std::move(payload));
+}
+
+std::vector<std::uint8_t> encode_lot_done(const LotDone& done) {
+  STF_REQUIRE(static_cast<std::uint64_t>(done.predicted) + done.retried +
+                      done.routed ==
+                  done.lot_size,
+              "encode_lot_done: tallies do not sum to lot_size");
+  std::vector<std::uint8_t> payload;
+  ByteWriter w(payload);
+  w.u64(done.request_id);
+  w.u32(done.lot_size);
+  w.u32(done.predicted);
+  w.u32(done.retried);
+  w.u32(done.routed);
+  return finish_frame(FrameType::kLotDone, std::move(payload));
+}
+
+std::vector<std::uint8_t> encode_reject(const Reject& reject) {
+  STF_REQUIRE(reject.code != RejectCode::kNone,
+              "encode_reject: kNone is not a wire value");
+  STF_REQUIRE(reject.message.size() <= kMaxStringBytes,
+              "encode_reject: message too long");
+  std::vector<std::uint8_t> payload;
+  ByteWriter w(payload);
+  w.u64(reject.request_id);
+  w.u8(static_cast<std::uint8_t>(reject.code));
+  w.u16(static_cast<std::uint16_t>(reject.message.size()));
+  w.bytes(reject.message);
+  return finish_frame(FrameType::kReject, std::move(payload));
+}
+
+LotRequest decode_request(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  LotRequest request;
+  request.request_id = r.u64("request_id");
+  request.seed = r.u64("seed");
+  request.lot_size = r.u32("lot_size");
+  if (request.lot_size < 1 || request.lot_size > kMaxLotSize)
+    throw ProtocolError("request: lot_size out of range");
+  request.batch = r.u32("batch");
+  if (request.batch < 1) throw ProtocolError("request: batch < 1");
+  const std::uint16_t scenario_len = r.u16("scenario_len");
+  if (scenario_len > kMaxStringBytes)
+    throw ProtocolError("request: scenario too long");
+  request.scenario = r.string(scenario_len, "scenario");
+  const std::uint16_t fault_len = r.u16("fault_len");
+  if (fault_len > kMaxStringBytes)
+    throw ProtocolError("request: fault_spec too long");
+  request.fault_spec = r.string(fault_len, "fault_spec");
+  r.expect_end("request");
+  return request;
+}
+
+DispositionChunk decode_dispositions(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  DispositionChunk chunk;
+  chunk.request_id = r.u64("request_id");
+  chunk.first_index = r.u32("first_index");
+  const std::uint32_t count = r.u32("count");
+  if (count > kMaxChunkDevices)
+    throw ProtocolError("dispositions: chunk count over limit");
+  if (chunk.first_index > kMaxLotSize ||
+      count > kMaxLotSize - chunk.first_index)
+    throw ProtocolError("dispositions: device range out of bounds");
+  // Growth below is driven by bytes actually present: every device read is
+  // bounds-checked, so a huge declared `count` with a short payload throws
+  // before the vector can outgrow the payload it was decoded from.
+  chunk.dispositions.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    TestDisposition d;
+    const std::uint8_t kind = r.u8("kind");
+    if (kind > static_cast<std::uint8_t>(
+                   DispositionKind::kRoutedToConventional))
+      throw ProtocolError("dispositions: unknown DispositionKind");
+    d.kind = static_cast<DispositionKind>(kind);
+    const std::uint8_t flaw = r.u8("last_flaw");
+    if (flaw > static_cast<std::uint8_t>(CaptureFlaw::kOutlier))
+      throw ProtocolError("dispositions: unknown CaptureFlaw");
+    d.last_flaw = static_cast<CaptureFlaw>(flaw);
+    const std::uint32_t attempts = r.u32("attempts");
+    const std::uint32_t captures = r.u32("captures");
+    constexpr std::uint32_t kIntMax =
+        static_cast<std::uint32_t>(std::numeric_limits<int>::max());
+    if (attempts > kIntMax || captures > kIntMax)
+      throw ProtocolError("dispositions: counter overflows int");
+    d.attempts = static_cast<int>(attempts);
+    d.captures = static_cast<int>(captures);
+    d.outlier_score = r.f64_bits("outlier_score");
+    const std::uint32_t n_predicted = r.u32("n_predicted");
+    if (n_predicted > kMaxSpecsPerDevice)
+      throw ProtocolError("dispositions: predicted specs over limit");
+    d.predicted.reserve(n_predicted);
+    for (std::uint32_t s = 0; s < n_predicted; ++s)
+      d.predicted.push_back(r.f64_bits("predicted"));
+    chunk.dispositions.push_back(std::move(d));
+  }
+  r.expect_end("dispositions");
+  return chunk;
+}
+
+LotDone decode_lot_done(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  LotDone done;
+  done.request_id = r.u64("request_id");
+  done.lot_size = r.u32("lot_size");
+  done.predicted = r.u32("predicted");
+  done.retried = r.u32("retried");
+  done.routed = r.u32("routed");
+  if (done.lot_size > kMaxLotSize)
+    throw ProtocolError("lot_done: lot_size out of range");
+  if (done.predicted > done.lot_size || done.retried > done.lot_size ||
+      done.routed > done.lot_size ||
+      done.predicted + done.retried + done.routed != done.lot_size)
+    throw ProtocolError("lot_done: tallies do not sum to lot_size");
+  r.expect_end("lot_done");
+  return done;
+}
+
+Reject decode_reject(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  Reject reject;
+  reject.request_id = r.u64("request_id");
+  const std::uint8_t code = r.u8("code");
+  if (code < static_cast<std::uint8_t>(RejectCode::kShedOverload) ||
+      code > static_cast<std::uint8_t>(RejectCode::kTooManyClients))
+    throw ProtocolError("reject: unknown RejectCode");
+  reject.code = static_cast<RejectCode>(code);
+  const std::uint16_t message_len = r.u16("message_len");
+  if (message_len > kMaxStringBytes)
+    throw ProtocolError("reject: message too long");
+  reject.message = r.string(message_len, "message");
+  r.expect_end("reject");
+  return reject;
+}
+
+FrameReader::FrameReader(std::size_t max_payload) : max_payload_(max_payload) {
+  STF_REQUIRE(max_payload >= 1 && max_payload <= kMaxPayloadBytes,
+              "FrameReader: max_payload out of range");
+}
+
+std::size_t FrameReader::header_payload_length() const {
+  if (buffer_.size() < kHeaderBytes)
+    return std::numeric_limits<std::size_t>::max();
+  std::uint32_t declared = 0;
+  for (int b = 3; b >= 0; --b)
+    declared = (declared << 8) |
+               static_cast<std::uint32_t>(buffer_[static_cast<std::size_t>(b)]);
+  if (declared > max_payload_)
+    throw ProtocolError("frame: declared length over ceiling");
+  if (!known_frame_type(buffer_[4]))
+    throw ProtocolError("frame: unknown frame type");
+  return declared;
+}
+
+void FrameReader::feed(std::span<const std::uint8_t> bytes) {
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  // Validate eagerly: an oversized or unknown header fails the feed, so the
+  // caller can drop the connection without waiting for a next() poll.
+  (void)header_payload_length();
+}
+
+bool FrameReader::next(Frame& out) {
+  STF_ASSERT(buffer_.size() <= kMaxPayloadBytes + kHeaderBytes,
+             "FrameReader: buffered bytes exceeded the frame ceiling");
+  const std::size_t declared = header_payload_length();
+  if (declared == std::numeric_limits<std::size_t>::max()) return false;
+  if (buffer_.size() < kHeaderBytes + declared) return false;
+  out.type = static_cast<FrameType>(buffer_[4]);
+  out.payload.assign(buffer_.begin() + kHeaderBytes,
+                     buffer_.begin() + static_cast<std::ptrdiff_t>(
+                                           kHeaderBytes + declared));
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(
+                                                       kHeaderBytes + declared));
+  return true;
+}
+
+}  // namespace stf::net

@@ -1,0 +1,162 @@
+// Framed wire protocol of the signature-test service: length-prefixed
+// binary frames carrying lot requests and streamed per-device dispositions.
+//
+// A frame is `u32 payload_length (LE) | u8 type | payload`. The length
+// counts only the payload, never the 5-byte header, and is bounded by
+// kMaxPayloadBytes -- the parser checks the ceiling BEFORE allocating or
+// buffering, the same discipline as CalibrationModel::deserialize, so a
+// hostile peer cannot make the server reserve gigabytes with a 4-byte
+// header. Every decode error is a typed ProtocolError naming the offending
+// field; malformed bytes never crash, hang, or over-allocate (the frame
+// fuzz harness in tests/frame_fuzz_test.cpp drives 10k seeded corruptions
+// through this contract).
+//
+// Determinism: dispositions travel as raw IEEE-754 bit patterns (u64), so
+// a value survives the round trip BIT-identically -- the service-level
+// contract (client dispositions == in-process serial reference) is checked
+// with exact equality, never tolerances.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sigtest/guard.hpp"
+
+namespace stf::net {
+
+/// Typed decode failure: malformed frame bytes (bad length, unknown type or
+/// enum value, truncated payload, trailing bytes, limit violations). The
+/// transport reacts by dropping the connection; it never retries a frame.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Hard ceiling on a frame payload, enforced before any allocation. One
+/// dispositions chunk of kMaxChunkDevices worst-case devices stays under it.
+inline constexpr std::size_t kMaxPayloadBytes = std::size_t{1} << 20;
+/// Ceiling on the scenario / fault-spec / reject-message strings.
+inline constexpr std::size_t kMaxStringBytes = 512;
+/// Ceiling on a requested lot size (devices per lot).
+inline constexpr std::uint32_t kMaxLotSize = 65536;
+/// Ceiling on devices per dispositions chunk (bounds decode allocation).
+inline constexpr std::uint32_t kMaxChunkDevices = 4096;
+/// Ceiling on predicted specs per device on the wire.
+inline constexpr std::uint32_t kMaxSpecsPerDevice = 256;
+
+/// Frame discriminator (the u8 after the length prefix). Any other value is
+/// a ProtocolError.
+enum class FrameType : std::uint8_t {
+  kRequest = 1,       ///< client -> server: one lot request
+  kDispositions = 2,  ///< server -> client: a chunk of per-device results
+  kLotDone = 3,       ///< server -> client: lot complete + tallies
+  kReject = 4,        ///< server -> client: typed refusal, no results
+};
+
+/// Why the server refused a request (kReject payload). kNone is the
+/// "admitted" value used by the admission layer, never sent on the wire.
+enum class RejectCode : std::uint8_t {
+  kNone = 0,           ///< Admitted (internal sentinel, not a wire value).
+  kShedOverload = 1,   ///< Work queue / rate limit / inflight cap exceeded.
+  kBadRequest = 2,     ///< Semantically invalid request (bad scenario, ...).
+  kShuttingDown = 3,   ///< Server draining; retry against a new instance.
+  kTooManyClients = 4  ///< Connection cap reached.
+};
+
+/// One parsed frame: type plus raw payload bytes (decode_* interprets them).
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  std::vector<std::uint8_t> payload;
+};
+
+/// A lot request: everything the server needs to reproduce the lot
+/// deterministically. `scenario` names the device population
+/// ("lna:spread=0.2:pop=77" -- see service/scenario.hpp); `fault_spec` is a
+/// rf::FaultInjector::parse scenario ("" = clean tester). `request_id` keys
+/// idempotent retry: the server replays a finished lot's frames instead of
+/// recomputing when the same id arrives again on a session.
+struct LotRequest {
+  std::uint64_t request_id = 0;
+  std::uint64_t seed = 0;
+  std::uint32_t lot_size = 0;
+  std::uint32_t batch = 16;  ///< Per-request BatchOptions::batch_size.
+  std::string scenario;
+  std::string fault_spec;
+};
+
+/// A streamed chunk of dispositions: devices [first_index, first_index +
+/// dispositions.size()) of the lot, in lot order.
+struct DispositionChunk {
+  std::uint64_t request_id = 0;
+  std::uint32_t first_index = 0;
+  std::vector<stf::sigtest::TestDisposition> dispositions;
+};
+
+/// Lot completion marker with the LotResult tallies.
+struct LotDone {
+  std::uint64_t request_id = 0;
+  std::uint32_t lot_size = 0;
+  std::uint32_t predicted = 0;
+  std::uint32_t retried = 0;
+  std::uint32_t routed = 0;
+};
+
+/// Typed refusal. The client surfaces code+message; it must not blind-retry
+/// (kShedOverload obeys backoff, kBadRequest is permanent).
+struct Reject {
+  std::uint64_t request_id = 0;
+  RejectCode code = RejectCode::kShedOverload;
+  std::string message;
+};
+
+// Encoders: produce a complete frame (header + payload). Input limits are
+// contract-checked (STF_REQUIRE) -- these run on trusted data.
+std::vector<std::uint8_t> encode_request(const LotRequest& request);
+std::vector<std::uint8_t> encode_dispositions(const DispositionChunk& chunk);
+std::vector<std::uint8_t> encode_lot_done(const LotDone& done);
+std::vector<std::uint8_t> encode_reject(const Reject& reject);
+
+// Decoders: interpret an untrusted payload (the bytes after the 5-byte
+// header). Throw ProtocolError on any malformation; never allocate more
+// than the payload itself justifies.
+LotRequest decode_request(std::span<const std::uint8_t> payload);
+DispositionChunk decode_dispositions(std::span<const std::uint8_t> payload);
+LotDone decode_lot_done(std::span<const std::uint8_t> payload);
+Reject decode_reject(std::span<const std::uint8_t> payload);
+
+/// Incremental frame reassembler over an untrusted byte stream. feed()
+/// appends received bytes; next() yields complete frames. The declared
+/// length is validated against max_payload as soon as the header is
+/// visible -- before the payload is buffered -- and the internal buffer is
+/// bounded by header + max_payload + the largest single feed, so a
+/// malicious stream cannot grow memory without sending the bytes.
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_payload = kMaxPayloadBytes);
+
+  /// Append received bytes. Throws ProtocolError if the buffered prefix
+  /// already declares an oversized or unknown frame (fail fast: the caller
+  /// drops the connection without reading further).
+  void feed(std::span<const std::uint8_t> bytes);
+
+  /// Extract the next complete frame into `out`. Returns false when more
+  /// bytes are needed. Throws ProtocolError on a malformed header.
+  bool next(Frame& out);
+
+  /// Bytes currently buffered (tests assert the bound).
+  std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  /// Validate the buffered header (if complete); returns the declared
+  /// payload length or SIZE_MAX when the header is still partial.
+  std::size_t header_payload_length() const;
+
+  std::size_t max_payload_;
+  std::vector<std::uint8_t> buffer_;
+};
+
+}  // namespace stf::net

@@ -1,0 +1,214 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+#include <utility>
+
+#include "core/contracts.hpp"
+
+namespace stf::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw SocketError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in make_address(const std::string& host_ipv4, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host_ipv4.c_str(), &addr.sin_addr) != 1)
+    throw SocketError("bad IPv4 address: " + host_ipv4);
+  return addr;
+}
+
+/// Bounded poll for one event set; retries EINTR without extending the
+/// deadline (callers tolerate a slightly short wait).
+bool poll_one(int fd, short events, int timeout_ms) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = events;
+  while (true) {
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno != EINTR) throw_errno("poll");
+  }
+}
+
+void set_blocking(int fd, bool blocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  const int want = blocking ? (flags & ~O_NONBLOCK) : (flags | O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, want) < 0) throw_errno("fcntl(F_SETFL)");
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::send_all(std::span<const std::uint8_t> bytes) {
+  STF_REQUIRE(valid(), "Socket::send_all: invalid socket");
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::size_t Socket::recv_some(std::span<std::uint8_t> out) {
+  STF_REQUIRE(valid(), "Socket::recv_some: invalid socket");
+  STF_REQUIRE(!out.empty(), "Socket::recv_some: empty buffer");
+  while (true) {
+    const ssize_t n = ::recv(fd_, out.data(), out.size(), 0);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno != EINTR) throw_errno("recv");
+  }
+}
+
+bool Socket::wait_readable(int timeout_ms) {
+  STF_REQUIRE(valid(), "Socket::wait_readable: invalid socket");
+  return poll_one(fd_, POLLIN, timeout_ms);
+}
+
+void Socket::set_send_timeout(int timeout_ms) {
+  STF_REQUIRE(valid(), "Socket::set_send_timeout: invalid socket");
+  STF_REQUIRE(timeout_ms >= 1, "Socket::set_send_timeout: timeout < 1 ms");
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0)
+    throw_errno("setsockopt(SO_SNDTIMEO)");
+}
+
+void Socket::shutdown_send() {
+  if (valid()) ::shutdown(fd_, SHUT_WR);  // best effort: peer may be gone
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket connect_to(const std::string& host_ipv4, std::uint16_t port,
+                  int timeout_ms) {
+  STF_REQUIRE(timeout_ms >= 1, "connect_to: timeout_ms < 1");
+  const sockaddr_in addr = make_address(host_ipv4, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  Socket socket(fd);  // RAII from here: every throw below closes the fd
+  set_blocking(fd, false);
+  const int rc =
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0) {
+    if (errno != EINPROGRESS) throw_errno("connect");
+    if (!poll_one(fd, POLLOUT, timeout_ms))
+      throw SocketError("connect: timed out");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0)
+      throw_errno("getsockopt(SO_ERROR)");
+    if (err != 0)
+      throw SocketError(std::string("connect: ") + std::strerror(err));
+  }
+  set_blocking(fd, true);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return socket;
+}
+
+Listener::Listener(const std::string& bind_ipv4, std::uint16_t port,
+                   int backlog) {
+  STF_REQUIRE(backlog >= 1, "Listener: backlog < 1");
+  sockaddr_in addr = make_address(bind_ipv4, port);
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("bind");
+  }
+  if (::listen(fd_, backlog) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+Listener::~Listener() { close(); }
+
+bool Listener::wait_acceptable(int timeout_ms) {
+  if (fd_ < 0) return false;
+  return poll_one(fd_, POLLIN, timeout_ms);
+}
+
+Socket Listener::accept_connection() {
+  STF_REQUIRE(fd_ >= 0, "Listener::accept_connection: closed listener");
+  while (true) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) {
+      const int one = 1;
+      ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket(client);
+    }
+    if (errno == EINTR) continue;
+    // The pending peer vanished between poll and accept: not a listener
+    // failure, the accept loop just polls again.
+    if (errno == ECONNABORTED || errno == EAGAIN || errno == EWOULDBLOCK)
+      return Socket();
+    throw_errno("accept");
+  }
+}
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace stf::net

@@ -1,0 +1,112 @@
+// RAII POSIX stream sockets for the signature-test service.
+//
+// EVERY raw socket/poll syscall in the repository lives in socket.cpp: the
+// conventions analyzer (tools/stf_analyze.py, rule blocking-io-confinement)
+// bans socket(), accept(), connect(), send(), recv(), poll() and friends
+// outside src/net/, so timeouts, partial-write loops, EINTR handling and
+// SIGPIPE suppression are implemented exactly once and every higher layer
+// works in terms of whole frames.
+//
+// Failures are typed SocketError (distinct from ProtocolError: the former
+// is transport loss the client may retry, the latter is a malformed peer
+// the transport must drop). All waits are poll()-based with millisecond
+// timeouts, so no call here blocks forever -- the server's shutdown path
+// and the client's retry loop both rely on that bound.
+//
+// Addresses are numeric IPv4 only (inet_pton), deliberately: the tests and
+// the service smoke job bind loopback, and skipping resolver calls keeps
+// connection setup free of DNS nondeterminism.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+namespace stf::net {
+
+/// Typed transport failure: refused/reset/timed-out/closed connections.
+class SocketError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A connected stream socket. Move-only; the destructor closes the fd.
+class Socket {
+ public:
+  Socket() = default;  ///< Invalid (not connected) socket.
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Write every byte (looping over partial writes, retrying EINTR).
+  /// SIGPIPE is suppressed; a broken pipe surfaces as SocketError.
+  void send_all(std::span<const std::uint8_t> bytes);
+
+  /// Read whatever is available into `out`. Returns the byte count; 0 means
+  /// orderly EOF (peer finished sending). Blocks until data arrives -- pair
+  /// with wait_readable() for bounded waits. Throws SocketError on reset.
+  std::size_t recv_some(std::span<std::uint8_t> out);
+
+  /// Bounded wait for readability (data or EOF). True when readable; false
+  /// on timeout. timeout_ms < 0 waits forever (the server reader threads
+  /// always pass a bound).
+  bool wait_readable(int timeout_ms);
+
+  /// Bound every subsequent send: a peer that stops reading makes send_all
+  /// fail with SocketError after ~timeout_ms instead of blocking forever
+  /// (the server's shutdown path depends on writes being bounded).
+  void set_send_timeout(int timeout_ms);
+
+  /// Half-close the send direction (the peer sees EOF after draining).
+  void shutdown_send();
+
+  /// Close now (idempotent; also run by the destructor).
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connect to host:port with a bounded connect timeout. Throws SocketError
+/// on refusal/timeout/bad address.
+Socket connect_to(const std::string& host_ipv4, std::uint16_t port,
+                  int timeout_ms);
+
+/// A listening TCP socket. Construct with port 0 for an ephemeral port and
+/// read the kernel's choice back via port().
+class Listener {
+ public:
+  Listener(const std::string& bind_ipv4, std::uint16_t port, int backlog = 16);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// The bound port (resolved via getsockname, so ephemeral binds work).
+  std::uint16_t port() const { return port_; }
+
+  /// Bounded wait for a pending connection. False on timeout or after
+  /// close() -- the accept loop's exit condition.
+  bool wait_acceptable(int timeout_ms);
+
+  /// Accept one pending connection (after wait_acceptable said yes). May
+  /// return an invalid Socket when the peer vanished between poll and
+  /// accept; throws SocketError only on listener-level failures.
+  Socket accept_connection();
+
+  /// Stop listening (idempotent). Pending wait_acceptable calls return.
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace stf::net

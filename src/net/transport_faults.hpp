@@ -1,0 +1,99 @@
+// Deterministic transport fault injection: the network counterpart of
+// rf::FaultInjector. Where that class corrupts digitized captures, this one
+// corrupts the BYTE STREAM between client and server -- truncated frames,
+// oversized length prefixes, garbage preambles, mid-lot disconnects,
+// slowloris writes, duplicated requests -- so the service stack can be
+// exercised against a degraded transport exactly the way the guarded
+// runtime is exercised against a degraded measurement chain.
+//
+// Determinism contract: every draw comes from a stats::Rng derived as
+// base.derive(request_id).derive(attempt), so a fault scenario replays
+// bit-identically from a seed regardless of client count or scheduling.
+// Faults fire only on attempts <= max_faulted_attempts; later retries run
+// clean, so a retrying client always converges and the end-to-end
+// disposition contract (bit-identity with the serial reference) holds even
+// under a fully hostile transport scenario.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace stf::net {
+
+/// One class of transport fault (probability-gated per attempt).
+enum class TransportFaultKind : std::uint8_t {
+  kTruncateFrame,     ///< Send only a prefix of the request frame, then die.
+  kOversizeLength,    ///< Corrupt the length prefix past the parser ceiling.
+  kGarbageBytes,      ///< Prepend random garbage, desynchronizing framing.
+  kDisconnect,        ///< Drop the connection mid-lot (after >= 1 response).
+  kSlowloris,         ///< Dribble the request one byte per write.
+  kDuplicateRequest,  ///< Send the same request frame twice back to back.
+};
+
+/// A parameterized transport fault: fires with `probability` per attempt.
+struct TransportFaultSpec {
+  TransportFaultKind kind = TransportFaultKind::kDisconnect;
+  double probability = 1.0;
+};
+
+/// What a single request attempt should do to the transport. Produced by
+/// TransportFaultInjector::plan_attempt; consumed by SigtestClient.
+struct TransportFaultPlan {
+  bool truncate = false;
+  std::size_t truncate_keep = 0;  ///< Bytes of the frame actually sent.
+  bool oversize_length = false;
+  std::size_t garbage_bytes = 0;  ///< 0 = no garbage preamble.
+  bool disconnect_mid_lot = false;
+  bool slowloris = false;
+  bool duplicate_request = false;
+
+  bool clean() const {
+    return !truncate && !oversize_length && garbage_bytes == 0 &&
+           !disconnect_mid_lot && !slowloris && !duplicate_request;
+  }
+};
+
+/// Composable, seedable transport fault model.
+class TransportFaultInjector {
+ public:
+  TransportFaultInjector() = default;
+  explicit TransportFaultInjector(std::vector<TransportFaultSpec> faults,
+                                  int max_faulted_attempts = 2);
+
+  bool empty() const { return faults_.empty(); }
+  const std::vector<TransportFaultSpec>& faults() const { return faults_; }
+  int max_faulted_attempts() const { return max_faulted_attempts_; }
+
+  /// Plan one request attempt (attempt is 1-based). Draws come only from
+  /// `rng`; attempts past max_faulted_attempts() are always clean, which is
+  /// what lets a bounded retry loop converge under any scenario.
+  TransportFaultPlan plan_attempt(int attempt, stf::stats::Rng& rng) const;
+
+  /// Parse a CLI scenario: comma-separated `name[:probability]` terms, e.g.
+  /// "trunc:0.5,garbage:0.25,disconnect,dup". Names: trunc, oversize,
+  /// garbage, disconnect, slow, dup. Probability defaults to 1. Throws
+  /// std::invalid_argument on malformed specs or unknown names.
+  static TransportFaultInjector parse(const std::string& spec);
+
+  /// Human-readable summary, e.g. "trunc(p=0.5) + disconnect(p=1)".
+  std::string describe() const;
+
+ private:
+  std::vector<TransportFaultSpec> faults_;
+  int max_faulted_attempts_ = 2;
+};
+
+/// Deterministically corrupt one encoded frame (the fuzz harness's mutation
+/// engine, shared here so tests and tools use one grammar of damage): bit
+/// flips, truncation, length-field corruption, type rewrites, garbage
+/// insertion. The result is usually -- not always -- malformed; harnesses
+/// assert "ProtocolError or clean parse, never a crash".
+std::vector<std::uint8_t> mutate_frame_bytes(
+    std::span<const std::uint8_t> frame, stf::stats::Rng& rng);
+
+}  // namespace stf::net

@@ -1,0 +1,109 @@
+#include "service/admission.hpp"
+
+#include <algorithm>
+
+#include "core/contracts.hpp"
+#include "core/telemetry.hpp"
+
+namespace stf::service {
+
+TokenBucket::TokenBucket(double rate_per_second, double burst)
+    : rate_per_second_(rate_per_second),
+      burst_(burst),
+      tokens_(burst) {
+  STF_REQUIRE(burst >= 1.0 || rate_per_second <= 0.0,
+              "TokenBucket: burst < 1 with a rate gate enabled");
+}
+
+// Any u64 clock value is valid input: a backwards step clamps to zero
+// elapsed time below, so there is no precondition to state.
+// stf-analyze: allow(api-contract) -- every input is in-contract
+bool TokenBucket::try_acquire(std::uint64_t now_us) {
+  if (rate_per_second_ <= 0.0) return true;
+  if (!seeded_) {
+    seeded_ = true;
+    last_us_ = now_us;
+  }
+  const std::uint64_t elapsed_us = now_us >= last_us_ ? now_us - last_us_ : 0;
+  last_us_ = now_us;
+  tokens_ = std::min(
+      burst_, tokens_ + rate_per_second_ * static_cast<double>(elapsed_us) /
+                            1e6);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+AdmissionController::AdmissionController(const AdmissionPolicy& policy)
+    : policy_(policy),
+      bucket_(policy.lots_per_second, policy.burst_lots) {
+  STF_REQUIRE(policy.per_client_inflight_cap >= 1,
+              "AdmissionController: per_client_inflight_cap < 1");
+  STF_REQUIRE(policy.max_clients >= 1,
+              "AdmissionController: max_clients < 1");
+}
+
+bool AdmissionController::try_admit_client() {
+  const stf::core::LockGuard lock(mutex_);
+  if (n_clients_ >= policy_.max_clients) {
+    STF_COUNT("svc.clients_refused");
+    return false;
+  }
+  ++n_clients_;
+  return true;
+}
+
+void AdmissionController::release_client(std::uint64_t client_id) {
+  const stf::core::LockGuard lock(mutex_);
+  STF_ASSERT(n_clients_ >= 1, "AdmissionController: client underflow");
+  --n_clients_;
+  // A vanished client must not leak its inflight count against the total:
+  // the server completes every admitted lot before releasing the session,
+  // so the per-client entry is just bookkeeping to erase.
+  const auto it = per_client_.find(client_id);
+  if (it != per_client_.end()) {
+    STF_ASSERT(it->second == 0,
+               "AdmissionController: released client with inflight lots");
+    per_client_.erase(it);
+  }
+}
+
+stf::net::RejectCode AdmissionController::admit_lot(std::uint64_t client_id,
+                                                    std::uint64_t now_us) {
+  STF_REQUIRE(client_id != 0, "admit_lot: client_id 0 is reserved");
+  const stf::core::LockGuard lock(mutex_);
+  std::size_t& inflight = per_client_[client_id];
+  if (inflight >= policy_.per_client_inflight_cap) {
+    STF_COUNT("svc.shed_inflight_cap");
+    return stf::net::RejectCode::kShedOverload;
+  }
+  if (!bucket_.try_acquire(now_us)) {
+    STF_COUNT("svc.shed_rate_limit");
+    return stf::net::RejectCode::kShedOverload;
+  }
+  ++inflight;
+  ++total_inflight_;
+  return stf::net::RejectCode::kNone;
+}
+
+void AdmissionController::complete_lot(std::uint64_t client_id) {
+  const stf::core::LockGuard lock(mutex_);
+  const auto it = per_client_.find(client_id);
+  STF_ASSERT(it != per_client_.end() && it->second >= 1 &&
+                 total_inflight_ >= 1,
+             "AdmissionController: completion without admission");
+  --it->second;
+  --total_inflight_;
+}
+
+std::size_t AdmissionController::inflight() const {
+  const stf::core::LockGuard lock(mutex_);
+  return total_inflight_;
+}
+
+std::size_t AdmissionController::clients() const {
+  const stf::core::LockGuard lock(mutex_);
+  return n_clients_;
+}
+
+}  // namespace stf::service

@@ -1,0 +1,95 @@
+// Admission control of the signature-test service: the overload-safety
+// layer between the socket readers and the worker queue.
+//
+// Three independent gates, checked in order, each with a typed outcome
+// (net::RejectCode) -- an overloaded server always answers, it never hangs
+// a client and never grows unbounded state:
+//
+//   1. connection cap      -- at accept time (kTooManyClients)
+//   2. token-bucket rate   -- lots/second with a burst allowance
+//                             (kShedOverload)
+//   3. per-client inflight -- bounds queued+running lots per session, so
+//                             one greedy client cannot starve the rest
+//                             (kShedOverload)
+//
+// The bucket is caller-clocked: admit() takes `now_us` as a parameter, so
+// the policy itself is a pure deterministic function and tests drive it
+// with a synthetic clock (the server's single wall-clock read lives in
+// server.cpp, explicitly suppressed for the nondet-source lint).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+#include "core/annotations.hpp"
+#include "net/frame.hpp"
+
+namespace stf::service {
+
+/// Admission knobs. Defaults are effectively "no rate limit" (tests and
+/// small deployments); the shed paths stay exercised via the caps.
+struct AdmissionPolicy {
+  /// Token refill rate in lots/second; <= 0 disables the rate gate.
+  double lots_per_second = 0.0;
+  /// Bucket capacity (burst allowance, in lots).
+  double burst_lots = 8.0;
+  /// Queued+running lots allowed per client session.
+  std::size_t per_client_inflight_cap = 4;
+  /// Concurrent client sessions (gate 1; enforced by the server's accept
+  /// loop through try_admit_client()).
+  std::size_t max_clients = 8;
+};
+
+/// Deterministic caller-clocked token bucket.
+class TokenBucket {
+ public:
+  /// rate <= 0 disables the gate (try_acquire always succeeds).
+  TokenBucket(double rate_per_second, double burst);
+
+  /// Take one token at time `now_us`; false = shed. Monotonic input is the
+  /// caller's contract (the server's clock is monotonic by construction).
+  bool try_acquire(std::uint64_t now_us);
+
+ private:
+  double rate_per_second_;
+  double burst_;
+  double tokens_;
+  std::uint64_t last_us_ = 0;
+  bool seeded_ = false;
+};
+
+/// The admission state machine. Thread-safe; every outcome typed.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionPolicy& policy);
+
+  /// Gate 1: a new connection. False = kTooManyClients.
+  bool try_admit_client();
+  /// A session ended (its inflight count must already be zero).
+  void release_client(std::uint64_t client_id);
+
+  /// Gates 2+3 for one lot from `client_id` at time `now_us`. Returns
+  /// kNone (admitted; inflight incremented) or the reject code.
+  stf::net::RejectCode admit_lot(std::uint64_t client_id,
+                                 std::uint64_t now_us);
+  /// A lot finished (or was rolled back after a failed queue push).
+  void complete_lot(std::uint64_t client_id);
+
+  /// Lots currently admitted and not yet completed (all clients).
+  std::size_t inflight() const;
+  /// Sessions currently admitted.
+  std::size_t clients() const;
+
+  const AdmissionPolicy& policy() const { return policy_; }
+
+ private:
+  AdmissionPolicy policy_;
+  mutable stf::core::Mutex mutex_;
+  TokenBucket bucket_ STF_GUARDED_BY(mutex_);
+  std::map<std::uint64_t, std::size_t> per_client_ STF_GUARDED_BY(mutex_);
+  std::size_t total_inflight_ STF_GUARDED_BY(mutex_) = 0;
+  std::size_t n_clients_ STF_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace stf::service

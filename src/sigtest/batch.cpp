@@ -35,7 +35,18 @@ LotResult BatchRuntime::test_lot(const std::vector<const stf::rf::RfDut*>& lot,
                                  const stf::stats::Rng& rng,
                                  const stf::rf::FaultInjector* faults,
                                  std::uint64_t first_sequence) const {
+  return test_lot(lot, rng, faults, first_sequence, batch_);
+}
+
+LotResult BatchRuntime::test_lot(const std::vector<const stf::rf::RfDut*>& lot,
+                                 const stf::stats::Rng& rng,
+                                 const stf::rf::FaultInjector* faults,
+                                 std::uint64_t first_sequence,
+                                 const BatchOptions& batch) const {
   STF_TRACE_SPAN("batch.test_lot");
+  STF_REQUIRE(batch.batch_size >= 1, "BatchRuntime::test_lot: batch_size < 1");
+  STF_REQUIRE(batch.queue_capacity >= 1,
+              "BatchRuntime::test_lot: queue_capacity < 1");
   STF_REQUIRE(guarded_.calibrated(), "BatchRuntime::test_lot: not calibrated");
   const std::size_t n = lot.size();
   LotResult result;
@@ -66,15 +77,15 @@ LotResult BatchRuntime::test_lot(const std::vector<const stf::rf::RfDut*>& lot,
   // `signatures` is the validated-average matrix the predict stage consumes
   // batch-wise; signatures are written straight into its rows.
   const std::size_t n_batches =
-      (n + batch_.batch_size - 1) / batch_.batch_size;
+      (n + batch.batch_size - 1) / batch.batch_size;
   std::vector<stf::la::Matrix> batch_captures(n_batches);
   stf::la::Matrix signatures(n, m);
   std::vector<char> needs_predict(n, 0);
 
   const auto batch_range = [&](std::size_t b) {
-    const std::size_t lo = b * batch_.batch_size;
+    const std::size_t lo = b * batch.batch_size;
     return std::pair<std::size_t, std::size_t>{
-        lo, std::min(lo + batch_.batch_size, n)};
+        lo, std::min(lo + batch.batch_size, n)};
   };
 
   // Stage 1: the tester front end -- raw capture + fault injection for each
@@ -192,7 +203,7 @@ LotResult BatchRuntime::test_lot(const std::vector<const stf::rf::RfDut*>& lot,
   };
 
   stf::core::run_pipeline(n_batches, {acquire, screen, predict},
-                          batch_.queue_capacity);
+                          batch.queue_capacity);
 
   for (const TestDisposition& d : result.dispositions) {
     switch (d.kind) {

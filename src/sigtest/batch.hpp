@@ -90,6 +90,17 @@ class BatchRuntime {
                      const stf::rf::FaultInjector* faults = nullptr,
                      std::uint64_t first_sequence = 0) const;
 
+  /// Per-call batching override: same dispositions as every other overload
+  /// (batch size is a throughput knob, never a results knob -- tests assert
+  /// the invariance), with the pipeline shaped by `batch` instead of the
+  /// constructor-time options. The service front end uses this to honor a
+  /// request's batch field on a shared runtime.
+  LotResult test_lot(const std::vector<const stf::rf::RfDut*>& lot,
+                     const stf::stats::Rng& rng,
+                     const stf::rf::FaultInjector* faults,
+                     std::uint64_t first_sequence,
+                     const BatchOptions& batch) const;
+
   bool calibrated() const { return guarded_.calibrated(); }
   const GuardedRuntime& guarded() const { return guarded_; }
   const BatchOptions& options() const { return batch_; }

@@ -19,6 +19,7 @@ namespace {
 
 using stf::core::BoundedQueue;
 using stf::core::PipelineStage;
+using stf::core::PushResult;
 using stf::core::run_pipeline;
 
 /// Pin the pool width for one test and restore the environment-resolved
@@ -31,7 +32,7 @@ class ThreadCountGuard {
 
 TEST(BoundedQueue, DeliversItemsInFifoOrder) {
   BoundedQueue<int> q(8);
-  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.push(i));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q.push(i), PushResult::kAccepted);
   EXPECT_EQ(q.size(), 5u);
   int v = -1;
   for (int i = 0; i < 5; ++i) {
@@ -47,10 +48,10 @@ TEST(BoundedQueue, RejectsZeroCapacity) {
 
 TEST(BoundedQueue, ClosedQueueDrainsThenReturnsFalse) {
   BoundedQueue<int> q(4);
-  EXPECT_TRUE(q.push(1));
-  EXPECT_TRUE(q.push(2));
+  EXPECT_EQ(q.push(1), PushResult::kAccepted);
+  EXPECT_EQ(q.push(2), PushResult::kAccepted);
   q.close();
-  EXPECT_FALSE(q.push(3));  // no pushes after close
+  EXPECT_EQ(q.push(3), PushResult::kClosed);  // typed, not a silent drop
   int v = 0;
   ASSERT_TRUE(q.pop(v));  // remaining items still hand out
   EXPECT_EQ(v, 1);
@@ -61,11 +62,11 @@ TEST(BoundedQueue, ClosedQueueDrainsThenReturnsFalse) {
 
 TEST(BoundedQueue, FullQueueBlocksProducerUntilConsumed) {
   BoundedQueue<int> q(2);
-  EXPECT_TRUE(q.push(0));
-  EXPECT_TRUE(q.push(1));
+  EXPECT_EQ(q.push(0), PushResult::kAccepted);
+  EXPECT_EQ(q.push(1), PushResult::kAccepted);
   std::atomic<bool> third_pushed{false};
   std::thread producer([&] {
-    EXPECT_TRUE(q.push(2));  // blocks: queue is full
+    EXPECT_EQ(q.push(2), PushResult::kAccepted);  // blocks: queue is full
     third_pushed = true;
   });
   // The producer must not complete while the queue stays full. (A short
@@ -83,16 +84,69 @@ TEST(BoundedQueue, FullQueueBlocksProducerUntilConsumed) {
 
 TEST(BoundedQueue, CloseReleasesBlockedProducer) {
   BoundedQueue<int> q(1);
-  EXPECT_TRUE(q.push(0));
+  EXPECT_EQ(q.push(0), PushResult::kAccepted);
   std::atomic<bool> returned{false};
   std::thread producer([&] {
-    EXPECT_FALSE(q.push(1));  // blocked on full, released by close
+    // Blocked on full, released by close -- and the failure is typed.
+    EXPECT_EQ(q.push(1), PushResult::kClosed);
     returned = true;
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   q.close();
   producer.join();
   EXPECT_TRUE(returned.load());
+}
+
+TEST(BoundedQueue, CloseWakesEveryBlockedProducerWithTypedRejection) {
+  // Regression for the shutdown edge: several producers parked in push()
+  // on a full queue must ALL wake on close() and ALL get kClosed back;
+  // none may hang and none may silently drop its value.
+  BoundedQueue<int> q(1);
+  EXPECT_EQ(q.push(0), PushResult::kAccepted);
+  constexpr int kProducers = 4;
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&q, &rejected, p] {
+      if (q.push(100 + p) == PushResult::kClosed) rejected.fetch_add(1);
+    });
+  // Give the producers a moment to park (cannot prove blocking, but a
+  // regression to lost wakeups hangs this join reliably).
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(rejected.load(), kProducers);
+  // The one pre-close item still drains; nothing pushed after close landed.
+  int v = -1;
+  ASSERT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 0);
+  EXPECT_FALSE(q.pop(v));
+}
+
+TEST(BoundedQueue, RejectedAfterCloseSurfacesInTelemetry) {
+  namespace telemetry = stf::core::telemetry;
+  telemetry::set_enabled(true);
+  telemetry::reset();
+  BoundedQueue<int> q(2);
+  q.close();
+  EXPECT_EQ(q.push(1), PushResult::kClosed);
+  EXPECT_EQ(q.try_push(2), PushResult::kClosed);
+  telemetry::set_enabled(false);
+  EXPECT_EQ(telemetry::counter("pipeline.rejected_after_close").value(), 2u);
+  telemetry::reset();
+}
+
+TEST(BoundedQueue, TryPushNeverBlocksAndTypesEveryOutcome) {
+  BoundedQueue<int> q(2);
+  EXPECT_EQ(q.try_push(0), PushResult::kAccepted);
+  EXPECT_EQ(q.try_push(1), PushResult::kAccepted);
+  EXPECT_EQ(q.try_push(2), PushResult::kFull);  // would have blocked
+  int v = -1;
+  ASSERT_TRUE(q.pop(v));
+  EXPECT_EQ(q.try_push(3), PushResult::kAccepted);
+  q.close();
+  EXPECT_EQ(q.try_push(4), PushResult::kClosed);
 }
 
 TEST(Pipeline, EveryStageSeesEveryItemExactlyOnceInOrder) {

@@ -1,0 +1,522 @@
+// End-to-end tests of the signature-test service (service/server.hpp,
+// service/admission.hpp, service/scenario.hpp): the CI-gated determinism
+// contract -- dispositions streamed over TCP are BIT-identical to the
+// in-process serial guarded reference for any client count, interleaving,
+// transport fault scenario, retry pattern and STF_THREADS setting -- plus
+// typed overload shedding, idempotent replay, bad-request rejection,
+// malformed-peer isolation, graceful drain, and the admission/scenario
+// units with a synthetic clock.
+#include "service/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuit/lna900.hpp"
+#include "core/parallel.hpp"
+#include "dsp/pwl.hpp"
+#include "net/client.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "net/transport_faults.hpp"
+#include "rf/faults.hpp"
+#include "rf/population.hpp"
+#include "service/admission.hpp"
+#include "service/scenario.hpp"
+#include "sigtest/batch.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace stf;
+
+constexpr std::uint32_t kLotSize = 24;
+constexpr const char* kScenario = "lna:spread=0.2:pop=77";
+
+/// Pin the pool width for one test and restore the environment-resolved
+/// default afterwards, so tests compose in any order.
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(std::size_t n) { core::set_thread_count(n); }
+  ~ThreadCountGuard() { core::set_thread_count(0); }
+};
+
+/// Scoped setenv/unsetenv (for the STF_PORT / STF_MAX_CLIENTS routing).
+class EnvVarGuard {
+ public:
+  EnvVarGuard(const char* name, const char* value) : name_(name) {
+    if (value != nullptr)
+      ::setenv(name, value, 1);
+    else
+      ::unsetenv(name);
+  }
+  ~EnvVarGuard() { ::unsetenv(name_.c_str()); }
+
+ private:
+  std::string name_;
+};
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  /// One calibrated runtime + the lot the scenario string names, shared by
+  /// every test (characterization dominates, so build it once). The lot is
+  /// make_lna_population(24, 0.2, 77) -- exactly what the server rebuilds
+  /// from kScenario, so in-process references and served lots are the same
+  /// physical devices.
+  struct World {
+    std::shared_ptr<sigtest::BatchRuntime> runtime;
+    std::vector<rf::DeviceRecord> lot;
+
+    World()
+        : runtime(std::make_shared<sigtest::BatchRuntime>(
+              sigtest::SignatureTestConfig::simulation_study(), stimulus(),
+              circuit::LnaSpecs::names(), policy(),
+              sigtest::BatchOptions{5, 2})),
+          lot(rf::make_lna_population(kLotSize, 0.2, 77)) {
+      const auto cal = rf::make_lna_population(40, 0.2, 21);
+      stats::Rng cal_rng(7);
+      runtime->calibrate(cal, cal_rng);
+    }
+
+    static dsp::PwlWaveform stimulus() {
+      const auto cfg = sigtest::SignatureTestConfig::simulation_study();
+      return dsp::PwlWaveform::uniform(
+          cfg.capture_s, {0.0, 0.2, -0.2, 0.1, -0.05, 0.2, 0.0, -0.2, 0.1});
+    }
+
+    static sigtest::GuardPolicy policy() {
+      sigtest::GuardPolicy p;
+      p.outlier_threshold = 2.5;
+      return p;
+    }
+  };
+
+  static World& world() {
+    static World w;
+    return w;
+  }
+
+  /// The serial guarded reference of the determinism contract: device i
+  /// tested with the derived child stream rng.derive(i), sequence i.
+  static std::vector<sigtest::TestDisposition> serial_reference(
+      std::uint64_t seed, const rf::FaultInjector* faults) {
+    World& w = world();
+    const stats::Rng base(seed);
+    std::vector<sigtest::TestDisposition> out(w.lot.size());
+    for (std::size_t i = 0; i < w.lot.size(); ++i) {
+      stats::Rng child = base.derive(i);
+      out[i] = w.runtime->guarded().test_device(*w.lot[i].dut, child, faults,
+                                                i);
+    }
+    return out;
+  }
+
+  static void expect_identical(
+      const std::vector<sigtest::TestDisposition>& reference,
+      const std::vector<sigtest::TestDisposition>& served,
+      const std::string& label) {
+    ASSERT_EQ(reference.size(), served.size()) << label;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      const auto& a = reference[i];
+      const auto& b = served[i];
+      EXPECT_EQ(a.kind, b.kind) << label << " device " << i;
+      EXPECT_EQ(a.attempts, b.attempts) << label << " device " << i;
+      EXPECT_EQ(a.captures, b.captures) << label << " device " << i;
+      EXPECT_EQ(a.last_flaw, b.last_flaw) << label << " device " << i;
+      // Bitwise, never approximate: the wire carries raw f64 bits.
+      EXPECT_EQ(a.outlier_score, b.outlier_score)
+          << label << " device " << i;
+      ASSERT_EQ(a.predicted.size(), b.predicted.size())
+          << label << " device " << i;
+      for (std::size_t s = 0; s < a.predicted.size(); ++s)
+        EXPECT_EQ(a.predicted[s], b.predicted[s])
+            << label << " device " << i << " spec " << s;
+    }
+  }
+
+  static service::ServerConfig fast_config() {
+    service::ServerConfig config;
+    config.poll_interval_ms = 5;
+    return config;
+  }
+
+  static net::LotRequest request_for(std::uint64_t request_id,
+                                     std::uint64_t seed,
+                                     const std::string& fault_spec = "") {
+    net::LotRequest request;
+    request.request_id = request_id;
+    request.seed = seed;
+    request.lot_size = kLotSize;
+    request.batch = 5;
+    request.scenario = kScenario;
+    request.fault_spec = fault_spec;
+    return request;
+  }
+
+  static net::ClientOptions quiet_client() {
+    net::ClientOptions options;
+    options.sleep_ms = [](int) {};  // retries need no real backoff in tests
+    options.response_timeout_ms = 30000;
+    return options;
+  }
+};
+
+TEST_F(ServiceTest, SingleClientMatchesSerialReferenceAtBothThreadCounts) {
+  const auto clean_reference = serial_reference(9001, nullptr);
+  const auto faults = rf::FaultInjector::parse("clip:0.12,contact:0.05:0.05");
+  const auto faulted_reference = serial_reference(9001, &faults);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadCountGuard guard(threads);
+    service::SigtestServer server(world().runtime, fast_config());
+    server.start();
+    net::SigtestClient client(server.port(), quiet_client());
+
+    const auto clean = client.run_lot(request_for(1, 9001));
+    ASSERT_EQ(clean.status, net::ClientStatus::kOk) << clean.message;
+    EXPECT_EQ(clean.attempts, 1);
+    expect_identical(clean_reference, clean.dispositions,
+                     "clean t" + std::to_string(threads));
+    EXPECT_EQ(clean.predicted + clean.retried + clean.routed, kLotSize);
+
+    const auto faulted =
+        client.run_lot(request_for(2, 9001, "clip:0.12,contact:0.05:0.05"));
+    ASSERT_EQ(faulted.status, net::ClientStatus::kOk) << faulted.message;
+    expect_identical(faulted_reference, faulted.dispositions,
+                     "faulted t" + std::to_string(threads));
+    server.stop();
+  }
+}
+
+TEST_F(ServiceTest, ConcurrentClientsAreBitIdenticalAtAnyInterleaving) {
+  // A mix of duplicate and distinct seeds across 4 then 8 concurrent
+  // clients: interleaving on the shared runtime and queue must not leak
+  // between lots.
+  const std::uint64_t seeds[3] = {9001, 424242, 7};
+  std::vector<std::vector<sigtest::TestDisposition>> references;
+  for (const std::uint64_t seed : seeds)
+    references.push_back(serial_reference(seed, nullptr));
+  for (const std::size_t n_clients : {std::size_t{4}, std::size_t{8}}) {
+    ThreadCountGuard guard(4);
+    service::ServerConfig config = fast_config();
+    config.work_queue_capacity = 16;  // no shedding in this test
+    config.admission.per_client_inflight_cap = 4;
+    service::SigtestServer server(world().runtime, config);
+    server.start();
+    std::vector<net::ClientLotResult> results(n_clients);
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < n_clients; ++c)
+      clients.emplace_back([&, c] {
+        net::SigtestClient client(server.port(), quiet_client());
+        results[c] =
+            client.run_lot(request_for(100 + c, seeds[c % 3]));
+      });
+    for (std::thread& t : clients) t.join();
+    for (std::size_t c = 0; c < n_clients; ++c) {
+      ASSERT_EQ(results[c].status, net::ClientStatus::kOk)
+          << "client " << c << ": " << results[c].message;
+      expect_identical(references[c % 3], results[c].dispositions,
+                       "client " + std::to_string(c));
+    }
+    server.stop();
+  }
+}
+
+TEST_F(ServiceTest, TransportFaultsWithRetriesStayBitIdentical) {
+  // Every transport fault class armed at once, at both thread counts. The
+  // server sees truncated frames, garbage, oversized lengths, duplicated
+  // requests, slowloris dribbles and mid-lot disconnects -- and the final
+  // dispositions must still be the serial reference, bit for bit.
+  const auto reference = serial_reference(31337, nullptr);
+  const auto transport_faults = net::TransportFaultInjector::parse(
+      "trunc:0.5,oversize:0.5,garbage:0.5,disconnect:0.5,slow:0.5,dup:0.5");
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadCountGuard guard(threads);
+    service::SigtestServer server(world().runtime, fast_config());
+    server.start();
+    constexpr std::size_t kClients = 4;
+    std::vector<net::ClientLotResult> results(kClients);
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < kClients; ++c)
+      clients.emplace_back([&, c] {
+        net::SigtestClient client(server.port(), quiet_client());
+        client.set_transport_faults(&transport_faults, 555 + c);
+        results[c] = client.run_lot(request_for(200 + c, 31337));
+      });
+    for (std::thread& t : clients) t.join();
+    int total_attempts = 0;
+    for (std::size_t c = 0; c < kClients; ++c) {
+      ASSERT_EQ(results[c].status, net::ClientStatus::kOk)
+          << "client " << c << ": " << results[c].message;
+      expect_identical(reference, results[c].dispositions,
+                       "faulted client " + std::to_string(c));
+      total_attempts += results[c].attempts;
+    }
+    // The scenario must actually bite, or the equivalence proves nothing.
+    EXPECT_GT(total_attempts, static_cast<int>(kClients))
+        << "no transport fault ever forced a retry";
+    server.stop();
+  }
+}
+
+TEST_F(ServiceTest, DuplicateRequestIdReplaysInsteadOfRecomputing) {
+  ThreadCountGuard guard(4);
+  service::SigtestServer server(world().runtime, fast_config());
+  server.start();
+  net::SigtestClient client(server.port(), quiet_client());
+  const auto first = client.run_lot(request_for(77, 9001));
+  ASSERT_EQ(first.status, net::ClientStatus::kOk) << first.message;
+  // Same request again (a client-level retry after a lost response): the
+  // server must replay its cached frames, not burn a second computation.
+  const auto second = client.run_lot(request_for(77, 9001));
+  ASSERT_EQ(second.status, net::ClientStatus::kOk) << second.message;
+  expect_identical(first.dispositions, second.dispositions, "replay");
+  // Counter is final once stop() has joined the workers: one computation.
+  server.stop();
+  EXPECT_EQ(server.lots_completed(), 1u) << "replay recomputed the lot";
+}
+
+TEST_F(ServiceTest, OverloadShedsTypedAndAdmittedLotsStillComplete) {
+  ThreadCountGuard guard(4);
+  service::ServerConfig config = fast_config();
+  // Token bucket with a 2-lot burst and (practically) no refill: exactly
+  // two of the eight concurrent lots are admitted, six get a typed shed.
+  config.admission.lots_per_second = 1e-9;
+  config.admission.burst_lots = 2.0;
+  config.work_queue_capacity = 8;
+  service::SigtestServer server(world().runtime, config);
+  server.start();
+  const auto reference = serial_reference(9001, nullptr);
+  constexpr std::size_t kClients = 8;
+  std::vector<net::ClientLotResult> results(kClients);
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c)
+    clients.emplace_back([&, c] {
+      net::SigtestClient client(server.port(), quiet_client());
+      results[c] = client.run_lot(request_for(300 + c, 9001));
+    });
+  for (std::thread& t : clients) t.join();
+  std::size_t oks = 0;
+  std::size_t sheds = 0;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    if (results[c].status == net::ClientStatus::kOk) {
+      ++oks;
+      expect_identical(reference, results[c].dispositions,
+                       "admitted client " + std::to_string(c));
+    } else {
+      ASSERT_EQ(results[c].status, net::ClientStatus::kRejected)
+          << "client " << c << " got an untyped failure: "
+          << results[c].message;
+      EXPECT_EQ(results[c].reject_code, net::RejectCode::kShedOverload)
+          << "client " << c;
+      ++sheds;
+    }
+  }
+  EXPECT_EQ(oks, 2u);
+  EXPECT_EQ(sheds, kClients - 2);
+  // Counter is final once stop() has joined the workers.
+  server.stop();
+  EXPECT_EQ(server.lots_completed(), 2u);
+}
+
+TEST_F(ServiceTest, ConnectionCapRefusesTyped) {
+  ThreadCountGuard guard(1);
+  service::ServerConfig config = fast_config();
+  config.admission.max_clients = 1;
+  service::SigtestServer server(world().runtime, config);
+  server.start();
+  // Occupy the single slot with a raw idle connection...
+  net::Socket occupier = net::connect_to("127.0.0.1", server.port(), 2000);
+  // ...give the accept loop a beat to admit it...
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // ...then a real client must get the typed refusal, not a hang.
+  net::ClientOptions options = quiet_client();
+  options.max_attempts = 1;
+  net::SigtestClient client(server.port(), options);
+  const auto result = client.run_lot(request_for(1, 9001));
+  ASSERT_EQ(result.status, net::ClientStatus::kRejected) << result.message;
+  EXPECT_EQ(result.reject_code, net::RejectCode::kTooManyClients);
+  occupier.close();
+  server.stop();
+}
+
+TEST_F(ServiceTest, BadRequestsAreTypedAndNeverKillTheServer) {
+  ThreadCountGuard guard(1);
+  service::SigtestServer server(world().runtime, fast_config());
+  server.start();
+  net::SigtestClient client(server.port(), quiet_client());
+
+  net::LotRequest bad_scenario = request_for(1, 9001);
+  bad_scenario.scenario = "warp:spread=0.2";
+  const auto r1 = client.run_lot(bad_scenario);
+  ASSERT_EQ(r1.status, net::ClientStatus::kRejected);
+  EXPECT_EQ(r1.reject_code, net::RejectCode::kBadRequest);
+  EXPECT_NE(r1.message.find("warp"), std::string::npos);
+
+  net::LotRequest bad_faults = request_for(2, 9001);
+  bad_faults.fault_spec = "bogus:1";
+  const auto r2 = client.run_lot(bad_faults);
+  ASSERT_EQ(r2.status, net::ClientStatus::kRejected);
+  EXPECT_EQ(r2.reject_code, net::RejectCode::kBadRequest);
+
+  // Malformed bytes on a raw connection: that connection dies, the server
+  // does not.
+  {
+    net::Socket raw = net::connect_to("127.0.0.1", server.port(), 2000);
+    const std::vector<std::uint8_t> garbage = {0xFF, 0xFF, 0xFF, 0xFF, 0x01};
+    raw.send_all(garbage);
+    std::uint8_t buffer[64];
+    // The server drops us: orderly EOF (or a reset surfaced as an error).
+    try {
+      ASSERT_TRUE(raw.wait_readable(2000));
+      EXPECT_EQ(raw.recv_some(buffer), 0u);
+    } catch (const net::SocketError&) {
+    }
+  }
+  const auto alive = client.run_lot(request_for(3, 9001));
+  ASSERT_EQ(alive.status, net::ClientStatus::kOk) << alive.message;
+  server.stop();
+}
+
+TEST_F(ServiceTest, GracefulStopDrainsAdmittedLotsWithoutLossOrDuplication) {
+  ThreadCountGuard guard(4);
+  service::ServerConfig config = fast_config();
+  config.work_queue_capacity = 8;
+  config.worker_threads = 1;  // an actual backlog forms
+  service::SigtestServer server(world().runtime, config);
+  server.start();
+  constexpr std::size_t kClients = 6;
+  std::vector<net::ClientLotResult> results(kClients);
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c)
+    clients.emplace_back([&, c] {
+      net::ClientOptions options = quiet_client();
+      options.max_attempts = 1;
+      options.response_timeout_ms = 30000;
+      net::SigtestClient client(server.port(), options);
+      results[c] = client.run_lot(request_for(400 + c, 9001));
+    });
+  // Stop while the backlog is (very likely) still draining: admitted lots
+  // must complete and flush; late requests get typed answers or EOF.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  server.stop();
+  for (std::thread& t : clients) t.join();
+  const auto reference = serial_reference(9001, nullptr);
+  std::size_t oks = 0;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    switch (results[c].status) {
+      case net::ClientStatus::kOk:
+        ++oks;
+        expect_identical(reference, results[c].dispositions,
+                         "drained client " + std::to_string(c));
+        break;
+      case net::ClientStatus::kRejected:
+        EXPECT_TRUE(
+            results[c].reject_code == net::RejectCode::kShuttingDown ||
+            results[c].reject_code == net::RejectCode::kShedOverload)
+            << "client " << c;
+        break;
+      case net::ClientStatus::kTransportFailure:
+        break;  // request never admitted; typed at the client
+    }
+  }
+  // Every admitted lot completed (lots_completed counts flushes) and no
+  // client saw a duplicated or partial disposition set (expect_identical
+  // above plus the client's all-slots-filled check).
+  EXPECT_EQ(server.lots_completed(), oks);
+}
+
+TEST_F(ServiceTest, ServerConfigRoutesStfPortAndMaxClients) {
+  {
+    const EnvVarGuard port("STF_PORT", "45123");
+    const EnvVarGuard clients("STF_MAX_CLIENTS", "3");
+    const auto config = service::ServerConfig::from_environment();
+    EXPECT_EQ(config.port, 45123);
+    EXPECT_EQ(config.admission.max_clients, 3u);
+  }
+  {
+    const EnvVarGuard port("STF_PORT", "70000");  // > 65535
+    EXPECT_THROW(service::ServerConfig::from_environment(),
+                 std::invalid_argument);
+  }
+  {
+    const EnvVarGuard clients("STF_MAX_CLIENTS", "0");
+    EXPECT_THROW(service::ServerConfig::from_environment(),
+                 std::invalid_argument);
+  }
+}
+
+TEST(AdmissionTest, TokenBucketIsDeterministicUnderASyntheticClock) {
+  service::TokenBucket bucket(2.0, 2.0);  // 2 lots/s, burst 2
+  EXPECT_TRUE(bucket.try_acquire(0));
+  EXPECT_TRUE(bucket.try_acquire(0));
+  EXPECT_FALSE(bucket.try_acquire(0));        // burst exhausted
+  EXPECT_FALSE(bucket.try_acquire(400'000));  // 0.4 s -> 0.8 tokens: still no
+  EXPECT_TRUE(bucket.try_acquire(600'000));   // 1.2 tokens accumulated
+  EXPECT_FALSE(bucket.try_acquire(600'000));
+  // Disabled gate admits forever.
+  service::TokenBucket open_bucket(0.0, 8.0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(open_bucket.try_acquire(0));
+}
+
+TEST(AdmissionTest, PerClientCapAndClientSlotsAreTypedAndReleasable) {
+  service::AdmissionPolicy policy;
+  policy.per_client_inflight_cap = 2;
+  policy.max_clients = 2;
+  service::AdmissionController admission(policy);
+  EXPECT_TRUE(admission.try_admit_client());   // client 1
+  EXPECT_TRUE(admission.try_admit_client());   // client 2
+  EXPECT_FALSE(admission.try_admit_client());  // cap
+  EXPECT_EQ(admission.admit_lot(1, 0), net::RejectCode::kNone);
+  EXPECT_EQ(admission.admit_lot(1, 0), net::RejectCode::kNone);
+  EXPECT_EQ(admission.admit_lot(1, 0), net::RejectCode::kShedOverload);
+  EXPECT_EQ(admission.admit_lot(2, 0), net::RejectCode::kNone);
+  EXPECT_EQ(admission.inflight(), 3u);
+  admission.complete_lot(1);
+  EXPECT_EQ(admission.admit_lot(1, 0), net::RejectCode::kNone);
+  admission.complete_lot(1);
+  admission.complete_lot(1);
+  admission.complete_lot(2);
+  EXPECT_EQ(admission.inflight(), 0u);
+  admission.release_client(1);
+  EXPECT_TRUE(admission.try_admit_client());  // the slot came back
+}
+
+TEST(ScenarioTest, ParsesTheGrammarAndRejectsGarbageTyped) {
+  const auto defaults = service::parse_scenario("lna");
+  EXPECT_EQ(defaults.spread, 0.2);
+  EXPECT_EQ(defaults.pop_seed, 77u);
+  const auto spec = service::parse_scenario("lna:pop=123:spread=0.1");
+  EXPECT_EQ(spec.spread, 0.1);
+  EXPECT_EQ(spec.pop_seed, 123u);
+  EXPECT_EQ(spec.canonical(), "lna:spread=0.1:pop=123");
+  for (const char* bad :
+       {"", "warp", "lna:spread=2", "lna:spread=x", "lna:pop=-1",
+        "lna:mystery=1", "lna:spread"})
+    EXPECT_THROW(service::parse_scenario(bad), std::invalid_argument) << bad;
+}
+
+TEST(ScenarioTest, PopulationCacheHitsReturnTheSamePopulation) {
+  service::PopulationCache cache(2);
+  const auto spec = service::parse_scenario("lna:spread=0.05:pop=5");
+  const auto a = cache.get(spec, 4);
+  const auto b = cache.get(spec, 4);
+  EXPECT_EQ(a.get(), b.get()) << "second lookup must hit";
+  EXPECT_EQ(a->size(), 4u);
+  // Distinct device count is a distinct population.
+  const auto c = cache.get(spec, 5);
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(cache.size(), 2u);
+  // Eviction keeps the cache bounded; the evicted population survives
+  // through the shared_ptr still held here.
+  const auto spec2 = service::parse_scenario("lna:spread=0.06:pop=5");
+  (void)cache.get(spec2, 4);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(a->size(), 4u);
+}
+
+}  // namespace

@@ -30,8 +30,15 @@ Rule registry (see DESIGN.md "Static analysis contract" for how to add one):
     checked-access    .front()/.back() only near an emptiness guard
     test-coverage     every src/<mod>/<name>.cpp is referenced from tests/
     raw-thread        no std::thread/std::async/pthread_create outside
-                      src/core/ (the pool owns every worker thread)
+                      src/core/ (the pool owns every worker thread) and
+                      src/service/ (whose I/O threads move bytes but never
+                      compute dispositions)
     no-empty-catch    no empty `catch (...) {}` outside src/core/
+    blocking-io-confinement
+                      raw socket/poll syscalls (and their headers) only in
+                      src/net/ -- net::Socket/Listener own every file
+                      descriptor so the bounded-I/O + typed-SocketError
+                      contract stays auditable in one place
 
   Determinism contract (new):
     nondet-source     no std::random_device / time-of-day / wall-clock
@@ -414,22 +421,69 @@ RAW_THREAD_RE = re.compile(
 
 @rule("raw-thread")
 def check_raw_threads(ctx: Context):
-    """No ad-hoc threads outside src/core/.
+    """No ad-hoc threads outside src/core/ and src/service/.
 
     The parallel execution core owns every worker thread in the process;
     threading elsewhere would bypass STF_THREADS, the nested-region inlining
-    that prevents pool deadlock, and the determinism contract.
+    that prevents pool deadlock, and the determinism contract. The service
+    layer is the second sanctioned home: its accept/reader/worker threads
+    move bytes and queue work but never compute a disposition themselves --
+    every lot still runs through BatchRuntime on the core pool.
     """
     for f in ctx.files:
-        if f.in_dir("core"):
+        if f.in_dir("core") or f.in_dir("service"):
             continue
         for idx, code in enumerate(f.code_lines):
             m = RAW_THREAD_RE.search(code)
             if m and not allowed(f, idx + 1, "raw-thread"):
                 yield Finding(
                     "raw-thread", f.rel, idx + 1,
-                    f"{m.group(0).strip()} outside src/core/; use "
-                    "stf::core::parallel_for or parallel_map")
+                    f"{m.group(0).strip()} outside src/core/ and "
+                    "src/service/; use stf::core::parallel_for or "
+                    "parallel_map")
+
+
+# Raw socket/poll syscalls and the headers that provide them. `send`/`recv`
+# etc. are matched as free calls only -- the lexer already blanked strings,
+# and the negative lookbehind skips member calls (socket.send_all) and
+# qualified names (stf::net::poll_for).
+BLOCKING_IO_RE = re.compile(
+    r"(?<![\w.:>])"
+    r"(?:::\s*)?"
+    r"(socket|accept4?|connect|bind|listen|recv|recvfrom|recvmsg"
+    r"|send|sendto|sendmsg|poll|ppoll|select|pselect"
+    r"|epoll_(?:create1?|ctl|wait)|setsockopt|getsockopt|getsockname"
+    r"|inet_pton|inet_ntop)\s*\(")
+
+BLOCKING_IO_HEADER_RE = re.compile(
+    r"#\s*include\s*<(sys/socket\.h|sys/epoll\.h|poll\.h|netinet/[\w./]+"
+    r"|arpa/inet\.h|netdb\.h)>")
+
+
+@rule("blocking-io-confinement")
+def check_blocking_io_confinement(ctx: Context):
+    """Raw socket/poll I/O lives in src/net/ only.
+
+    The service's overload-safety story depends on every blocking call
+    being bounded (timeouts, poll intervals, EINTR retries) and every
+    syscall failure becoming a typed SocketError. That discipline is
+    auditable only while the syscall surface stays in one place:
+    net::Socket/Listener own the file descriptors; everything else speaks
+    frames. A raw socket(2)/poll(2) call -- or the headers providing them
+    -- anywhere else bypasses the bounded-I/O contract.
+    """
+    for f in ctx.files:
+        if f.in_dir("net"):
+            continue
+        for idx, code in enumerate(f.code_lines):
+            m = BLOCKING_IO_RE.search(code)
+            if m is None:
+                m = BLOCKING_IO_HEADER_RE.search(code)
+            if m and not allowed(f, idx + 1, "blocking-io-confinement"):
+                yield Finding(
+                    "blocking-io-confinement", f.rel, idx + 1,
+                    f"raw I/O {m.group(1)} outside src/net/; route "
+                    "sockets through net::Socket and net::Listener")
 
 
 EMPTY_CATCH_RE = re.compile(r"catch\s*\(\s*\.\.\.\s*\)\s*\{\s*\}")

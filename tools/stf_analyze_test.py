@@ -139,6 +139,32 @@ def test_raw_thread_outside_core(tmp: Path) -> None:
     assert len(hits(findings, "raw-thread")) == 1, findings
     findings = run(tmp / "b", unit("core", "y", body))
     assert hits(findings, "raw-thread") == [], findings
+    # The service layer's I/O threads are the second sanctioned home.
+    findings = run(tmp / "c", unit("service", "z", body))
+    assert hits(findings, "raw-thread") == [], findings
+
+
+def test_blocking_io_confined_to_net(tmp: Path) -> None:
+    body = ("int f() { return socket(2, 1, 0); }\n"
+            "int g(int fd, void* b) { return recv(fd, b, 8, 0); }\n")
+    findings = run(tmp / "a", unit("service", "x", body))
+    assert len(hits(findings, "blocking-io-confinement")) == 2, findings
+    findings = run(tmp / "b", unit("net", "y", body))
+    assert hits(findings, "blocking-io-confinement") == [], findings
+
+
+def test_blocking_io_headers_and_member_calls(tmp: Path) -> None:
+    # The socket headers are banned outside src/net/ too...
+    files = unit("sigtest", "x")
+    files["src/sigtest/x.cpp"] = ('#include "sigtest/x.hpp"\n\n'
+                                  "#include <sys/socket.h>\n")
+    findings = run(tmp / "a", files)
+    assert len(hits(findings, "blocking-io-confinement")) == 1, findings
+    # ...but member calls and qualified wrappers are not raw syscalls.
+    body = ("void f(S& s) { s.send(1); s.connect(); }\n"
+            "void g() { stf::net::poll(); auto b = std::bind(f); }\n")
+    findings = run(tmp / "b", unit("service", "y", body))
+    assert hits(findings, "blocking-io-confinement") == [], findings
 
 
 def test_no_empty_catch_outside_core(tmp: Path) -> None:
