@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <thread>
 #include <utility>
 
@@ -185,9 +186,14 @@ ClientLotResult SigtestClient::run_lot(const LotRequest& request) const {
     }
     if (attempt < options_.max_attempts) {
       STF_COUNT("net.client.retries");
+      // 64-bit doubling: base << shift overflows int (UB) for base >= 2048
+      // once shift reaches 20, so scale wide and only then apply the cap.
       const int shift = std::min(attempt - 1, 20);
-      const int backoff = std::min(options_.backoff_cap_ms,
-                                   options_.backoff_base_ms << shift);
+      const std::int64_t scaled = static_cast<std::int64_t>(
+                                      options_.backoff_base_ms)
+                                  << shift;
+      const int backoff = static_cast<int>(
+          std::min<std::int64_t>(options_.backoff_cap_ms, scaled));
       if (backoff > 0) options_.sleep_ms(backoff);
     }
   }

@@ -330,15 +330,23 @@ std::size_t FrameReader::header_payload_length() const {
 }
 
 void FrameReader::feed(std::span<const std::uint8_t> bytes) {
+  // Memory ceiling, enforced as a typed protocol failure (the caller drops
+  // the connection), never a process-fatal contract: a caller that drains
+  // next() after every feed holds at most one incomplete frame here
+  // (< header + max_payload), so the buffer peaks at that plus the chunk
+  // being fed. A max-size frame whose final recv chunk carries pipelined
+  // trailing bytes is legal; only a feed loop that stopped draining can
+  // trip the bound.
+  if (buffer_.size() > max_payload_ + kHeaderBytes)
+    throw ProtocolError("frame: receive buffer over ceiling");
   buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
   // Validate eagerly: an oversized or unknown header fails the feed, so the
   // caller can drop the connection without waiting for a next() poll.
   (void)header_payload_length();
 }
 
+// stf-analyze: allow(api-contract) -- header_payload_length throws typed.
 bool FrameReader::next(Frame& out) {
-  STF_ASSERT(buffer_.size() <= kMaxPayloadBytes + kHeaderBytes,
-             "FrameReader: buffered bytes exceeded the frame ceiling");
   const std::size_t declared = header_payload_length();
   if (declared == std::numeric_limits<std::size_t>::max()) return false;
   if (buffer_.size() < kHeaderBytes + declared) return false;

@@ -140,7 +140,9 @@ class FrameReader {
 
   /// Append received bytes. Throws ProtocolError if the buffered prefix
   /// already declares an oversized or unknown frame (fail fast: the caller
-  /// drops the connection without reading further).
+  /// drops the connection without reading further), or if the caller fed
+  /// past a complete max-size frame without draining next() -- the memory
+  /// ceiling is always a typed drop, never a process-fatal contract.
   void feed(std::span<const std::uint8_t> bytes);
 
   /// Extract the next complete frame into `out`. Returns false when more

@@ -217,16 +217,46 @@ void SigtestServer::stop() {
   if (queue_ != nullptr) queue_->close();
   for (std::thread& w : workers_) w.join();
   workers_.clear();
-  std::vector<std::thread> readers;
+  std::vector<ReaderSlot> readers;
   {
     const stf::core::LockGuard lock(readers_mutex_);
     readers.swap(readers_);
   }
-  for (std::thread& r : readers) r.join();
+  for (ReaderSlot& r : readers) r.thread.join();
+}
+
+std::size_t SigtestServer::reader_threads() const {
+  const stf::core::LockGuard lock(readers_mutex_);
+  return readers_.size();
+}
+
+void SigtestServer::reap_finished_readers() {
+  std::vector<std::thread> finished;
+  {
+    const stf::core::LockGuard lock(readers_mutex_);
+    auto it = readers_.begin();
+    while (it != readers_.end()) {
+      if (it->exited->load()) {
+        finished.push_back(std::move(it->thread));
+        it = readers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Join outside the lock: `exited` is the thread's last store, so these
+  // joins return promptly and never hold up new connections.
+  for (std::thread& t : finished) {
+    t.join();
+    STF_COUNT("svc.readers_reaped");
+  }
 }
 
 void SigtestServer::accept_loop() {
   while (!stopping_.load()) {
+    // Reap every wakeup (accept or timeout): a long-lived server with
+    // short-lived sessions must not accumulate exited thread handles.
+    reap_finished_readers();
     if (!listener_->wait_acceptable(config_.poll_interval_ms)) continue;
     stf::net::Socket socket = listener_->accept_connection();
     if (!socket.valid()) continue;
@@ -245,9 +275,15 @@ void SigtestServer::accept_loop() {
     auto session = std::make_shared<Session>();
     session->id = next_client_id_.fetch_add(1) + 1;
     session->socket = std::move(socket);
+    ReaderSlot slot;
+    slot.exited = std::make_shared<std::atomic<bool>>(false);
+    slot.thread = std::thread(
+        [this, session = std::move(session), exited = slot.exited] {
+          reader_loop(session);
+          exited->store(true);
+        });
     const stf::core::LockGuard lock(readers_mutex_);
-    readers_.emplace_back(
-        [this, session = std::move(session)] { reader_loop(session); });
+    readers_.push_back(std::move(slot));
   }
 }
 
@@ -352,8 +388,10 @@ void SigtestServer::worker_loop() {
   Work work;
   while (queue_->pop(work)) {
     std::vector<std::vector<std::uint8_t>> frames;
+    bool computed = false;
     try {
       frames = process_lot(work);
+      computed = true;
     } catch (const std::exception& e) {
       // A lot that fails to materialize (population build OOM, contract
       // failure surfaced as an exception) is answered, not dropped.
@@ -362,9 +400,15 @@ void SigtestServer::worker_loop() {
           {work.request.request_id, RejectCode::kBadRequest,
            clipped_message(e.what())}));
     }
-    replay_->put(work.replay_key,
-                 std::make_shared<const std::vector<std::vector<std::uint8_t>>>(
-                     frames));
+    // Only computed lots enter the replay cache: caching the reject of a
+    // transient failure would replay a permanent-looking kBadRequest at
+    // every retry of that request until LRU eviction. A retried failure
+    // re-admits and recomputes instead.
+    if (computed)
+      replay_->put(
+          work.replay_key,
+          std::make_shared<const std::vector<std::vector<std::uint8_t>>>(
+              frames));
     work.session->send_frames(frames);
     admission_.complete_lot(work.session->id);
     work.session->finish_inflight(work.request.request_id);

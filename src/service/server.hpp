@@ -99,12 +99,28 @@ class SigtestServer {
   /// Lots fully processed and flushed (test/ops visibility).
   std::uint64_t lots_completed() const { return lots_completed_.load(); }
 
+  /// Reader threads currently tracked (tests assert that threads of
+  /// long-gone sessions are reaped, not accumulated until stop()).
+  std::size_t reader_threads() const;
+
  private:
   struct Session;
   struct Work;
   class ReplayCache;
 
+  /// One reader thread plus its exit flag. `exited` is stored to as the
+  /// thread's last action, so the accept loop can join-and-discard finished
+  /// readers promptly instead of holding every handle until stop().
+  struct ReaderSlot {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> exited;
+  };
+
   void accept_loop();
+  /// Join and drop reader threads whose sessions have ended (called from
+  /// the accept loop each wakeup, so a long-lived server never accumulates
+  /// exited-but-unjoined thread handles).
+  void reap_finished_readers();
   void reader_loop(std::shared_ptr<Session> session);
   void worker_loop();
   void handle_request(const std::shared_ptr<Session>& session,
@@ -131,8 +147,8 @@ class SigtestServer {
 
   std::thread accept_thread_;
   std::vector<std::thread> workers_;
-  stf::core::Mutex readers_mutex_;
-  std::vector<std::thread> readers_ STF_GUARDED_BY(readers_mutex_);
+  mutable stf::core::Mutex readers_mutex_;
+  std::vector<ReaderSlot> readers_ STF_GUARDED_BY(readers_mutex_);
 };
 
 }  // namespace stf::service

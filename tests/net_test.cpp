@@ -193,6 +193,56 @@ TEST(FrameReader, SplitsBackToBackFrames) {
   EXPECT_FALSE(reader.next(frame));
 }
 
+TEST(FrameReader, MaxSizeFrameWithPipelinedTrailingBytesParsesCleanly) {
+  // Regression: a peer streaming a max-size-declared frame whose final
+  // recv chunk also carries the first bytes of the NEXT frame pushes the
+  // buffer past header + max_payload momentarily. That must parse as two
+  // frames -- the old bound raised a process-fatal contract violation that
+  // escaped the reader thread and terminated the server.
+  std::vector<std::uint8_t> big(5 + net::kMaxPayloadBytes, 0);
+  const std::uint32_t declared =
+      static_cast<std::uint32_t>(net::kMaxPayloadBytes);
+  for (int b = 0; b < 4; ++b)
+    big[static_cast<std::size_t>(b)] =
+        static_cast<std::uint8_t>(declared >> (8 * b));
+  big[4] = static_cast<std::uint8_t>(net::FrameType::kDispositions);
+  std::vector<std::uint8_t> stream(big);
+  const auto trailer = net::encode_lot_done({9, 4, 4, 0, 0});
+  stream.insert(stream.end(), trailer.begin(), trailer.end());
+
+  net::FrameReader reader;
+  net::Frame frame;
+  std::size_t frames = 0;
+  std::size_t off = 0;
+  while (off < stream.size()) {  // recv-sized chunks, drained after each
+    const std::size_t n = std::min<std::size_t>(4096, stream.size() - off);
+    reader.feed(std::span<const std::uint8_t>(stream.data() + off, n));
+    off += n;
+    while (reader.next(frame)) ++frames;
+  }
+  EXPECT_EQ(frames, 2u);
+  EXPECT_EQ(frame.type, net::FrameType::kLotDone);
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameReader, FeedingPastTheCeilingWithoutDrainingIsATypedDrop) {
+  // The memory ceiling still exists, but as a ProtocolError (connection
+  // drop), never a contract failure: feeding again while a complete
+  // max-size frame sits undrained breaks the drain-after-feed discipline.
+  std::vector<std::uint8_t> big(5 + net::kMaxPayloadBytes + 1, 0);
+  const std::uint32_t declared =
+      static_cast<std::uint32_t>(net::kMaxPayloadBytes);
+  for (int b = 0; b < 4; ++b)
+    big[static_cast<std::size_t>(b)] =
+        static_cast<std::uint8_t>(declared >> (8 * b));
+  big[4] = static_cast<std::uint8_t>(net::FrameType::kDispositions);
+  net::FrameReader reader;
+  reader.feed(big);  // one oversized feed is legal (pipelined trailing byte)
+  const std::uint8_t more = 0;
+  EXPECT_THROW(reader.feed(std::span<const std::uint8_t>(&more, 1)),
+               net::ProtocolError);
+}
+
 TEST(Socket, LoopbackSendAllRecvSomeAndEphemeralPorts) {
   net::Listener listener("127.0.0.1", 0);
   ASSERT_NE(listener.port(), 0);  // kernel resolved an ephemeral port
@@ -297,6 +347,35 @@ TEST(Client, BackoffIsCappedExponentialThroughTheInjectableSleep) {
   // 2, 4, 8, then capped at 10 (one sleep per retry, none after the last).
   EXPECT_EQ(sleeps, (std::vector<int>{2, 4, 8, 10, 10}));
   EXPECT_FALSE(result.message.empty());
+}
+
+TEST(Client, LargeBackoffBaseNeverOverflowsTheDoubling) {
+  // Regression: base << shift was computed in int, so base >= 2048 at
+  // shift 20 (attempt 21) overflowed -- UB, and in practice a negative
+  // backoff that silently skipped the sleep. The doubling must saturate at
+  // the cap instead, for every attempt.
+  std::uint16_t dead_port = 0;
+  {
+    net::Listener listener("127.0.0.1", 0);
+    dead_port = listener.port();
+  }
+  std::vector<int> sleeps;
+  net::ClientOptions options;
+  options.max_attempts = 22;  // reaches the shift clamp of 20
+  options.backoff_base_ms = 2048;
+  options.backoff_cap_ms = 5000;
+  options.connect_timeout_ms = 200;
+  options.sleep_ms = [&sleeps](int ms) { sleeps.push_back(ms); };
+  net::SigtestClient client(dead_port, options);
+  net::LotRequest request = sample_request();
+  request.fault_spec.clear();
+  const net::ClientLotResult result = client.run_lot(request);
+  EXPECT_EQ(result.status, net::ClientStatus::kTransportFailure);
+  ASSERT_EQ(sleeps.size(), 21u);  // one per retry, including attempt 21
+  EXPECT_EQ(sleeps[0], 2048);
+  EXPECT_EQ(sleeps[1], 4096);
+  for (std::size_t i = 2; i < sleeps.size(); ++i)
+    EXPECT_EQ(sleeps[i], 5000) << "retry " << i;
 }
 
 }  // namespace

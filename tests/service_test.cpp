@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -341,6 +342,32 @@ TEST_F(ServiceTest, ConnectionCapRefusesTyped) {
   ASSERT_EQ(result.status, net::ClientStatus::kRejected) << result.message;
   EXPECT_EQ(result.reject_code, net::RejectCode::kTooManyClients);
   occupier.close();
+  server.stop();
+}
+
+TEST_F(ServiceTest, ExitedSessionsReaderThreadsAreReapedWhileRunning) {
+  ThreadCountGuard guard(1);
+  service::SigtestServer server(world().runtime, fast_config());
+  server.start();
+  // Several short-lived sessions: one real lot plus a handful of idle
+  // connects that close immediately. Their reader threads must be joined
+  // by the running accept loop -- regression: handles (and stacks) of
+  // long-gone sessions accumulated without bound until stop().
+  {
+    net::SigtestClient client(server.port(), quiet_client());
+    const auto result = client.run_lot(request_for(700, 9001));
+    ASSERT_EQ(result.status, net::ClientStatus::kOk) << result.message;
+  }
+  for (int c = 0; c < 4; ++c) {
+    net::Socket idle = net::connect_to("127.0.0.1", server.port(), 2000);
+  }  // closed here: each session's reader sees EOF and exits
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.reader_threads() != 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(server.reader_threads(), 0u);
+  EXPECT_TRUE(server.running());  // reaping happened in flight, not in stop
   server.stop();
 }
 
