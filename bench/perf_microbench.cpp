@@ -4,8 +4,12 @@
 // guard against performance regressions.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <cstdint>
+#include <filesystem>
 #include <initializer_list>
+#include <string>
 #include <vector>
 
 #include "circuit/dc.hpp"
@@ -25,6 +29,7 @@
 #include "sigtest/optimizer.hpp"
 #include "sigtest/sensitivity.hpp"
 #include "stats/rng.hpp"
+#include "store/calibration_store.hpp"
 
 namespace {
 
@@ -318,6 +323,40 @@ void BM_GuardedTestDeviceFaulted(benchmark::State& state) {
     benchmark::DoNotOptimize(runtime.test_device(*ch.dut, rng, &faults, seq++));
 }
 BENCHMARK(BM_GuardedTestDeviceFaulted);
+
+// Cached store get: what the multi-runtime registry pays to resolve a
+// scenario's calibration when the (key, version) pair is hot. This must be
+// pointer-shuffling cheap -- a disk read here would put filesystem latency
+// on the lot-dispatch path.
+void BM_StoreGetCached(benchmark::State& state) {
+  const std::string root =
+      (std::filesystem::temp_directory_path() /
+       ("stf_bench_store_" + std::to_string(::getpid())))
+          .string();
+  store::CalibrationStore cal_store(root);
+  store::StoreKey key{"bench:lna"};
+  const auto cal = guarded_runtime().calibration();
+  cal_store.put(key, cal.model, cal.screen);
+  const TelemetryCounters counters(
+      state, {"store.cache_hits", "store.loads"});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cal_store.get(key));
+  std::filesystem::remove_all(root);
+}
+BENCHMARK(BM_StoreGetCached);
+
+// RCU-style calibration hot-swap: the publish step of online
+// recalibration. Prices the version bump the pipeline pays while lots keep
+// streaming -- dimension validation plus a locked pointer swap, no refit
+// and no disk I/O (persistence is the Recalibrator's separate step).
+void BM_CalibrationSwap(benchmark::State& state) {
+  sigtest::GuardedRuntime runtime(guarded_runtime());
+  const auto cal = runtime.calibration();
+  const TelemetryCounters counters(state, {"guard.calibration_swaps"});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(runtime.swap_calibration(cal.model, cal.screen));
+}
+BENCHMARK(BM_CalibrationSwap);
 
 // The one-time LNA900 perturbation study (21 circuit characterizations)
 // shared by the GA benchmarks below. Built on first use so binaries that

@@ -25,7 +25,11 @@ bool TokenBucket::try_acquire(std::uint64_t now_us) {
     last_us_ = now_us;
   }
   const std::uint64_t elapsed_us = now_us >= last_us_ ? now_us - last_us_ : 0;
-  last_us_ = now_us;
+  // Never move the refill anchor backwards: adopting a rewound clock would
+  // credit the same wall-clock interval twice once the clock recovers
+  // (rewind to t-d, then any later now >= t manufactures d extra seconds
+  // of refill). Hold the high-water mark instead.
+  last_us_ = std::max(last_us_, now_us);
   tokens_ = std::min(
       burst_, tokens_ + rate_per_second_ * static_cast<double>(elapsed_us) /
                             1e6);

@@ -14,14 +14,18 @@ namespace stf::service {
 namespace {
 
 double parse_spread(const std::string& value) {
-  std::size_t used = 0;
+  // std::from_chars, not std::stod: stod honors the process locale, so a
+  // client under de_DE.UTF-8 would reject "0.2" (expecting "0,2") and the
+  // canonical() forms -- always '.'-formatted via to_chars -- would fail to
+  // re-parse. from_chars is locale-independent by construction and
+  // round-trips every canonical() string exactly.
   double spread = 0.0;
-  try {
-    spread = std::stod(value, &used);
-  } catch (const std::exception&) {
+  const char* first = value.data();
+  const char* last = value.data() + value.size();
+  const auto [ptr, ec] = std::from_chars(first, last, spread);
+  if (ec != std::errc())
     throw std::invalid_argument("scenario: bad spread '" + value + "'");
-  }
-  if (used != value.size() || !(spread >= 0.0) || spread >= 1.0)
+  if (ptr != last || !(spread >= 0.0) || spread >= 1.0)
     throw std::invalid_argument("scenario: spread must be in [0, 1), got '" +
                                 value + "'");
   return spread;

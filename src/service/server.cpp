@@ -172,13 +172,25 @@ ServerConfig ServerConfig::from_environment() {
 SigtestServer::SigtestServer(
     std::shared_ptr<const stf::sigtest::BatchRuntime> runtime,
     ServerConfig config)
+    : SigtestServer(std::move(runtime), nullptr, std::move(config)) {}
+
+SigtestServer::SigtestServer(std::shared_ptr<RuntimeRegistry> registry,
+                             ServerConfig config)
+    : SigtestServer(nullptr, std::move(registry), std::move(config)) {}
+
+SigtestServer::SigtestServer(
+    std::shared_ptr<const stf::sigtest::BatchRuntime> runtime,
+    std::shared_ptr<RuntimeRegistry> registry, ServerConfig config)
     : runtime_(std::move(runtime)),
+      registry_(std::move(registry)),
       config_(std::move(config)),
       admission_(config_.admission),
       populations_(config_.population_cache_entries),
       replay_(std::make_unique<ReplayCache>(config_.replay_cache_lots)) {
-  STF_REQUIRE(runtime_ != nullptr, "SigtestServer: null runtime");
-  STF_REQUIRE(runtime_->calibrated(), "SigtestServer: runtime not calibrated");
+  STF_REQUIRE((runtime_ != nullptr) != (registry_ != nullptr),
+              "SigtestServer: exactly one of runtime/registry");
+  STF_REQUIRE(runtime_ == nullptr || runtime_->calibrated(),
+              "SigtestServer: runtime not calibrated");
   STF_REQUIRE(config_.worker_threads >= 1, "SigtestServer: no workers");
   STF_REQUIRE(config_.work_queue_capacity >= 1,
               "SigtestServer: work_queue_capacity < 1");
@@ -432,9 +444,15 @@ std::vector<std::vector<std::uint8_t>> SigtestServer::process_lot(
   lot.reserve(population->size());
   for (const stf::rf::DeviceRecord& record : *population)
     lot.push_back(record.dut.get());
-  stf::sigtest::BatchOptions batch = runtime_->options();
+  // Resolve the lot's runtime: the fixed single-scenario runtime, or the
+  // registry's per-scenario one (cold-started / fitted on first touch).
+  // Holding the shared_ptr pins the runtime for this lot even if the
+  // registry LRU evicts the scenario mid-flight.
+  std::shared_ptr<const stf::sigtest::BatchRuntime> runtime = runtime_;
+  if (registry_ != nullptr) runtime = registry_->get(work.scenario);
+  stf::sigtest::BatchOptions batch = runtime->options();
   batch.batch_size = request.batch;
-  const stf::sigtest::LotResult result = runtime_->test_lot(
+  const stf::sigtest::LotResult result = runtime->test_lot(
       lot, stf::stats::Rng(request.seed),
       work.faults.empty() ? nullptr : &work.faults, 0, batch);
 
@@ -462,6 +480,9 @@ std::vector<std::vector<std::uint8_t>> SigtestServer::process_lot(
   frames.push_back(stf::net::encode_lot_done(done));
   STF_COUNT("svc.lots");
   STF_COUNT("svc.devices", result.dispositions.size());
+  // Which calibration epoch tested this lot (the hot-swap observability
+  // hook: a trace shows exactly when lots moved to a new version).
+  STF_RECORD("svc.model_version", static_cast<double>(result.model_version));
   return frames;
 }
 

@@ -46,6 +46,7 @@
 #include "core/pipeline.hpp"
 #include "net/socket.hpp"
 #include "service/admission.hpp"
+#include "service/registry.hpp"
 #include "service/scenario.hpp"
 #include "sigtest/batch.hpp"
 
@@ -78,6 +79,14 @@ class SigtestServer {
   /// (shared_ptr enforces it). It is shared state: test_lot is const and
   /// reentrant, which is what lets workers run lots concurrently.
   SigtestServer(std::shared_ptr<const stf::sigtest::BatchRuntime> runtime,
+                ServerConfig config = {});
+
+  /// Multi-scenario mode: every lot resolves its runtime through the
+  /// registry (store cold start or scratch fit on first touch), so one
+  /// server serves any scenario the grammar can name, each on its own
+  /// calibration version -- and the maintenance plane can hot-swap a
+  /// scenario's model mid-service through the same registry handle.
+  SigtestServer(std::shared_ptr<RuntimeRegistry> registry,
                 ServerConfig config = {});
   ~SigtestServer();
   SigtestServer(const SigtestServer&) = delete;
@@ -131,8 +140,14 @@ class SigtestServer {
   void send_reject(const std::shared_ptr<Session>& session,
                    std::uint64_t request_id, stf::net::RejectCode code,
                    const std::string& message);
+  /// The shared tail of both public constructors; exactly one of
+  /// runtime/registry must be non-null.
+  SigtestServer(std::shared_ptr<const stf::sigtest::BatchRuntime> runtime,
+                std::shared_ptr<RuntimeRegistry> registry,
+                ServerConfig config);
 
   std::shared_ptr<const stf::sigtest::BatchRuntime> runtime_;
+  std::shared_ptr<RuntimeRegistry> registry_;
   ServerConfig config_;
   AdmissionController admission_;
   PopulationCache populations_;

@@ -48,8 +48,16 @@ LotResult BatchRuntime::test_lot(const std::vector<const stf::rf::RfDut*>& lot,
   STF_REQUIRE(batch.queue_capacity >= 1,
               "BatchRuntime::test_lot: queue_capacity < 1");
   STF_REQUIRE(guarded_.calibrated(), "BatchRuntime::test_lot: not calibrated");
+  // Pin the calibration version ONCE for the whole lot: every device in it
+  // screens and predicts on this snapshot, so a concurrent hot-swap never
+  // mixes model versions inside a lot and the result stays bit-identical
+  // to the serial reference run on the same version.
+  const CalibrationVersion cal = guarded_.calibration();
+  STF_REQUIRE(cal.model != nullptr && cal.screen != nullptr,
+              "BatchRuntime::test_lot: not calibrated");
   const std::size_t n = lot.size();
   LotResult result;
+  result.model_version = cal.version;
   result.dispositions.resize(n);
   if (n == 0) return result;
   for (const stf::rf::RfDut* dut : lot)
@@ -158,7 +166,7 @@ LotResult BatchRuntime::test_lot(const std::vector<const stf::rf::RfDut*>& lot,
           continue;  // retry with escalated averaging
         }
         flaw = guarded_.screen_signature(
-            std::span<const double>(sig_row), &d.outlier_score);
+            *cal.screen, std::span<const double>(sig_row), &d.outlier_score);
         if (flaw != CaptureFlaw::kNone) {
           d.last_flaw = flaw;
           continue;
@@ -197,7 +205,7 @@ LotResult BatchRuntime::test_lot(const std::vector<const stf::rf::RfDut*>& lot,
     stf::la::Matrix rows(idx.size(), m);
     for (std::size_t r = 0; r < idx.size(); ++r)
       rows.set_row(r, signatures.row(idx[r]));
-    const stf::la::Matrix pred = guarded_.runtime().predict_batch(rows);
+    const stf::la::Matrix pred = cal.model->predict_batch(rows);
     for (std::size_t r = 0; r < idx.size(); ++r)
       result.dispositions[idx[r]].predicted = pred.row(r);
   };

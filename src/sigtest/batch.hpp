@@ -57,6 +57,10 @@ struct LotResult {
   std::size_t predicted = 0;  ///< kPredicted (clean first attempt).
   std::size_t retried = 0;    ///< kPredictedAfterRetry.
   std::size_t routed = 0;     ///< kRoutedToConventional.
+  /// Calibration version the whole lot was tested on. test_lot pins the
+  /// version once at entry, so a hot-swap mid-lot never mixes versions:
+  /// (seed, lot, model_version) identifies the bit-exact reference.
+  std::uint64_t model_version = 0;
 
   std::size_t devices() const { return dispositions.size(); }
 };
@@ -103,6 +107,11 @@ class BatchRuntime {
 
   bool calibrated() const { return guarded_.calibrated(); }
   const GuardedRuntime& guarded() const { return guarded_; }
+  /// Mutable guard access for the maintenance plane (drift monitoring and
+  /// calibration hot-swap, src/store/recalibrate.hpp). test_lot stays
+  /// const and concurrent: it pins a calibration snapshot at entry, so a
+  /// swap through this reference never disturbs an in-flight lot.
+  GuardedRuntime& guarded() { return guarded_; }
   const BatchOptions& options() const { return batch_; }
 
  private:

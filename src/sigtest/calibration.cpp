@@ -424,6 +424,45 @@ CalibrationModel CalibrationModel::deserialize(const std::string& text) {
   return model;
 }
 
+double normalized_rms_error(const CalibrationModel& model,
+                            const stf::la::Matrix& signatures,
+                            const stf::la::Matrix& specs) {
+  STF_REQUIRE(model.fitted(), "normalized_rms_error: model not fitted");
+  const std::size_t n = signatures.rows();
+  STF_REQUIRE(n >= 1, "normalized_rms_error: no rows");
+  STF_REQUIRE(specs.rows() == n, "normalized_rms_error: row count mismatch");
+  const std::size_t n_specs = specs.cols();
+  STF_REQUIRE(model.n_specs() == n_specs,
+              "normalized_rms_error: spec count mismatch");
+
+  // Per-spec normalization so specs with different units weigh equally --
+  // computed from the given rows, so two models scored on the same holdout
+  // share the same scale and their errors are directly comparable.
+  std::vector<double> spec_scale(n_specs, 1.0);
+  for (std::size_t s = 0; s < n_specs; ++s) {
+    double mu = 0.0;
+    for (std::size_t i = 0; i < n; ++i) mu += specs(i, s);
+    mu /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = specs(i, s) - mu;
+      var += d * d;
+    }
+    var /= static_cast<double>(n);
+    spec_scale[s] = var > 1e-30 ? std::sqrt(var) : 1.0;
+  }
+
+  double score = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto pred = model.predict(signatures.row(i));
+    for (std::size_t s = 0; s < n_specs; ++s) {
+      const double e = (pred[s] - specs(i, s)) / spec_scale[s];
+      score += e * e;
+    }
+  }
+  return std::sqrt(score / static_cast<double>(n * n_specs));
+}
+
 CalibrationOptions select_ridge_by_cv(const stf::la::Matrix& signatures,
                                       const stf::la::Matrix& specs,
                                       CalibrationOptions base,

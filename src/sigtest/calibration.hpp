@@ -154,4 +154,15 @@ CalibrationOptions select_ridge_by_cv(const stf::la::Matrix& signatures,
                                       const std::vector<double>& lambdas,
                                       std::size_t k_folds = 5);
 
+/// Normalized RMS prediction error of a fitted model over held-out rows:
+/// sqrt(mean over rows and specs of ((pred - truth) / spec_spread)^2),
+/// with spec_spread the spec's own std over the given rows (1.0 when
+/// degenerate) -- the same per-spec normalization select_ridge_by_cv
+/// scores folds with, so comparing two models on a common holdout is a
+/// cross-validation-style error comparison (the store's rollback guard).
+/// Throws on an unfitted model or mismatched shapes.
+double normalized_rms_error(const CalibrationModel& model,
+                            const stf::la::Matrix& signatures,
+                            const stf::la::Matrix& specs);
+
 }  // namespace stf::sigtest

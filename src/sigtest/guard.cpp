@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <memory>
+#include <utility>
 
 #include "core/arena.hpp"
 #include "core/contracts.hpp"
@@ -29,15 +31,84 @@ GuardedRuntime::GuardedRuntime(const SignatureTestConfig& config,
               "GuardedRuntime: drift_ewma_alpha outside (0, 1]");
 }
 
+// stf-analyze: allow(api-contract) -- copying an already-validated object
+GuardedRuntime::GuardedRuntime(const GuardedRuntime& other)
+    : runtime_(other.runtime_), policy_(other.policy_) {
+  const stf::core::LockGuard lock(other.cal_mutex_);
+  cal_model_ = other.cal_model_;
+  screen_ = other.screen_;
+  cal_version_ = other.cal_version_;
+  drift_ewma_ = other.drift_ewma_;
+  drift_seeded_ = other.drift_seeded_;
+  drift_alarm_ = other.drift_alarm_;
+  drift_checks_ = other.drift_checks_;
+}
+
+// stf-analyze: allow(api-contract) -- moving an already-validated object
+GuardedRuntime::GuardedRuntime(GuardedRuntime&& other)
+    : runtime_(std::move(other.runtime_)), policy_(other.policy_) {
+  const stf::core::LockGuard lock(other.cal_mutex_);
+  cal_model_ = std::move(other.cal_model_);
+  screen_ = std::move(other.screen_);
+  cal_version_ = other.cal_version_;
+  drift_ewma_ = other.drift_ewma_;
+  drift_seeded_ = other.drift_seeded_;
+  drift_alarm_ = other.drift_alarm_;
+  drift_checks_ = other.drift_checks_;
+}
+
 void GuardedRuntime::calibrate(
     const std::vector<stf::rf::DeviceRecord>& training, stf::stats::Rng& rng,
     int n_avg) {
+  STF_REQUIRE(training.size() >= 2, "GuardedRuntime::calibrate: need >= 2");
   runtime_.calibrate(training, rng, n_avg);
   // The screen sees the same averaged signatures the regression trained on,
   // with the per-bin variance inflated by the single-capture noise floor so
   // production (single-capture) scores are not biased outward.
-  screen_.fit(runtime_.calibration_signatures(), runtime_.capture_noise_var());
-  reset_drift_monitor();
+  auto screen = std::make_shared<OutlierScreen>();
+  screen->fit(runtime_.calibration_signatures(),
+              runtime_.capture_noise_var());
+  const stf::core::LockGuard lock(cal_mutex_);
+  cal_model_ = runtime_.model();
+  screen_ = std::move(screen);
+  ++cal_version_;
+  reset_drift_monitor_locked();
+}
+
+CalibrationVersion GuardedRuntime::calibration() const {
+  const stf::core::LockGuard lock(cal_mutex_);
+  return CalibrationVersion{cal_model_, screen_, cal_version_};
+}
+
+std::shared_ptr<const OutlierScreen> GuardedRuntime::screen() const {
+  const stf::core::LockGuard lock(cal_mutex_);
+  return screen_;
+}
+
+std::uint64_t GuardedRuntime::swap_calibration(
+    std::shared_ptr<const CalibrationModel> model,
+    std::shared_ptr<const OutlierScreen> screen) {
+  STF_TRACE_SPAN("guard.swap_calibration");
+  STF_REQUIRE(screen != nullptr,
+              "GuardedRuntime::swap_calibration: null screen");
+  STF_REQUIRE(screen->fitted(),
+              "GuardedRuntime::swap_calibration: unfitted screen");
+  STF_REQUIRE(screen->signature_length() ==
+                  runtime_.acquirer().signature_length(),
+              "GuardedRuntime::swap_calibration: screen length mismatch");
+  // set_model validates the model's own compatibility (fitted, signature
+  // length, spec count) and throws before anything is published.
+  runtime_.set_model(model);
+  const stf::core::LockGuard lock(cal_mutex_);
+  cal_model_ = std::move(model);
+  screen_ = std::move(screen);
+  ++cal_version_;
+  // A freshly swapped-in model must not inherit the drifted model's latched
+  // alarm, smoothed EWMA, or sample count: the whole point of the swap is
+  // that the path is considered recalibrated.
+  reset_drift_monitor_locked();
+  STF_COUNT("guard.calibration_swaps");
+  return cal_version_;
 }
 
 CaptureFlaw GuardedRuntime::inspect_capture(
@@ -115,9 +186,18 @@ CaptureFlaw GuardedRuntime::screen_signature(const Signature& signature,
 
 CaptureFlaw GuardedRuntime::screen_signature(std::span<const double> signature,
                                              double* score) const {
+  const auto screen = this->screen();
+  STF_REQUIRE(screen != nullptr,
+              "GuardedRuntime::screen_signature: not calibrated");
+  return screen_signature(*screen, signature, score);
+}
+
+CaptureFlaw GuardedRuntime::screen_signature(const OutlierScreen& screen,
+                                             std::span<const double> signature,
+                                             double* score) const {
   // Finiteness, then the calibration envelope. score() maps non-finite bins
   // to +inf, so the order only affects the reported flaw label.
-  const double s = screen_.score(signature);
+  const double s = screen.score(signature);
   if (score != nullptr) *score = s;
   if (!std::isfinite(s)) return CaptureFlaw::kNonFinite;
   if (s > policy_.outlier_threshold) return CaptureFlaw::kOutlier;
@@ -129,7 +209,10 @@ TestDisposition GuardedRuntime::test_device(
     const stf::rf::FaultInjector* faults, std::uint64_t sequence) const {
   STF_TRACE_SPAN("guard.test_device");
   STF_COUNT("guard.devices");
-  STF_REQUIRE(runtime_.calibrated(),
+  // Pin this device's calibration version once at entry: a concurrent
+  // hot-swap must never mix versions inside one device's screen + predict.
+  const CalibrationVersion cal = calibration();
+  STF_REQUIRE(cal.model != nullptr && cal.screen != nullptr,
               "GuardedRuntime::test_device: not calibrated");
 
   TestDisposition d;
@@ -150,7 +233,8 @@ TestDisposition GuardedRuntime::test_device(
       continue;  // retry with escalated averaging
     }
 
-    const CaptureFlaw flaw = screen_signature(a.signature, &d.outlier_score);
+    const CaptureFlaw flaw = screen_signature(
+        *cal.screen, std::span<const double>(a.signature), &d.outlier_score);
     if (flaw != CaptureFlaw::kNone) {
       d.last_flaw = flaw;
       continue;
@@ -159,7 +243,7 @@ TestDisposition GuardedRuntime::test_device(
     d.last_flaw = CaptureFlaw::kNone;
     d.kind = attempt == 1 ? DispositionKind::kPredicted
                           : DispositionKind::kPredictedAfterRetry;
-    d.predicted = runtime_.predict(a.signature);
+    d.predicted = cal.model->predict(a.signature);
     return d;
   }
 
@@ -174,7 +258,8 @@ TestDisposition GuardedRuntime::test_device(
 DriftStatus GuardedRuntime::monitor_golden(const stf::rf::RfDut& golden,
                                            stf::stats::Rng& rng,
                                            const stf::rf::FaultInjector* faults,
-                                           std::uint64_t sequence) {
+                                           std::uint64_t sequence,
+                                           Signature* out_signature) {
   STF_TRACE_SPAN("guard.monitor_golden");
   STF_COUNT("guard.drift_checks");
   STF_REQUIRE(runtime_.calibrated(),
@@ -184,36 +269,64 @@ DriftStatus GuardedRuntime::monitor_golden(const stf::rf::RfDut& golden,
       acq.raw_capture(golden, runtime_.stimulus(), &rng);
   if (faults != nullptr)
     faults->apply(capture, acq.config().digitizer.fs_hz, sequence, rng);
+  Signature signature = acq.signature_from_capture(capture);
 
   DriftStatus status;
-  status.score = screen_.score(acq.signature_from_capture(capture));
-  // A single wild golden capture should not trigger recalibration of the
-  // whole line; the EWMA demands a *sustained* wander. Non-finite scores
-  // saturate the EWMA to the alarm level instead of poisoning it with NaN.
-  const double score_for_ewma =
-      std::isfinite(status.score)
-          ? status.score
-          : policy_.drift_alarm_score / policy_.drift_ewma_alpha;
-  if (!drift_seeded_) {
-    drift_ewma_ = score_for_ewma;
-    drift_seeded_ = true;
-  } else {
-    drift_ewma_ = (1.0 - policy_.drift_ewma_alpha) * drift_ewma_ +
-                  policy_.drift_ewma_alpha * score_for_ewma;
+  {
+    // Score and EWMA update in ONE critical section with the published
+    // calibration: a concurrent swap either happens before this check
+    // (scored by the new screen, folded into the reset monitor) or after
+    // it (old screen, old monitor) -- never a torn mix.
+    const stf::core::LockGuard lock(cal_mutex_);
+    STF_REQUIRE(screen_ != nullptr,
+                "GuardedRuntime::monitor_golden: not calibrated");
+    status.score = screen_->score(signature);
+    // A single wild golden capture should not trigger recalibration of the
+    // whole line; the EWMA demands a *sustained* wander. Non-finite scores
+    // saturate the EWMA to the alarm level instead of poisoning it with NaN.
+    const double score_for_ewma =
+        std::isfinite(status.score)
+            ? status.score
+            : policy_.drift_alarm_score / policy_.drift_ewma_alpha;
+    if (!drift_seeded_) {
+      drift_ewma_ = score_for_ewma;
+      drift_seeded_ = true;
+    } else {
+      drift_ewma_ = (1.0 - policy_.drift_ewma_alpha) * drift_ewma_ +
+                    policy_.drift_ewma_alpha * score_for_ewma;
+    }
+    ++drift_checks_;
+    status.ewma = drift_ewma_;
+    if (drift_ewma_ > policy_.drift_alarm_score && !drift_alarm_) {
+      drift_alarm_ = true;
+      STF_COUNT("guard.drift_alarms");
+    }
+    status.alarm = drift_alarm_;
   }
-  status.ewma = drift_ewma_;
-  if (drift_ewma_ > policy_.drift_alarm_score && !drift_alarm_) {
-    drift_alarm_ = true;
-    STF_COUNT("guard.drift_alarms");
-  }
-  status.alarm = drift_alarm_;
+  if (out_signature != nullptr) *out_signature = std::move(signature);
   return status;
 }
 
+bool GuardedRuntime::recalibration_needed() const {
+  const stf::core::LockGuard lock(cal_mutex_);
+  return drift_alarm_;
+}
+
+std::uint64_t GuardedRuntime::drift_checks() const {
+  const stf::core::LockGuard lock(cal_mutex_);
+  return drift_checks_;
+}
+
 void GuardedRuntime::reset_drift_monitor() {
+  const stf::core::LockGuard lock(cal_mutex_);
+  reset_drift_monitor_locked();
+}
+
+void GuardedRuntime::reset_drift_monitor_locked() {
   drift_ewma_ = 0.0;
   drift_seeded_ = false;
   drift_alarm_ = false;
+  drift_checks_ = 0;
 }
 
 }  // namespace stf::sigtest

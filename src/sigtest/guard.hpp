@@ -25,12 +25,23 @@
 // faults and a capture that validates first try, test_device() consumes
 // exactly the same rng draws and produces exactly the same prediction as
 // FastestRuntime::test_device.
+//
+// Calibration versions and hot-swap: the model + outlier screen pair is an
+// immutable, versioned CalibrationVersion published RCU-style behind
+// shared_ptr<const>. test_device() snapshots the current version once at
+// entry and finishes on it, so a concurrent swap_calibration() (the online
+// recalibration path, src/store/recalibrate.hpp) never stops or tears an
+// in-flight test -- (seed, lot, model-version) stays bit-reproducible.
+// Swapping resets the drift monitor: a fresh model must not inherit the
+// drifted model's latched alarm, smoothed EWMA, or sample count.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "dsp/pwl.hpp"
 #include "rf/faults.hpp"
 #include "rf/population.hpp"
@@ -108,6 +119,16 @@ struct DriftStatus {
   bool alarm = false;  ///< Recalibration flag (latched).
 };
 
+/// One immutable published calibration: the regression model and the
+/// outlier screen fitted on the same training signatures, plus the
+/// monotonically increasing version number. Snapshotting this struct pins
+/// a consistent (model, screen) pair for the duration of a lot.
+struct CalibrationVersion {
+  std::shared_ptr<const CalibrationModel> model;
+  std::shared_ptr<const OutlierScreen> screen;
+  std::uint64_t version = 0;  ///< 0 = never calibrated.
+};
+
 /// FastestRuntime plus the validation/retest/escalation/drift machinery.
 class GuardedRuntime {
  public:
@@ -116,6 +137,14 @@ class GuardedRuntime {
                  std::vector<std::string> spec_names, GuardPolicy policy = {},
                  CalibrationOptions cal_options = {},
                  std::size_t max_signature_bins = 16);
+
+  // Copy/move snapshot the published calibration version and the drift
+  // state under the source's lock; model and screen stay shared (they are
+  // immutable). Not supported concurrently with calibrate() on the source.
+  GuardedRuntime(const GuardedRuntime& other);
+  GuardedRuntime(GuardedRuntime&& other);
+  GuardedRuntime& operator=(const GuardedRuntime&) = delete;
+  GuardedRuntime& operator=(GuardedRuntime&&) = delete;
 
   /// Calibrate the regression AND fit the signature-space outlier screen on
   /// the same averaged training signatures (inflated by the single-capture
@@ -136,19 +165,42 @@ class GuardedRuntime {
   /// monitor. When the smoothed outlier score crosses
   /// GuardPolicy::drift_alarm_score the recalibration flag latches: the
   /// signature path itself -- not the device -- has wandered.
+  /// `out_signature` (optional) receives the golden capture's signature, so
+  /// a recalibration loop can harvest its rolling refit window from the
+  /// very captures the monitor already paid for.
   DriftStatus monitor_golden(const stf::rf::RfDut& golden,
                              stf::stats::Rng& rng,
                              const stf::rf::FaultInjector* faults = nullptr,
-                             std::uint64_t sequence = 0);
+                             std::uint64_t sequence = 0,
+                             Signature* out_signature = nullptr);
 
   /// Latched drift alarm: predictions are suspect until recalibration.
-  bool recalibration_needed() const { return drift_alarm_; }
-  /// Clear the drift monitor (after recalibrating the physical path).
+  bool recalibration_needed() const;
+  /// Golden checks folded into the EWMA since the last reset/swap.
+  std::uint64_t drift_checks() const;
+  /// Clear the drift monitor (after recalibrating the physical path):
+  /// latched alarm, smoothed EWMA, and sample count all reset together.
   void reset_drift_monitor();
+
+  /// Snapshot the current calibration version (RCU read side). The
+  /// returned model/screen stay valid and immutable for as long as the
+  /// caller holds them, regardless of concurrent swaps.
+  CalibrationVersion calibration() const;
+
+  /// Hot-swap in a new (model, screen) pair under live traffic and return
+  /// the new version number. Validates dimensional compatibility against
+  /// the acquirer and spec names before publishing; throws without
+  /// swapping on a mismatch. Resets the drift monitor -- the new model
+  /// must not be re-alarmed by the old model's history. Callable on a
+  /// never-calibrated runtime (the store cold-start path).
+  std::uint64_t swap_calibration(
+      std::shared_ptr<const CalibrationModel> model,
+      std::shared_ptr<const OutlierScreen> screen);
 
   bool calibrated() const { return runtime_.calibrated(); }
   const FastestRuntime& runtime() const { return runtime_; }
-  const OutlierScreen& screen() const { return screen_; }
+  /// The current outlier screen (null before calibration).
+  std::shared_ptr<const OutlierScreen> screen() const;
   const GuardPolicy& policy() const { return policy_; }
 
   // Building blocks of test_device(), exposed so BatchRuntime can replay
@@ -174,6 +226,13 @@ class GuardedRuntime {
   CaptureFlaw screen_signature(std::span<const double> signature,
                                double* score) const;
 
+  /// Epoch-pinned variant: screens against an explicit snapshot's screen
+  /// instead of the current one, so a lot that started before a hot-swap
+  /// keeps validating against the version it started with (BatchRuntime).
+  CaptureFlaw screen_signature(const OutlierScreen& screen,
+                               std::span<const double> signature,
+                               double* score) const;
+
   /// Time-domain validation: finiteness + railing. Returns kNone if clean.
   CaptureFlaw inspect_capture(const std::vector<double>& capture) const;
 
@@ -182,13 +241,25 @@ class GuardedRuntime {
   CaptureFlaw inspect_capture(std::span<const double> capture) const;
 
  private:
+  /// Reset drift state with cal_mutex_ already held (swap path).
+  void reset_drift_monitor_locked() STF_REQUIRES(cal_mutex_);
+
   FastestRuntime runtime_;
   GuardPolicy policy_;
-  OutlierScreen screen_;
+  // The published calibration version and the drift monitor share one
+  // mutex: a swap replaces the (model, screen) pair AND clears the drift
+  // history in a single critical section, so no golden check can fold a
+  // pre-swap score into a post-swap EWMA.
+  mutable stf::core::Mutex cal_mutex_;
+  std::shared_ptr<const CalibrationModel> cal_model_
+      STF_GUARDED_BY(cal_mutex_);
+  std::shared_ptr<const OutlierScreen> screen_ STF_GUARDED_BY(cal_mutex_);
+  std::uint64_t cal_version_ STF_GUARDED_BY(cal_mutex_) = 0;
   // Drift-monitor state.
-  double drift_ewma_ = 0.0;
-  bool drift_seeded_ = false;
-  bool drift_alarm_ = false;
+  double drift_ewma_ STF_GUARDED_BY(cal_mutex_) = 0.0;
+  bool drift_seeded_ STF_GUARDED_BY(cal_mutex_) = false;
+  bool drift_alarm_ STF_GUARDED_BY(cal_mutex_) = false;
+  std::uint64_t drift_checks_ STF_GUARDED_BY(cal_mutex_) = 0;
 };
 
 }  // namespace stf::sigtest

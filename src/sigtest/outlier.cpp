@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <limits>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 
 #include "core/contracts.hpp"
 
@@ -56,6 +58,65 @@ double OutlierScreen::score(std::span<const double> signature) const {
     acc += z * z;
   }
   return std::sqrt(acc / static_cast<double>(signature.size()));
+}
+
+std::string OutlierScreen::serialize() const {
+  STF_REQUIRE(fitted_, "OutlierScreen::serialize: screen not fitted");
+  std::ostringstream os;
+  os.precision(17);
+  os << "sigtest-screen v1\n";
+  auto emit = [&os](const char* key, const std::vector<double>& v) {
+    os << key << ' ' << v.size();
+    for (double x : v) os << ' ' << x;
+    os << '\n';
+  };
+  emit("mean", mean_);
+  emit("scale", scale_);
+  return os.str();
+}
+
+OutlierScreen OutlierScreen::deserialize(const std::string& text) {
+  // Same trust-boundary discipline as CalibrationModel::deserialize: length
+  // ceilings before any allocation, typed errors on every malformed field.
+  constexpr std::size_t kMaxDim = std::size_t{1} << 20;
+
+  std::istringstream is(text);
+  std::string magic, version;
+  if (!(is >> magic >> version) || magic != "sigtest-screen" ||
+      version != "v1")
+    throw ScreenParseError("bad header (want \"sigtest-screen v1\")");
+
+  auto read_vector = [&](const char* key) {
+    std::string k;
+    if (!(is >> k) || k != key)
+      throw ScreenParseError(std::string("expected key \"") + key + "\"");
+    std::size_t n = 0;
+    if (!(is >> n))
+      throw ScreenParseError(std::string("bad ") + key + " length");
+    if (n > kMaxDim)
+      throw ScreenParseError(std::string(key) + " length " +
+                             std::to_string(n) + " exceeds limit " +
+                             std::to_string(kMaxDim));
+    std::vector<double> v(n);
+    for (double& x : v)
+      if (!(is >> x))
+        throw ScreenParseError(std::string("truncated ") + key);
+    return v;
+  };
+
+  OutlierScreen screen;
+  screen.mean_ = read_vector("mean");
+  screen.scale_ = read_vector("scale");
+  if (screen.mean_.empty() || screen.mean_.size() != screen.scale_.size())
+    throw ScreenParseError("inconsistent dimensions");
+  for (double s : screen.scale_)
+    if (!std::isfinite(s) || s <= 0.0)
+      throw ScreenParseError("scale entries must be finite and > 0");
+  for (double m : screen.mean_)
+    if (!std::isfinite(m))
+      throw ScreenParseError("mean entries must be finite");
+  screen.fitted_ = true;
+  return screen;
 }
 
 bool OutlierScreen::is_outlier(const Signature& signature,

@@ -11,12 +11,23 @@
 
 #include <cstddef>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "linalg/matrix.hpp"
 #include "sigtest/acquisition.hpp"
 
 namespace stf::sigtest {
+
+/// Thrown by OutlierScreen::deserialize on any malformed input: bad
+/// header, unexpected key, truncation, absurd dimensions, or non-finite
+/// scales. Derives from std::invalid_argument like CalibrationParseError,
+/// so catch sites treat both trust boundaries uniformly.
+struct ScreenParseError : std::invalid_argument {
+  explicit ScreenParseError(const std::string& what_arg)
+      : std::invalid_argument("OutlierScreen::deserialize: " + what_arg) {}
+};
 
 /// Diagonal-Mahalanobis outlier screen over signature bins.
 class OutlierScreen {
@@ -43,6 +54,13 @@ class OutlierScreen {
 
   bool fitted() const { return fitted_; }
   std::size_t signature_length() const { return mean_.size(); }
+
+  /// Text serialization of a fitted screen (versioned, line-oriented),
+  /// persisted alongside the calibration model so a production tester can
+  /// cold-start a guarded runtime from the store without re-characterizing.
+  /// Round-trips exactly: deserialize(serialize()) scores identically.
+  std::string serialize() const;
+  static OutlierScreen deserialize(const std::string& text);
 
  private:
   bool fitted_ = false;

@@ -1,6 +1,8 @@
 #include "sigtest/runtime.hpp"
 
+#include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "core/contracts.hpp"
 #include "core/telemetry.hpp"
@@ -16,8 +18,40 @@ FastestRuntime::FastestRuntime(const SignatureTestConfig& config,
     : acquirer_(config, max_signature_bins),
       stimulus_(std::move(stimulus)),
       spec_names_(std::move(spec_names)),
-      model_(cal_options) {
+      cal_options_(cal_options) {
   STF_REQUIRE(!spec_names_.empty(), "FastestRuntime: no spec names");
+}
+
+FastestRuntime::FastestRuntime(const FastestRuntime& other)
+    : acquirer_(other.acquirer_),
+      stimulus_(other.stimulus_),
+      spec_names_(other.spec_names_),
+      cal_options_(other.cal_options_),
+      model_(other.model()),
+      cal_data_(other.cal_data_) {}
+
+FastestRuntime::FastestRuntime(FastestRuntime&& other)
+    : acquirer_(std::move(other.acquirer_)),
+      stimulus_(std::move(other.stimulus_)),
+      spec_names_(std::move(other.spec_names_)),
+      cal_options_(other.cal_options_),
+      model_(other.model()),
+      cal_data_(std::move(other.cal_data_)) {}
+
+std::shared_ptr<const CalibrationModel> FastestRuntime::model() const {
+  const stf::core::LockGuard lock(model_mutex_);
+  return model_;
+}
+
+void FastestRuntime::set_model(std::shared_ptr<const CalibrationModel> model) {
+  STF_REQUIRE(model != nullptr, "FastestRuntime::set_model: null model");
+  STF_REQUIRE(model->fitted(), "FastestRuntime::set_model: unfitted model");
+  STF_REQUIRE(model->signature_length() == acquirer_.signature_length(),
+              "FastestRuntime::set_model: signature length mismatch");
+  STF_REQUIRE(model->n_specs() == spec_names_.size(),
+              "FastestRuntime::set_model: spec count mismatch");
+  const stf::core::LockGuard lock(model_mutex_);
+  model_ = std::move(model);
 }
 
 void FastestRuntime::calibrate(
@@ -30,8 +64,11 @@ void FastestRuntime::calibrate(
   const std::size_t m = acquirer_.signature_length();
   const std::size_t n_specs = spec_names_.size();
 
+  // Fit into a fresh model, then publish it atomically: a reader holding
+  // the previous snapshot never observes a half-fitted model.
+  CalibrationModel fitted(cal_options_);
   fit_from_captures(
-      model_, training.size(),
+      fitted, training.size(),
       [&](std::size_t i) {
         const Signature s =
             acquirer_.acquire(*training[i].dut, stimulus_, &rng);
@@ -45,14 +82,16 @@ void FastestRuntime::calibrate(
         return p;
       },
       n_avg, &cal_data_);
+  set_model(std::make_shared<const CalibrationModel>(std::move(fitted)));
 }
 
 std::vector<double> FastestRuntime::test_device(const stf::rf::RfDut& dut,
                                                 stf::stats::Rng& rng) const {
   STF_TRACE_SPAN("runtime.test_device");
   STF_COUNT("runtime.devices_tested");
-  STF_REQUIRE(model_.fitted(), "FastestRuntime::test_device: not calibrated");
-  return model_.predict(acquirer_.acquire(dut, stimulus_, &rng));
+  const auto model = this->model();
+  STF_REQUIRE(model != nullptr, "FastestRuntime::test_device: not calibrated");
+  return model->predict(acquirer_.acquire(dut, stimulus_, &rng));
 }
 
 std::vector<double> FastestRuntime::test_device(
@@ -60,20 +99,24 @@ std::vector<double> FastestRuntime::test_device(
     const stf::rf::FaultInjector& faults, std::uint64_t sequence) const {
   STF_TRACE_SPAN("runtime.test_device");
   STF_COUNT("runtime.devices_tested");
-  STF_REQUIRE(model_.fitted(), "FastestRuntime::test_device: not calibrated");
-  return model_.predict(acquirer_.acquire(dut, stimulus_, &rng, faults,
+  const auto model = this->model();
+  STF_REQUIRE(model != nullptr, "FastestRuntime::test_device: not calibrated");
+  return model->predict(acquirer_.acquire(dut, stimulus_, &rng, faults,
                                           sequence));
 }
 
 std::vector<double> FastestRuntime::predict(const Signature& signature) const {
-  STF_REQUIRE(model_.fitted(), "FastestRuntime::predict: not calibrated");
-  return model_.predict(signature);
+  const auto model = this->model();
+  STF_REQUIRE(model != nullptr, "FastestRuntime::predict: not calibrated");
+  return model->predict(signature);
 }
 
 stf::la::Matrix FastestRuntime::predict_batch(
     const stf::la::Matrix& signatures) const {
-  STF_REQUIRE(model_.fitted(), "FastestRuntime::predict_batch: not calibrated");
-  return model_.predict_batch(signatures);
+  const auto model = this->model();
+  STF_REQUIRE(model != nullptr,
+              "FastestRuntime::predict_batch: not calibrated");
+  return model->predict_batch(signatures);
 }
 
 ValidationReport FastestRuntime::validate(

@@ -7,9 +7,11 @@
 // specification -- no RF ATE involved.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "dsp/pwl.hpp"
 #include "rf/population.hpp"
 #include "sigtest/acquisition.hpp"
@@ -42,6 +44,14 @@ class FastestRuntime {
                  std::vector<std::string> spec_names,
                  CalibrationOptions cal_options = {},
                  std::size_t max_signature_bins = 16);
+
+  // Copy/move snapshot the published model under the source's lock (the
+  // model itself is immutable and shared, never deep-copied). Copying
+  // concurrently with calibrate() on the source is not supported.
+  FastestRuntime(const FastestRuntime& other);
+  FastestRuntime(FastestRuntime&& other);
+  FastestRuntime& operator=(const FastestRuntime&) = delete;
+  FastestRuntime& operator=(FastestRuntime&&) = delete;
 
   /// One-time calibration on the training devices. Signatures are acquired
   /// with noise from rng (the real tester is noisy during calibration too);
@@ -83,7 +93,21 @@ class FastestRuntime {
   const SignatureAcquirer& acquirer() const { return acquirer_; }
   const stf::dsp::PwlWaveform& stimulus() const { return stimulus_; }
   const std::vector<std::string>& spec_names() const { return spec_names_; }
-  bool calibrated() const { return model_.fitted(); }
+  bool calibrated() const { return model() != nullptr; }
+
+  /// RCU-style snapshot of the current calibration model (null before
+  /// calibration). The returned pointer is immutable and stays valid for
+  /// as long as the caller holds it, no matter how many set_model() swaps
+  /// happen meanwhile -- this is what lets in-flight lots finish on the
+  /// model version they started with.
+  std::shared_ptr<const CalibrationModel> model() const;
+
+  /// Hot-swap the calibration model under live traffic. The model must be
+  /// fitted and dimensionally compatible (signature_length ==
+  /// acquirer().signature_length(), n_specs == spec_names().size());
+  /// anything else throws without publishing. Readers mid-predict keep
+  /// their snapshot; new predictions see the new model.
+  void set_model(std::shared_ptr<const CalibrationModel> model);
 
   /// Averaged calibration signatures (one row per training device),
   /// retained by calibrate() so signature-space screens can be fitted on
@@ -101,7 +125,9 @@ class FastestRuntime {
   SignatureAcquirer acquirer_;
   stf::dsp::PwlWaveform stimulus_;
   std::vector<std::string> spec_names_;
-  CalibrationModel model_;
+  CalibrationOptions cal_options_;
+  mutable stf::core::Mutex model_mutex_;
+  std::shared_ptr<const CalibrationModel> model_ STF_GUARDED_BY(model_mutex_);
   CaptureFitData cal_data_;
 };
 

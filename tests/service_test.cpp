@@ -12,11 +12,15 @@
 
 #include <atomic>
 #include <chrono>
+#include <clocale>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "circuit/lna900.hpp"
 #include "core/parallel.hpp"
@@ -28,9 +32,11 @@
 #include "rf/faults.hpp"
 #include "rf/population.hpp"
 #include "service/admission.hpp"
+#include "service/registry.hpp"
 #include "service/scenario.hpp"
 #include "sigtest/batch.hpp"
 #include "stats/rng.hpp"
+#include "store/calibration_store.hpp"
 
 namespace {
 
@@ -490,6 +496,29 @@ TEST(AdmissionTest, TokenBucketIsDeterministicUnderASyntheticClock) {
   for (int i = 0; i < 100; ++i) EXPECT_TRUE(open_bucket.try_acquire(0));
 }
 
+// Regression: a clock that steps backwards (NTP correction, VM migration)
+// must not inflate the refill. The buggy bucket re-anchored last_us_ on
+// the rewound timestamp, so once the clock recovered the whole rewind
+// distance was credited as freshly elapsed time -- phantom tokens.
+TEST(AdmissionTest, TokenBucketClockRewindMintsNoPhantomTokens) {
+  service::TokenBucket bucket(1.0, 1.0);  // 1 lot/s, burst 1
+  EXPECT_TRUE(bucket.try_acquire(1'000'000));  // burst token at t = 1 s
+  EXPECT_FALSE(bucket.try_acquire(0));         // clock rewinds: no refill
+  // Clock recovers. Real elapsed time since the grant is 0.9 s -> 0.9
+  // tokens; the bug saw 1.9 s "elapsed" from the rewound anchor and
+  // admitted here.
+  EXPECT_FALSE(bucket.try_acquire(1'900'000));
+  // A genuine full second since the grant does refill.
+  EXPECT_TRUE(bucket.try_acquire(2'000'001));
+  // Repeated rewinds while draining never accumulate credit.
+  service::TokenBucket strict(1.0, 1.0);
+  EXPECT_TRUE(strict.try_acquire(5'000'000));
+  for (int i = 0; i < 10; ++i)
+    EXPECT_FALSE(strict.try_acquire(4'000'000 - 100'000 * i));
+  EXPECT_FALSE(strict.try_acquire(5'500'000));
+  EXPECT_TRUE(strict.try_acquire(6'000'000));
+}
+
 TEST(AdmissionTest, PerClientCapAndClientSlotsAreTypedAndReleasable) {
   service::AdmissionPolicy policy;
   policy.per_client_inflight_cap = 2;
@@ -527,6 +556,31 @@ TEST(ScenarioTest, ParsesTheGrammarAndRejectsGarbageTyped) {
     EXPECT_THROW(service::parse_scenario(bad), std::invalid_argument) << bad;
 }
 
+// Regression: spread parsing used std::stod, which honors the process
+// locale -- under a comma-decimal locale (de_DE) every canonical()
+// string, always '.'-formatted, failed to re-parse. std::from_chars is
+// locale-independent and must round-trip every canonical form bitwise.
+TEST(ScenarioTest, SpreadParsingIsLocaleIndependentAndRoundTripsCanonical) {
+  for (const double spread :
+       {0.0, 1e-3, 0.1, 0.2, 0.25, 1.0 / 3.0, 0.5, 0.875, 0.9999}) {
+    service::ScenarioSpec spec;
+    spec.spread = spread;
+    spec.pop_seed = 9;
+    const auto parsed = service::parse_scenario(spec.canonical());
+    EXPECT_EQ(parsed.spread, spread) << spec.canonical();  // bitwise
+    EXPECT_EQ(parsed.canonical(), spec.canonical());
+  }
+  // Under a comma-decimal locale the grammar must behave identically:
+  // '.' parses, ',' is rejected. Skipped when the locale is not installed.
+  if (std::setlocale(LC_ALL, "de_DE.UTF-8") == nullptr &&
+      std::setlocale(LC_ALL, "de_DE.utf8") == nullptr)
+    GTEST_SKIP() << "no de_DE locale installed";
+  EXPECT_EQ(service::parse_scenario("lna:spread=0.25").spread, 0.25);
+  EXPECT_THROW(service::parse_scenario("lna:spread=0,25"),
+               std::invalid_argument);
+  std::setlocale(LC_ALL, "C");
+}
+
 TEST(ScenarioTest, PopulationCacheHitsReturnTheSamePopulation) {
   service::PopulationCache cache(2);
   const auto spec = service::parse_scenario("lna:spread=0.05:pop=5");
@@ -544,6 +598,91 @@ TEST(ScenarioTest, PopulationCacheHitsReturnTheSamePopulation) {
   (void)cache.get(spec2, 4);
   EXPECT_EQ(cache.size(), 2u);
   EXPECT_EQ(a->size(), 4u);
+}
+
+/// The World's exact runtime recipe expressed as registry options, so a
+/// registry-resolved runtime for kScenario is fit from the identical
+/// inputs and serial_reference() applies to it unchanged.
+service::RegistryOptions world_registry_options() {
+  auto options = service::RegistryOptions::lna_defaults();
+  options.batch = sigtest::BatchOptions{5, 2};
+  return options;
+}
+
+TEST_F(ServiceTest, RegistryServerMatchesSerialReferenceAndAddsScenarios) {
+  const auto reference = serial_reference(9001, nullptr);
+  auto registry =
+      std::make_shared<service::RuntimeRegistry>(world_registry_options());
+  service::SigtestServer server(registry, fast_config());
+  server.start();
+  net::SigtestClient client(server.port(), quiet_client());
+
+  const auto served = client.run_lot(request_for(1, 9001));
+  ASSERT_EQ(served.status, net::ClientStatus::kOk) << served.message;
+  expect_identical(reference, served.dispositions, "registry-resolved");
+  EXPECT_EQ(registry->scratch_calibrations(), 1u);
+
+  // A scenario the server has never seen gets its own runtime on demand --
+  // no restart, no operator, typed failure modes only.
+  auto request = request_for(2, 424242);
+  request.scenario = "lna:spread=0.1:pop=5";
+  const auto other = client.run_lot(request);
+  ASSERT_EQ(other.status, net::ClientStatus::kOk) << other.message;
+  EXPECT_EQ(other.predicted + other.retried + other.routed, kLotSize);
+  EXPECT_EQ(registry->size(), 2u);
+  EXPECT_EQ(registry->scratch_calibrations(), 2u);
+  server.stop();
+}
+
+TEST(RegistryTest, ColdStartsFromTheStoreInsteadOfRefitting) {
+  namespace fs = std::filesystem;
+  const std::string root =
+      (fs::temp_directory_path() /
+       ("stf_registry_test_" + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(root);
+
+  auto options = service::RegistryOptions::lna_defaults();
+  options.calibration_devices = 12;  // keep the scratch fit cheap
+  const auto spec = service::parse_scenario("lna:spread=0.2:pop=77");
+
+  // First boot: no persisted version exists, so the registry fits from
+  // scratch and persists version 1.
+  service::RuntimeRegistry first(
+      options, std::make_shared<stf::store::CalibrationStore>(root));
+  const auto fitted = first.get(spec);
+  EXPECT_EQ(first.scratch_calibrations(), 1u);
+  EXPECT_EQ(first.cold_starts(), 0u);
+  EXPECT_EQ(first.store()->latest_version(first.store_key(spec)), 1u);
+  (void)first.get(spec);  // LRU hit: no second fit
+  EXPECT_EQ(first.scratch_calibrations(), 1u);
+
+  // "Restart": a fresh registry + store over the same root must load the
+  // persisted calibration instead of re-characterizing.
+  service::RuntimeRegistry second(
+      options, std::make_shared<stf::store::CalibrationStore>(root));
+  const auto loaded = second.get(spec);
+  EXPECT_EQ(second.cold_starts(), 1u);
+  EXPECT_EQ(second.scratch_calibrations(), 0u);
+
+  // And the loaded runtime is the fitted one, bit for bit.
+  const auto lot = service::build_population(spec, 8);
+  const auto a = fitted->test_lot(lot, stats::Rng(5));
+  const auto b = loaded->test_lot(lot, stats::Rng(5));
+  EXPECT_EQ(a.model_version, 1u);
+  EXPECT_EQ(b.model_version, 1u);
+  ASSERT_EQ(a.dispositions.size(), b.dispositions.size());
+  for (std::size_t i = 0; i < a.dispositions.size(); ++i) {
+    EXPECT_EQ(a.dispositions[i].kind, b.dispositions[i].kind) << i;
+    EXPECT_EQ(a.dispositions[i].outlier_score, b.dispositions[i].outlier_score)
+        << i;
+    ASSERT_EQ(a.dispositions[i].predicted.size(),
+              b.dispositions[i].predicted.size());
+    for (std::size_t s = 0; s < a.dispositions[i].predicted.size(); ++s)
+      EXPECT_EQ(a.dispositions[i].predicted[s], b.dispositions[i].predicted[s])
+          << "device " << i << " spec " << s;
+  }
+  fs::remove_all(root);
 }
 
 }  // namespace

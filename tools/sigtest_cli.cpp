@@ -7,6 +7,8 @@
 //   netlist-op  FILE                              DC operating point
 //   netlist-ac  FILE FREQ_HZ [OUT_NODE]           AC node voltages
 //   analog                                        baseband lineage demo
+//   store-inspect DIR [--scenario S ...]          calibration store browser
+//   store-evict   DIR --scenario S [--keep-from N]  prune old versions
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +32,7 @@
 #include "sigtest/batch.hpp"
 #include "sigtest/guard.hpp"
 #include "stats/rng.hpp"
+#include "store/calibration_store.hpp"
 
 namespace {
 
@@ -46,6 +49,13 @@ int usage() {
       "  netlist-op  FILE                              DC operating point\n"
       "  netlist-ac  FILE FREQ_HZ                      AC node voltages\n"
       "  analog                                        baseband lineage\n"
+      "  store-inspect DIR [--scenario S] [--device-type T] [--temp C]\n"
+      "                     list a calibration store's keys and versions;\n"
+      "                     with --scenario, load and describe each version\n"
+      "  store-evict DIR --scenario S [--device-type T] [--temp C]\n"
+      "              [--keep-from N]\n"
+      "                     delete persisted versions older than N\n"
+      "                     (default: keep only the newest version)\n"
       "global options (any command):\n"
       "  --trace-out FILE   write a Chrome trace_event JSON of the run\n"
       "                     (load in chrome://tracing or ui.perfetto.dev)\n"
@@ -352,6 +362,96 @@ int cmd_analog(const std::vector<std::string>&) {
   return 0;
 }
 
+/// Shared flag grammar of the store subcommands: DIR first, then the key
+/// fields. Returns false (after printing usage) on malformed input.
+bool parse_store_args(const std::vector<std::string>& args, std::string* root,
+                      stf::store::StoreKey* key, bool* key_given,
+                      std::uint64_t* keep_from) {
+  if (args.empty()) return false;
+  *root = args[0];
+  *key_given = false;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--scenario" && i + 1 < args.size()) {
+      key->scenario = args[++i];
+      *key_given = true;
+    } else if (a == "--device-type" && i + 1 < args.size()) {
+      key->device_type = args[++i];
+    } else if (a == "--temp" && i + 1 < args.size()) {
+      key->temp_bin_c = std::atoi(args[++i].c_str());
+    } else if (keep_from != nullptr && a == "--keep-from" &&
+               i + 1 < args.size()) {
+      *keep_from = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+int cmd_store_inspect(const std::vector<std::string>& args) {
+  std::string root;
+  stf::store::StoreKey key;
+  bool key_given = false;
+  if (!parse_store_args(args, &root, &key, &key_given, nullptr))
+    return usage();
+  stf::store::CalibrationStore cal_store(root);
+
+  if (!key_given) {
+    const auto keys = cal_store.keys();
+    std::printf("%zu key(s) under %s\n", keys.size(), root.c_str());
+    for (const auto& k : keys) {
+      const auto versions = cal_store.versions(k);
+      std::printf("  %-48s versions 1..%llu (%zu on disk)\n",
+                  k.canonical().c_str(),
+                  static_cast<unsigned long long>(cal_store.latest_version(k)),
+                  versions.size());
+    }
+    return 0;
+  }
+
+  const auto versions = cal_store.versions(key);
+  if (versions.empty()) {
+    std::fprintf(stderr, "store-inspect: no versions for %s\n",
+                 key.canonical().c_str());
+    return 1;
+  }
+  std::printf("%s: %zu version(s)\n", key.canonical().c_str(),
+              versions.size());
+  for (const std::uint64_t v : versions) {
+    const auto stored = cal_store.get(key, v);
+    std::printf("  v%-4llu signature %zu bins -> %zu specs, screen %s\n",
+                static_cast<unsigned long long>(v),
+                stored.model->signature_length(), stored.model->n_specs(),
+                stored.screen != nullptr ? "yes" : "no");
+  }
+  return 0;
+}
+
+int cmd_store_evict(const std::vector<std::string>& args) {
+  std::string root;
+  stf::store::StoreKey key;
+  bool key_given = false;
+  std::uint64_t keep_from = 0;
+  if (!parse_store_args(args, &root, &key, &key_given, &keep_from) ||
+      !key_given)
+    return usage();
+  stf::store::CalibrationStore cal_store(root);
+  const std::uint64_t latest = cal_store.latest_version(key);
+  if (latest == 0) {
+    std::fprintf(stderr, "store-evict: no versions for %s\n",
+                 key.canonical().c_str());
+    return 1;
+  }
+  if (keep_from == 0) keep_from = latest;  // default: keep only the newest
+  const std::size_t removed = cal_store.prune(key, keep_from);
+  std::printf("%s: removed %zu version(s), kept %llu..%llu\n",
+              key.canonical().c_str(), removed,
+              static_cast<unsigned long long>(keep_from),
+              static_cast<unsigned long long>(latest));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -375,6 +475,8 @@ int main(int argc, char** argv) {
     else if (cmd == "netlist-op") rc = cmd_netlist_op(args);
     else if (cmd == "netlist-ac") rc = cmd_netlist_ac(args);
     else if (cmd == "analog") rc = cmd_analog(args);
+    else if (cmd == "store-inspect") rc = cmd_store_inspect(args);
+    else if (cmd == "store-evict") rc = cmd_store_evict(args);
     else return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "sigtest_cli: %s\n", e.what());

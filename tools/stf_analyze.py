@@ -39,6 +39,11 @@ Rule registry (see DESIGN.md "Static analysis contract" for how to add one):
                       src/net/ -- net::Socket/Listener own every file
                       descriptor so the bounded-I/O + typed-SocketError
                       contract stays auditable in one place
+    file-io-confinement
+                      fstream/filesystem/fopen (and the <fstream> /
+                      <filesystem> headers) only in src/store/ -- the
+                      CalibrationStore owns all persistence so atomic
+                      writes and typed parse errors stay in one place
 
   Determinism contract (new):
     nondet-source     no std::random_device / time-of-day / wall-clock
@@ -484,6 +489,39 @@ def check_blocking_io_confinement(ctx: Context):
                     "blocking-io-confinement", f.rel, idx + 1,
                     f"raw I/O {m.group(1)} outside src/net/; route "
                     "sockets through net::Socket and net::Listener")
+
+
+FILE_IO_RE = re.compile(
+    r"(?<![\w:.>])(std::(?:i|o)?fstream|std::filesystem"
+    r"|fopen|freopen|tmpfile|mkstemp)\s*[(<{:\s]")
+
+FILE_IO_HEADER_RE = re.compile(r"#\s*include\s*<(fstream|filesystem)>")
+
+
+@rule("file-io-confinement")
+def check_file_io_confinement(ctx: Context):
+    """Filesystem access lives in src/store/ only.
+
+    The store is the one component allowed to touch disk, and it pays for
+    the privilege: atomic temp-then-rename writes, length-prefixed framing,
+    typed errors on every corrupt byte. A stray ofstream in another module
+    gets none of that -- a crash mid-write leaves a half file nothing can
+    parse, and replay determinism quietly gains a hidden input. Pipeline
+    code computes; persistence goes through CalibrationStore (or stays in
+    tools/, examples/ and tests/, which this rule does not scan).
+    """
+    for f in ctx.files:
+        if f.in_dir("store"):
+            continue
+        for idx, code in enumerate(f.code_lines):
+            m = FILE_IO_RE.search(code)
+            if m is None:
+                m = FILE_IO_HEADER_RE.search(code)
+            if m and not allowed(f, idx + 1, "file-io-confinement"):
+                yield Finding(
+                    "file-io-confinement", f.rel, idx + 1,
+                    f"file I/O {m.group(1)} outside src/store/; persist "
+                    "through store::CalibrationStore")
 
 
 EMPTY_CATCH_RE = re.compile(r"catch\s*\(\s*\.\.\.\s*\)\s*\{\s*\}")

@@ -167,6 +167,30 @@ def test_blocking_io_headers_and_member_calls(tmp: Path) -> None:
     assert hits(findings, "blocking-io-confinement") == [], findings
 
 
+def test_file_io_confined_to_store(tmp: Path) -> None:
+    body = ('void f() { std::ofstream out("x.bin"); out << 1; }\n'
+            'bool g() { return std::filesystem::exists("x.bin"); }\n')
+    findings = run(tmp / "a", unit("sigtest", "x", body))
+    assert len(hits(findings, "file-io-confinement")) == 2, findings
+    findings = run(tmp / "b", unit("store", "y", body))
+    assert hits(findings, "file-io-confinement") == [], findings
+
+
+def test_file_io_headers_and_lookalikes(tmp: Path) -> None:
+    # The file-I/O headers are banned outside src/store/ too...
+    files = unit("service", "x")
+    files["src/service/x.cpp"] = ('#include "service/x.hpp"\n\n'
+                                  "#include <fstream>\n")
+    findings = run(tmp / "a", files)
+    assert len(hits(findings, "file-io-confinement")) == 1, findings
+    # ...but stringstreams, member .open() calls and words merely
+    # containing "fopen" are not filesystem access.
+    body = ("void f() { std::stringstream ss; ss << 1; }\n"
+            "void g(S& s) { s.fopen(); my_fopen(); }\n")
+    findings = run(tmp / "b", unit("service", "y", body))
+    assert hits(findings, "file-io-confinement") == [], findings
+
+
 def test_no_empty_catch_outside_core(tmp: Path) -> None:
     body = "void f() { try { g(); } catch (...) {} }\n"
     findings = run(tmp, unit("sigtest", "x", body))
